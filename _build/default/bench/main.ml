@@ -1,0 +1,697 @@
+(* Benchmark harness: regenerates every figure and table of the paper's
+   evaluation (Sec. 6), the motivating example, the operator traces of
+   Examples 6/7, and ablations over the design parameters. See
+   EXPERIMENTS.md for the experiment index and recorded outputs.
+
+   Usage:
+     dune exec bench/main.exe                 run every section
+     dune exec bench/main.exe -- --filter fig9
+     dune exec bench/main.exe -- --quick      smaller sweep
+     dune exec bench/main.exe -- micro        Bechamel microbenches *)
+
+module Tree = Xnav_xml.Tree
+module Disk = Xnav_storage.Disk
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Io_scheduler = Xnav_storage.Io_scheduler
+module Import = Xnav_store.Import
+module Store = Xnav_store.Store
+module Node_id = Xnav_store.Node_id
+module Path = Xnav_xpath.Path
+module Xpath_parser = Xnav_xpath.Xpath_parser
+module Plan = Xnav_core.Plan
+module Exec = Xnav_core.Exec
+module Context = Xnav_core.Context
+module Xmark = Xnav_xmark.Gen
+module Queries = Xnav_xmark.Queries
+
+(* --- configuration --------------------------------------------------------- *)
+
+type bench_config = {
+  fidelity : float;
+  page_size : int;
+  buffer : int;
+  scale_factors : float list;
+}
+
+let full_config =
+  {
+    fidelity = 0.05;
+    page_size = 4096;
+    buffer = 256;
+    scale_factors = [ 0.1; 0.25; 0.5; 0.75; 1.0; 1.25; 1.5; 1.75; 2.0 ];
+  }
+
+let quick_config =
+  { full_config with fidelity = 0.02; scale_factors = [ 0.1; 0.5; 1.0; 2.0 ] }
+
+let section_header title =
+  Printf.printf "\n== %s ==\n" title
+
+(* The three plans of the paper's evaluation (Sec. 6.2): Simple,
+   XSchedule with speculative = false, XScan. *)
+let paper_plans =
+  [
+    ("simple", Plan.simple);
+    ("xschedule", Plan.xschedule ~speculative:false ());
+    ("xscan", Plan.xscan ());
+  ]
+
+let make_store ?(strategy = Import.Dfs) cfg doc =
+  let disk = Disk.create ~config:{ Disk.default_config with Disk.page_size = cfg.page_size } () in
+  let import = Import.run ~strategy disk doc in
+  let buffer = Buffer_manager.create ~capacity:cfg.buffer disk in
+  (Store.attach buffer import, import)
+
+(* Evaluate a benchmark query (summing over its paths, each started
+   cold as in the paper) and return (count, total, cpu, io). *)
+let run_query ?config store plan (q : Queries.t) =
+  List.fold_left
+    (fun (count, total, cpu, io) path ->
+      let r = Exec.cold_run ?config ~ordered:false store path plan in
+      ( count + r.Exec.count,
+        total +. r.Exec.metrics.Exec.total_time,
+        cpu +. r.Exec.metrics.Exec.cpu_time,
+        io +. r.Exec.metrics.Exec.io_time ))
+    (0, 0., 0., 0.) q.Queries.paths
+
+(* --- figures 9, 10, 11 and table 3 ------------------------------------------ *)
+
+(* One shared sweep: for each scaling factor, build the document once and
+   run every query with every plan. *)
+let sweep cfg =
+  List.map
+    (fun scale ->
+      let doc =
+        Xmark.generate ~config:{ Xmark.default_config with Xmark.scale; fidelity = cfg.fidelity } ()
+      in
+      let store, import = make_store cfg doc in
+      let rows =
+        List.map
+          (fun (q : Queries.t) ->
+            ( q.Queries.name,
+              List.map (fun (pname, plan) -> (pname, run_query store plan q)) paper_plans ))
+          Queries.all
+      in
+      (scale, import.Import.node_count, import.Import.page_count, rows))
+    cfg.scale_factors
+
+let figure sweep_data fig_no (q : Queries.t) =
+  section_header
+    (Printf.sprintf "Figure %d: %s — %s (total simulated seconds vs scaling factor)" fig_no
+       q.Queries.name q.Queries.description);
+  Printf.printf "%-6s %9s %9s %11s %11s %11s\n" "sf" "nodes" "pages" "simple" "xschedule" "xscan";
+  let worst_ratio = ref infinity and scan_vs_simple = ref 0.0 in
+  List.iter
+    (fun (scale, nodes, pages, rows) ->
+      let cells = List.assoc q.Queries.name rows in
+      let t name =
+        let _, total, _, _ = List.assoc name cells in
+        total
+      in
+      Printf.printf "%-6.2f %9d %9d %11.4f %11.4f %11.4f\n" scale nodes pages (t "simple")
+        (t "xschedule") (t "xscan");
+      worst_ratio := min !worst_ratio (t "simple" /. t "xschedule");
+      scan_vs_simple := max !scan_vs_simple (t "simple" /. t "xscan"))
+    sweep_data;
+  Printf.printf "shape: simple/xschedule >= %.2fx at every sf; best simple/xscan = %.2fx\n"
+    !worst_ratio !scan_vs_simple
+
+let table3 sweep_data =
+  section_header "Table 3: total and CPU time at XMark scaling factor 1";
+  (match List.find_opt (fun (scale, _, _, _) -> scale = 1.0) sweep_data with
+  | None -> print_endline "(no sf=1.0 in this sweep)"
+  | Some (_, _, _, rows) ->
+    Printf.printf "%-6s %-9s | %10s %10s %6s\n" "query" "plan" "total[s]" "CPU[s]" "CPU%%";
+    List.iter
+      (fun (qname, cells) ->
+        List.iter
+          (fun (pname, (_, total, cpu, _)) ->
+            Printf.printf "%-6s %-9s | %10.4f %10.4f %5.0f%%\n" qname pname total cpu
+              (100. *. cpu /. Float.max 1e-9 total))
+          cells)
+      rows;
+    print_endline
+      "shape: the scan plan does most of its work on the CPU (highest CPU share),\n\
+       the simple plan is I/O bound (lowest CPU share)")
+
+(* --- example 1: motivation -------------------------------------------------- *)
+
+let example1 () =
+  section_header "Example 1: page access order of naive navigation (paper Fig. 1)";
+  (* Root a and its children b..g live on page 0; each child's small
+     subtree sits on its own page, and those pages are jumbled on disk
+     (an update-worn layout, like the paper's 0,3,1,2 figure). *)
+  let subtree i =
+    Tree.elt
+      (Printf.sprintf "%c" (Char.chr (Char.code 'b' + i)))
+      [ Tree.elt "x" []; Tree.elt "y" [] ]
+  in
+  let doc = Tree.elt "a" (List.init 6 subtree) in
+  ignore (Tree.index doc);
+  let page_of_subtree = [| 4; 0; 5; 2; 1; 3 |] in
+  let assignment = Array.make (Tree.size doc) 0 in
+  Tree.iter
+    (fun node ->
+      let pre = node.Tree.preorder in
+      if pre > 0 then begin
+        let subtree_index = (pre - 1) / 3 in
+        if (pre - 1) mod 3 <> 0 then
+          (* x/y grandchildren: the subtree's own jumbled page. *)
+          assignment.(pre) <- 1 + page_of_subtree.(subtree_index)
+      end)
+    doc;
+  let disk = Disk.create ~config:{ Disk.default_config with Disk.page_size = 512 } () in
+  let import = Import.run ~strategy:(Import.Explicit assignment) disk doc in
+  let buffer = Buffer_manager.create ~capacity:16 disk in
+  let store = Store.attach buffer import in
+  let path = Xpath_parser.parse "//node()" in
+  Disk.set_trace disk true;
+  let naive = Exec.cold_run store path Plan.simple in
+  let naive_order = Disk.trace disk in
+  let naive_seek = (Disk.stats disk).Disk.seek_distance in
+  Disk.set_trace disk true;
+  let sched = Exec.cold_run store path (Plan.xschedule ()) in
+  let sched_order = Disk.trace disk in
+  let sched_seek = (Disk.stats disk).Disk.seek_distance in
+  Disk.set_trace disk false;
+  let show order = String.concat "," (List.map string_of_int order) in
+  Printf.printf "document: %d nodes over %d pages\n" (Tree.size doc) import.Import.page_count;
+  Printf.printf "naive (simple) access order:     %s   seek distance %d\n" (show naive_order)
+    naive_seek;
+  Printf.printf "xschedule (async) access order:  %s   seek distance %d\n" (show sched_order)
+    sched_seek;
+  Printf.printf "both return %d = %d nodes; reordering cut seeks by %.1fx\n" naive.Exec.count
+    sched.Exec.count
+    (float_of_int naive_seek /. Float.max 1.0 (float_of_int sched_seek))
+
+(* --- table 1: path instance classification ---------------------------------- *)
+
+(* The paper's Table 1 classifies partial path instances for /A//B; the
+   classification predicate mirrors Sec. 4.3: an instance is F(ull),
+   L(eft-complete), R(ight-complete), C(omplete) from (l, r), whether the
+   end nodes are border nodes, and the path length. *)
+let table1 () =
+  section_header "Table 1: partial path instances for /A//B (classification per Sec. 4.3)";
+  let path_len = 2 in
+  let classify ~l ~r ~left_border ~right_border =
+    let left_complete = not left_border in
+    let right_complete = not right_border in
+    let complete = left_complete && right_complete in
+    let full = complete && l = 0 && r = path_len in
+    (full, left_complete, right_complete, complete)
+  in
+  let rows =
+    (* (no, ctx, step1, step2, l, r, left_border, right_border) — the
+       nine rows of the paper's table on its sample tree (Fig. 3). *)
+    [
+      (1, "d1", "eps", "eps", 0, 0, false, false);
+      (2, "d1", "a2", "eps", 0, 1, false, false);
+      (3, "d1", "c2", "eps", 0, 1, false, false);
+      (4, "d1", "c2", "c4", 0, 2, false, false);
+      (5, "d1", "a2", "a3", 0, 2, false, false);
+      (6, "d1", "d2", "eps", 0, 1, false, true);
+      (7, "d1", "d3", "eps", 0, 1, false, true);
+      (8, "c1", "c2", "c4", 0, 2, true, false);
+      (9, "a1", "a2", "a3", 0, 2, true, false);
+    ]
+  in
+  let expected =
+    (* F L R C from the paper. *)
+    [
+      (false, true, true, true); (false, true, true, true); (false, true, true, true);
+      (true, true, true, true); (true, true, true, true); (false, true, false, false);
+      (false, true, false, false); (false, false, true, false); (false, false, true, false);
+    ]
+  in
+  Printf.printf "%-3s %-8s %-6s %-6s %2s %2s | %2s %2s %2s %2s | paper\n" "no" "context" "pi1"
+    "pi2" "l" "r" "F" "L" "R" "C";
+  let all_match = ref true in
+  List.iter2
+    (fun (no, ctx, s1, s2, l, r, lb, rb) (ef, el, er, ec) ->
+      let f, lc, rc, c = classify ~l ~r ~left_border:lb ~right_border:rb in
+      let mark b = if b then "+" else "-" in
+      if (f, lc, rc, c) <> (ef, el, er, ec) then all_match := false;
+      Printf.printf "%-3d %-8s %-6s %-6s %2d %2d | %2s %2s %2s %2s | %s\n" no ctx s1 s2 l r
+        (mark f) (mark lc) (mark rc) (mark c)
+        (if (f, lc, rc, c) = (ef, el, er, ec) then "match" else "MISMATCH"))
+    rows expected;
+  Printf.printf "all nine rows match the paper: %b\n" !all_match
+
+(* --- table 2: the selected XMark queries -------------------------------------- *)
+
+let table2 cfg =
+  section_header "Table 2: selected XMark queries (with result counts at sf=1)";
+  let doc =
+    Xmark.generate
+      ~config:{ Xmark.default_config with Xmark.scale = 1.0; fidelity = cfg.fidelity }
+      ()
+  in
+  let store, _ = make_store cfg doc in
+  Printf.printf "%-5s %-70s %8s\n" "No." "XPath queries" "count";
+  List.iter
+    (fun (q : Queries.t) ->
+      let count, _, _, _ = run_query store Plan.simple q in
+      let desc = q.Queries.description in
+      let desc = if String.length desc > 70 then String.sub desc 0 70 else desc in
+      Printf.printf "%-5s %-70s %8d\n" (String.uppercase_ascii q.Queries.name) desc count)
+    Queries.all
+
+(* --- examples 6/7: operator trace -------------------------------------------- *)
+
+let trace_section () =
+  section_header "Examples 6/7: operator cooperation trace for /A//B on a clustered tree";
+  let e = Tree.elt in
+  (* A small document in the spirit of the paper's Fig. 5. *)
+  let doc =
+    e "R" [ e "A" [ e "B" [] ; e "C" [ e "B" [] ] ]; e "C" [ e "A" [ e "B" [] ] ] ]
+  in
+  let path = Path.from_root_element (Xpath_parser.parse "/R/A//B") in
+  List.iter
+    (fun (label, plan) ->
+      Printf.printf "--- %s plan ---\n" label;
+      let disk = Disk.create ~config:{ Disk.default_config with Disk.page_size = 256 } () in
+      let import = Import.run ~payload:120 ~strategy:Import.Bfs disk doc in
+      let buffer = Buffer_manager.create ~capacity:16 disk in
+      let store = Store.attach buffer import in
+      let r =
+        Exec.cold_run ~trace:(fun msg -> Printf.printf "  %s\n" msg) store path plan
+      in
+      Printf.printf "  => %d result nodes from %d pages\n" r.Exec.count import.Import.page_count)
+    [ ("XSchedule (Example 6)", Plan.xschedule ()); ("XScan (Example 7)", Plan.xscan ()) ]
+
+(* --- ablations ----------------------------------------------------------------- *)
+
+let xmark_store ?(strategy = Import.Dfs) cfg ~scale =
+  let doc =
+    Xmark.generate ~config:{ Xmark.default_config with Xmark.scale; fidelity = cfg.fidelity } ()
+  in
+  make_store ~strategy cfg doc
+
+let ablation_k cfg =
+  section_header "Ablation: XSchedule queue minimum k (//item from region contexts, scattered layout)";
+  let store, _ = xmark_store ~strategy:(Import.Scattered 11) cfg ~scale:0.5 in
+  (* To give k something to do, evaluate the //item step from many
+     region contexts instead of the single document root. *)
+  let contexts_path = Path.from_root_element (Xpath_parser.parse "/site/regions/*") in
+  let contexts =
+    (Exec.cold_run store contexts_path Plan.simple).Exec.nodes
+    |> List.map (fun (i : Store.info) -> i.Store.id)
+  in
+  let item_path = Xpath_parser.parse "descendant-or-self::node()/item" in
+  Printf.printf "%-8s %10s %12s %10s\n" "k" "io[s]" "seek-dist" "count";
+  List.iter
+    (fun k ->
+      let config = { Context.default_config with Context.k; speculative = false } in
+      let r =
+        Exec.cold_run ~config ~contexts ~ordered:false store item_path
+          (Plan.xschedule ~speculative:false ())
+      in
+      Printf.printf "%-8d %10.4f %12d %10d\n" k r.Exec.metrics.Exec.io_time
+        r.Exec.metrics.Exec.seek_distance r.Exec.count)
+    [ 1; 10; 100; 1000 ]
+
+let ablation_sched cfg =
+  section_header "Ablation: asynchronous I/O policy (Q6' on a scattered layout)";
+  Printf.printf "%-10s %10s %12s %10s\n" "policy" "io[s]" "seek-dist" "random";
+  let doc =
+    Xmark.generate
+      ~config:{ Xmark.default_config with Xmark.scale = 1.0; fidelity = cfg.fidelity }
+      ()
+  in
+  List.iter
+    (fun policy ->
+      let disk =
+        Disk.create ~config:{ Disk.default_config with Disk.page_size = cfg.page_size } ()
+      in
+      let import = Import.run ~strategy:(Import.Scattered 11) disk doc in
+      let buffer = Buffer_manager.create ~capacity:cfg.buffer ~policy disk in
+      let store = Store.attach buffer import in
+      ignore import;
+      let q = Queries.q6' in
+      let _, _, _, io = run_query store (Plan.xschedule ~speculative:false ()) q in
+      let stats = Disk.stats disk in
+      Printf.printf "%-10s %10.4f %12d %10d\n"
+        (Io_scheduler.policy_to_string policy)
+        io stats.Disk.seek_distance stats.Disk.random_reads)
+    Io_scheduler.all_policies
+
+let ablation_clustering cfg =
+  section_header "Ablation: clustering strategy (Q6', all plans)";
+  Printf.printf "%-16s %11s %11s %11s\n" "layout" "simple" "xschedule" "xscan";
+  List.iter
+    (fun strategy ->
+      let store, _ = xmark_store ~strategy cfg ~scale:1.0 in
+      Printf.printf "%-16s" (Import.strategy_to_string strategy);
+      List.iter
+        (fun (_, plan) ->
+          let _, total, _, _ = run_query store plan Queries.q6' in
+          Printf.printf " %10.4f " total)
+        paper_plans;
+      print_newline ())
+    [ Import.Dfs; Import.Bfs; Import.Scattered 11 ]
+
+let ablation_buffer cfg =
+  section_header "Ablation: buffer capacity (Q7)";
+  let doc =
+    Xmark.generate
+      ~config:{ Xmark.default_config with Xmark.scale = 1.0; fidelity = cfg.fidelity }
+      ()
+  in
+  Printf.printf "%-8s %11s %11s %11s\n" "pages" "simple" "xschedule" "xscan";
+  List.iter
+    (fun capacity ->
+      let store, _ = make_store { cfg with buffer = capacity } doc in
+      Printf.printf "%-8d" capacity;
+      List.iter
+        (fun (_, plan) ->
+          let _, total, _, _ = run_query store plan Queries.q7 in
+          Printf.printf " %10.4f " total)
+        paper_plans;
+      print_newline ())
+    [ 32; 64; 128; 256; 512; 1024 ]
+
+let ablation_fallback cfg =
+  section_header "Ablation: fallback memory budget (Q7 first path, XScan, scattered layout)";
+  let store, _ = xmark_store ~strategy:(Import.Scattered 11) cfg ~scale:0.5 in
+  let path = List.hd Queries.q7.Queries.paths in
+  Printf.printf "%-12s %11s %8s %8s %10s\n" "budget |S|" "total[s]" "S-peak" "fellback" "count";
+  List.iter
+    (fun memory_budget ->
+      let config = { Context.default_config with Context.memory_budget } in
+      let r = Exec.cold_run ~config ~ordered:false store path (Plan.xscan ()) in
+      Printf.printf "%-12d %11.4f %8d %8b %10d\n" memory_budget r.Exec.metrics.Exec.total_time
+        r.Exec.metrics.Exec.s_peak r.Exec.metrics.Exec.fell_back r.Exec.count)
+    [ 0; 100; 1000; 10000; 1000000 ]
+
+let ablation_multi cfg =
+  section_header
+    "Ablation (outlook Sec. 7): Q7's three paths — one shared scan vs three XScan plans";
+  let store, import = xmark_store cfg ~scale:1.0 in
+  let paths = Queries.q7.Queries.paths in
+  let sep_count, sep_total, _, _ = run_query store (Plan.xscan ()) Queries.q7 in
+  let multi = Xnav_core.Multi.run ~cold:true ~ordered:false store paths in
+  let multi_count = Array.fold_left ( + ) 0 multi.Xnav_core.Multi.counts in
+  Printf.printf "%-22s %10s %12s %10s\n" "strategy" "count" "page-reads" "total[s]";
+  Printf.printf "%-22s %10d %12d %10.4f\n" "three XScan plans" sep_count
+    (3 * import.Import.page_count) sep_total;
+  Printf.printf "%-22s %10d %12d %10.4f\n" "one shared scan" multi_count
+    multi.Xnav_core.Multi.page_reads multi.Xnav_core.Multi.total_time;
+  Printf.printf "shared scan saves %.1fx of the I/O passes\n"
+    (float_of_int (3 * import.Import.page_count)
+    /. Float.max 1.0 (float_of_int multi.Xnav_core.Multi.page_reads))
+
+let ablation_concurrency cfg =
+  section_header
+    "Ablation (outlook Sec. 7): two concurrent queries, interleaved vs sequential";
+  let store, _ = xmark_store cfg ~scale:1.0 in
+  let p1 = List.hd Queries.q7.Queries.paths in
+  let p2 = List.nth Queries.q7.Queries.paths 1 in
+  let sequential plan =
+    let a = Exec.cold_run ~ordered:false store p1 plan in
+    let b = Exec.run ~ordered:false store p2 plan in
+    ( a.Exec.metrics.Exec.io_time +. b.Exec.metrics.Exec.io_time,
+      a.Exec.metrics.Exec.seek_distance + b.Exec.metrics.Exec.seek_distance )
+  in
+  let interleaved plan =
+    let r = Xnav_core.Interleave.run ~cold:true ~ordered:false store [ (p1, plan); (p2, plan) ] in
+    (r.Xnav_core.Interleave.io_time, r.Xnav_core.Interleave.seek_distance)
+  in
+  Printf.printf "%-24s %12s %12s\n" "configuration" "io[s]" "seek-dist";
+  let show label (io, seek) = Printf.printf "%-24s %12.4f %12d\n" label io seek in
+  show "2 x xscan, sequential" (sequential (Plan.xscan ()));
+  show "2 x xscan, concurrent" (interleaved (Plan.xscan ()));
+  show "2 x xschedule, sequential" (sequential (Plan.xschedule ~speculative:false ()));
+  show "2 x xschedule, concurrent" (interleaved (Plan.xschedule ~speculative:false ()));
+  print_endline
+    "(concurrent scans drag the disk arm between two sweep positions — the\n\
+     interference the paper warns about for scan-only designs; concurrent\n\
+     schedules pool their pending requests in one queue)"
+
+let ablation_rewrite cfg =
+  section_header
+    "Ablation (requirement 4): logical //-compression before physical reordering (Q7 paths)";
+  let store, _ = xmark_store cfg ~scale:1.0 in
+  Printf.printf "%-30s %-9s %10s %12s %10s\n" "path" "form" "steps" "specs" "total[s]";
+  List.iter
+    (fun path ->
+      List.iter
+        (fun (form, p) ->
+          let r = Exec.cold_run ~ordered:false store p (Plan.xscan ()) in
+          Printf.printf "%-30s %-9s %10d %12d %10.4f\n"
+            (String.concat "/" (List.filteri (fun i _ -> i < 1) [ Path.to_string path ])
+            |> fun s -> if String.length s > 30 then String.sub s 0 30 else s)
+            form (Path.length p) r.Exec.metrics.Exec.specs_created
+            r.Exec.metrics.Exec.total_time)
+        [ ("raw", path); ("rewritten", Xnav_xpath.Rewrite.normalize path) ])
+    Queries.q7.Queries.paths
+
+let ablation_decay cfg =
+  section_header
+    "Ablation: layout decay through real updates (bulk load, then grow the document in place)";
+  let doc =
+    Xmark.generate
+      ~config:{ Xmark.default_config with Xmark.scale = 0.5; fidelity = cfg.fidelity }
+      ()
+  in
+  let store, _ = make_store cfg doc in
+  let q = Queries.q6' in
+  let measure label =
+    Printf.printf "%-28s %9d pages |" label (Store.page_count store);
+    List.iter
+      (fun (_, plan) ->
+        let _, total, _, _ = run_query store plan q in
+        Printf.printf " %10.4f" total)
+      paper_plans;
+    print_newline ()
+  in
+  Printf.printf "%-28s %15s %10s %10s %10s\n" "state" "" "simple" "xschedule" "xscan";
+  measure "freshly bulk-loaded";
+  (* Age the store: append new items to every region and graft bidders
+     into open auctions — the new records land in overflow pages far from
+     their logical neighbours. *)
+  let parse p = Path.from_root_element (Xpath_parser.parse p) in
+  let ids path =
+    (Exec.run ~ordered:false store (parse path) Plan.simple).Exec.nodes
+    |> List.map (fun (i : Store.info) -> i.Store.id)
+  in
+  let new_item () =
+    Tree.elt "item"
+      [ Tree.elt "location" []; Tree.elt "name" []; Tree.elt "description" [ Tree.elt "text" [] ] ]
+  in
+  let regions = ids "/site/regions/*" in
+  let initial_pages = Store.page_count store in
+  let target = initial_pages + (initial_pages / 4) in
+  let rounds = ref 0 in
+  (* Churn: every round deletes the oldest item of each region and
+     appends a fresh one — freed slots get reused by whatever inserts
+     next, interleaving unrelated subtrees on the same pages. *)
+  while Store.page_count store < target && !rounds < 400 do
+    incr rounds;
+    List.iter
+      (fun region ->
+        (match
+           (Exec.run ~ordered:false store ~contexts:[ region ]
+              (Xpath_parser.parse "child::item") Plan.simple).Exec.nodes
+         with
+        | (oldest : Store.info) :: _ ->
+          ignore (Xnav_store.Update.delete_subtree store oldest.Store.id)
+        | [] -> ());
+        ignore (Xnav_store.Update.insert_tree store ~parent:region (new_item ()));
+        ignore (Xnav_store.Update.insert_tree store ~parent:region (new_item ())))
+      regions
+  done;
+  let auctions = ids "/site/open_auctions/open_auction" in
+  List.iteri
+    (fun i auction ->
+      if i mod 2 = 0 then
+        ignore
+          (Xnav_store.Update.insert_tree store ~parent:auction
+             (Tree.elt "bidder" [ Tree.elt "date" []; Tree.elt "increase" [] ])))
+    auctions;
+  measure "after in-place churn";
+  print_endline
+    "(churned records land in overflow pages linked by fresh border pairs;\n\
+     every plan pays for the fragmentation, and the layout-independent scan\n\
+     overtakes the schedule plan as decay progresses -- update wear shifts\n\
+     the optimizer's crossover toward scans, which is why the plan choice\n\
+     must be cost-based rather than fixed)"
+
+let ablation_replacement cfg =
+  section_header "Ablation: buffer replacement policy (Q7 first path, Simple plan, small buffer)";
+  let doc =
+    Xmark.generate
+      ~config:{ Xmark.default_config with Xmark.scale = 1.0; fidelity = cfg.fidelity }
+      ()
+  in
+  let path = List.hd Queries.q7.Queries.paths in
+  Printf.printf "%-8s %11s %10s %10s\n" "policy" "total[s]" "hits" "misses";
+  List.iter
+    (fun replacement ->
+      let disk =
+        Disk.create ~config:{ Disk.default_config with Disk.page_size = cfg.page_size } ()
+      in
+      let import = Import.run disk doc in
+      let buffer = Buffer_manager.create ~capacity:64 ~replacement disk in
+      let store = Store.attach buffer import in
+      ignore import;
+      let r = Exec.cold_run ~ordered:false store path Plan.simple in
+      let stats = Buffer_manager.stats buffer in
+      Printf.printf "%-8s %11.4f %10d %10d\n"
+        (Buffer_manager.replacement_to_string replacement)
+        r.Exec.metrics.Exec.total_time stats.Buffer_manager.hits stats.Buffer_manager.misses)
+    Buffer_manager.all_replacements
+
+let ablation_estimate cfg =
+  section_header
+    "Ablation: cardinality estimation — per-tag bound (v1) vs path synopsis (v2) vs actual";
+  let store, _ = xmark_store cfg ~scale:1.0 in
+  Printf.printf "%-34s %12s %12s %12s\n" "path" "v1 bound" "v2 synopsis" "actual";
+  List.iter
+    (fun path ->
+      let v1 =
+        List.fold_left
+          (fun acc (s : Path.step) ->
+            acc
+            + (match s.Path.test with
+              | Path.Name tag -> Store.tag_count store tag
+              | Path.Wildcard | Path.Any_node -> Store.node_count store))
+          0 path
+      in
+      let v2 =
+        match Store.doc_stats store with
+        | Some stats ->
+          let per_step = Xnav_store.Doc_stats.estimate_path stats path in
+          List.nth per_step (List.length per_step - 1)
+        | None -> nan
+      in
+      let actual = (Exec.cold_run ~ordered:false store path Plan.simple).Exec.count in
+      let label = Path.to_string path in
+      let label =
+        if String.length label > 34 then String.sub label (String.length label - 34) 34
+        else label
+      in
+      Printf.printf "%-34s %12d %12.0f %12d\n" label v1 v2 actual)
+    (List.concat_map (fun (q : Queries.t) -> q.Queries.paths) Queries.all);
+  print_endline
+    "(v1 sums per-tag totals over the steps — a wild over-estimate; the v2\n\
+     synopsis propagates parent/child pair statistics down the path)"
+
+(* --- Bechamel microbenches ------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  section_header "Bechamel microbenches (one per table/figure, plus operator kernels)";
+  (* Fixture shared by the query benches: a small XMark store. *)
+  let cfg = { quick_config with fidelity = 0.005 } in
+  let store, _ = xmark_store cfg ~scale:1.0 in
+  let query_test name plan (q : Queries.t) =
+    Test.make ~name (Staged.stage (fun () -> ignore (run_query store plan q)))
+  in
+  let fig_tests =
+    List.concat_map
+      (fun (fig, q) ->
+        List.map
+          (fun (pname, plan) -> query_test (Printf.sprintf "%s-%s-%s" fig q.Queries.name pname) plan q)
+          paper_plans)
+      [ ("fig9", Queries.q6'); ("fig10", Queries.q7); ("fig11", Queries.q15) ]
+  in
+  let ordpath_a = Xnav_xml.Ordpath.child (Xnav_xml.Ordpath.child Xnav_xml.Ordpath.root 3) 5 in
+  let ordpath_b = Xnav_xml.Ordpath.next_sibling ordpath_a in
+  let record =
+    Xnav_store.Node_record.Core
+      {
+        tag = Xnav_xml.Tag.of_string "bench";
+        ordpath = ordpath_a;
+        parent = Some 1;
+        first_child = Some 2;
+        last_child = Some 9;
+        next_sibling = None;
+        prev_sibling = Some 0;
+      }
+  in
+  let encoded = Xnav_store.Node_record.encode record in
+  let kernel_tests =
+    [
+      Test.make ~name:"kernel-ordpath-compare"
+        (Staged.stage (fun () -> ignore (Xnav_xml.Ordpath.compare ordpath_a ordpath_b)));
+      Test.make ~name:"kernel-ordpath-between"
+        (Staged.stage (fun () -> ignore (Xnav_xml.Ordpath.between ordpath_a ordpath_b)));
+      Test.make ~name:"kernel-record-decode"
+        (Staged.stage (fun () -> ignore (Xnav_store.Node_record.decode encoded)));
+      Test.make ~name:"kernel-record-encode"
+        (Staged.stage (fun () -> ignore (Xnav_store.Node_record.encode record)));
+    ]
+  in
+  let tests = Test.make_grouped ~name:"xnav" ~fmt:"%s/%s" (fig_tests @ kernel_tests) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let benchmark_cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all benchmark_cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "%-36s %16s\n" "benchmark" "ns/run";
+  Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (name, ols_result) ->
+         match Analyze.OLS.estimates ols_result with
+         | Some [ est ] -> Printf.printf "%-36s %16.1f\n" name est
+         | Some _ | None -> Printf.printf "%-36s %16s\n" name "n/a")
+
+(* --- main ------------------------------------------------------------------------- *)
+
+let sections cfg =
+  let sweep_data = lazy (sweep cfg) in
+  [
+    ("example1", fun () -> example1 ());
+    ("table1", fun () -> table1 ());
+    ("table2", fun () -> table2 cfg);
+    ("trace", fun () -> trace_section ());
+    ("fig9", fun () -> figure (Lazy.force sweep_data) 9 Queries.q6');
+    ("fig10", fun () -> figure (Lazy.force sweep_data) 10 Queries.q7);
+    ("fig11", fun () -> figure (Lazy.force sweep_data) 11 Queries.q15);
+    ("table3", fun () -> table3 (Lazy.force sweep_data));
+    ("abl-k", fun () -> ablation_k cfg);
+    ("abl-sched", fun () -> ablation_sched cfg);
+    ("abl-clust", fun () -> ablation_clustering cfg);
+    ("abl-buf", fun () -> ablation_buffer cfg);
+    ("abl-fb", fun () -> ablation_fallback cfg);
+    ("abl-multi", fun () -> ablation_multi cfg);
+    ("abl-conc", fun () -> ablation_concurrency cfg);
+    ("abl-rewrite", fun () -> ablation_rewrite cfg);
+    ("abl-decay", fun () -> ablation_decay cfg);
+    ("abl-repl", fun () -> ablation_replacement cfg);
+    ("abl-estimate", fun () -> ablation_estimate cfg);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let rec find_filter = function
+    | "--filter" :: name :: _ -> Some name
+    | _ :: rest -> find_filter rest
+    | [] -> None
+  in
+  let filter = find_filter args in
+  if List.mem "micro" args then micro ()
+  else begin
+    let cfg = if quick then quick_config else full_config in
+    Printf.printf
+      "xnav benchmark harness — fidelity %.3f, %d-byte pages, %d-page buffer\n\
+       (simulated seconds from the deterministic disk model; see EXPERIMENTS.md)\n"
+      cfg.fidelity cfg.page_size cfg.buffer;
+    let sections = sections cfg in
+    match filter with
+    | Some name -> begin
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown section %s; available: %s\n" name
+          (String.concat ", " (List.map fst sections));
+        exit 1
+    end
+    | None -> List.iter (fun (_, f) -> f ()) sections
+  end

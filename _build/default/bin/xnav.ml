@@ -1,0 +1,302 @@
+(* xnav — command-line front end.
+
+   Documents come from three sources: an XML file (parsed and imported
+   on the fly), the built-in XMark generator, or a persisted disk image
+   created by [xnav import]. Queries accept the full extended syntax
+   (predicates, unions); plain downward paths run through the reordered
+   physical plans, everything else through the hybrid executor. *)
+
+module Tree = Xnav_xml.Tree
+module Xml_parser = Xnav_xml.Xml_parser
+module Xml_writer = Xnav_xml.Xml_writer
+module Disk = Xnav_storage.Disk
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Io_scheduler = Xnav_storage.Io_scheduler
+module Import = Xnav_store.Import
+module Store = Xnav_store.Store
+module Image = Xnav_store.Image
+module Export = Xnav_store.Export
+module Path = Xnav_xpath.Path
+module Query = Xnav_xpath.Query
+module Rewrite = Xnav_xpath.Rewrite
+module Xpath_parser = Xnav_xpath.Xpath_parser
+module Plan = Xnav_core.Plan
+module Compile = Xnav_core.Compile
+module Exec = Xnav_core.Exec
+module Query_exec = Xnav_core.Query_exec
+module Context = Xnav_core.Context
+module Xmark_gen = Xnav_xmark.Gen
+
+open Cmdliner
+
+(* --- shared arguments ---------------------------------------------------- *)
+
+let scale =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"F" ~doc:"XMark scaling factor.")
+
+let fidelity =
+  Arg.(
+    value
+    & opt float 0.05
+    & info [ "fidelity" ] ~docv:"F" ~doc:"Entity-count multiplier for the XMark generator.")
+
+let seed = Arg.(value & opt int 20050614 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+
+let input_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "i"; "input" ] ~docv:"FILE"
+        ~doc:"XML document to load. Without it (or --image), XMark is generated.")
+
+let image_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "image" ] ~docv:"FILE" ~doc:"Persisted disk image to open (see the import command).")
+
+let page_size =
+  Arg.(value & opt int 8192 & info [ "page-size" ] ~docv:"BYTES" ~doc:"Disk page size.")
+
+let capacity =
+  Arg.(
+    value & opt int 1000 & info [ "buffer" ] ~docv:"PAGES" ~doc:"Buffer pool capacity in pages.")
+
+let policy =
+  let parse s =
+    match Io_scheduler.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown policy %S" s))
+  in
+  let print ppf p = Fmt.string ppf (Io_scheduler.policy_to_string p) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Io_scheduler.Elevator
+    & info [ "io-policy" ] ~docv:"POLICY" ~doc:"Async I/O policy: fifo, sstf, elevator, cscan.")
+
+let strategy =
+  let parse = function
+    | "dfs" -> Ok Import.Dfs
+    | "bfs" -> Ok Import.Bfs
+    | s when String.length s > 10 && String.sub s 0 10 = "scattered:" ->
+      (try Ok (Import.Scattered (int_of_string (String.sub s 10 (String.length s - 10))))
+       with Failure _ -> Error (`Msg "scattered:<seed> expects an integer"))
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print ppf s = Fmt.string ppf (Import.strategy_to_string s) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Import.Dfs
+    & info [ "clustering" ] ~docv:"STRATEGY" ~doc:"Import clustering: dfs, bfs, scattered:SEED.")
+
+let plan_choice =
+  let parse = function
+    | "auto" -> Ok Compile.Auto
+    | "simple" -> Ok Compile.Force_simple
+    | "xschedule" | "schedule" -> Ok Compile.Force_schedule
+    | "xscan" | "scan" -> Ok Compile.Force_scan
+    | s -> Error (`Msg (Printf.sprintf "unknown plan %S" s))
+  in
+  let print ppf = function
+    | Compile.Auto -> Fmt.string ppf "auto"
+    | Compile.Force_simple -> Fmt.string ppf "simple"
+    | Compile.Force_schedule -> Fmt.string ppf "xschedule"
+    | Compile.Force_scan -> Fmt.string ppf "xscan"
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Compile.Auto
+    & info [ "plan" ] ~docv:"PLAN" ~doc:"Plan: auto (cost-based), simple, xschedule, xscan.")
+
+let path_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH" ~doc:"XPath location path.")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print result NodeIDs, not only the count.")
+
+let rewrite_flag =
+  Arg.(value & flag & info [ "rewrite" ] ~doc:"Normalise the path logically before planning.")
+
+(* --- document setup ------------------------------------------------------- *)
+
+let obtain_store ~image ~input ~scale ~fidelity ~seed ~page_size ~capacity ~policy ~strategy =
+  match image with
+  | Some file -> begin
+    match Image.load ~capacity ~policy file with
+    | store :: _ -> store
+    | [] -> failwith "image contains no documents"
+  end
+  | None ->
+    let doc =
+      match input with
+      | Some file -> Xml_parser.parse_file file
+      | None -> Xmark_gen.generate ~config:{ Xmark_gen.scale; fidelity; seed } ()
+    in
+    let config = { Disk.default_config with Disk.page_size } in
+    let disk = Disk.create ~config () in
+    let import = Import.run ~strategy disk doc in
+    let buffer = Buffer_manager.create ~capacity ~policy disk in
+    Store.attach buffer import
+
+let common_store_term =
+  Term.(
+    const
+      (fun image input scale fidelity seed page_size capacity policy strategy ->
+        obtain_store ~image ~input ~scale ~fidelity ~seed ~page_size ~capacity ~policy ~strategy)
+    $ image_file $ input_file $ scale $ fidelity $ seed $ page_size $ capacity $ policy
+    $ strategy)
+
+(* --- gen ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let output =
+    Arg.(
+      required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let run scale fidelity seed output =
+    let doc = Xmark_gen.generate ~config:{ Xmark_gen.scale; fidelity; seed } () in
+    Xml_writer.to_file ~declaration:true output doc;
+    Printf.printf "wrote %s: %d elements, height %d\n" output (Tree.size doc) (Tree.height doc)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate an XMark document to an XML file.")
+    Term.(const run $ scale $ fidelity $ seed $ output)
+
+(* --- import ----------------------------------------------------------------- *)
+
+let import_cmd =
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"IMAGE" ~doc:"Disk image to write.")
+  in
+  let run input scale fidelity seed page_size strategy output =
+    let doc =
+      match input with
+      | Some file -> Xml_parser.parse_file file
+      | None -> Xmark_gen.generate ~config:{ Xmark_gen.scale; fidelity; seed } ()
+    in
+    let config = { Disk.default_config with Disk.page_size } in
+    let disk = Disk.create ~config () in
+    let import = Import.run ~strategy disk doc in
+    let buffer = Buffer_manager.create ~capacity:8 disk in
+    let store = Store.attach buffer import in
+    Image.save output [ store ];
+    Printf.printf "imported %d elements onto %d pages (%s clustering) -> %s\n"
+      import.Import.node_count import.Import.page_count
+      (Import.strategy_to_string strategy)
+      output
+  in
+  Cmd.v
+    (Cmd.info "import" ~doc:"Cluster a document onto a simulated disk and persist the image.")
+    Term.(const run $ input_file $ scale $ fidelity $ seed $ page_size $ strategy $ output)
+
+(* --- stats ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run store =
+    Printf.printf "document:   %d elements, height %d\n" (Store.node_count store)
+      (Store.height store);
+    Printf.printf "storage:    pages %d..%d\n" (Store.first_page store)
+      (Store.first_page store + Store.page_count store - 1);
+    Printf.printf "top tags:\n";
+    let sorted = List.sort (fun (_, a) (_, b) -> compare b a) (Store.tag_counts store) in
+    List.iteri
+      (fun i (tag, n) ->
+        if i < 15 then Printf.printf "  %-20s %d\n" (Xnav_xml.Tag.to_string tag) n)
+      sorted
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Show document and clustering statistics.")
+    Term.(const run $ common_store_term)
+
+(* --- explain ----------------------------------------------------------------- *)
+
+let explain_cmd =
+  let run path_str choice rewrite store =
+    let path = Path.from_root_element (Xpath_parser.parse path_str) in
+    let path, plan = Compile.plan_for ~choice ~rewrite store path in
+    Format.printf "path:     %s@." (Path.to_string path);
+    Format.printf "estimate: %a@." Compile.pp_estimate (Compile.estimate store path);
+    Format.printf "chosen:   %s@.@.%a@." (Plan.name plan) Plan.explain (path, plan)
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the compiled plan and cost estimate for a path.")
+    Term.(const run $ path_arg $ plan_choice $ rewrite_flag $ common_store_term)
+
+(* --- query ---------------------------------------------------------------------- *)
+
+let query_cmd =
+  let k_arg =
+    Arg.(value & opt int 100 & info [ "k" ] ~docv:"N" ~doc:"XSchedule queue minimum.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int 1_000_000
+      & info [ "memory-budget" ] ~docv:"N" ~doc:"Max speculative instances before fallback.")
+  in
+  let run path_str choice rewrite k budget verbose store =
+    let query = Query.from_root_element (Xpath_parser.parse_query path_str) in
+    let config = { Context.default_config with Context.k; memory_budget = budget } in
+    let print_nodes nodes =
+      if verbose then
+        List.iter
+          (fun (i : Store.info) ->
+            Format.printf "  %a  %a  %a@." Xnav_store.Node_id.pp i.Store.id Xnav_xml.Tag.pp
+              i.Store.tag Xnav_xml.Ordpath.pp i.Store.ordpath)
+          nodes
+    in
+    match query with
+    | [ branch ] when not (Query.has_predicates query) ->
+      (* A plain path: the full reordered machinery with metrics. *)
+      let path = Query.trunk branch in
+      let path, plan = Compile.plan_for ~choice ~rewrite store path in
+      let result = Exec.cold_run ~config store path plan in
+      Printf.printf "plan:  %s\n" (Plan.name plan);
+      Printf.printf "count: %d\n" result.Exec.count;
+      print_nodes result.Exec.nodes;
+      Format.printf "%a@." Exec.pp_metrics result.Exec.metrics
+    | _ ->
+      let result = Query_exec.run ~choice ~config ~cold:true store query in
+      Printf.printf "plan:  hybrid (%d trunk segments, %d predicate checks)\n"
+        result.Query_exec.segments result.Query_exec.predicate_checks;
+      Printf.printf "count: %d\n" result.Query_exec.count;
+      print_nodes result.Query_exec.nodes;
+      Printf.printf "total %.4fs (io %.4fs, cpu %.4fs)\n" result.Query_exec.total_time
+        result.Query_exec.io_time result.Query_exec.cpu_time
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate a location path or extended query with cost metrics.")
+    Term.(
+      const run $ path_arg $ plan_choice $ rewrite_flag $ k_arg $ budget $ verbose
+      $ common_store_term)
+
+(* --- export ----------------------------------------------------------------------- *)
+
+let export_cmd =
+  let output =
+    Arg.(
+      required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"XML output.")
+  in
+  let nav = Arg.(value & flag & info [ "navigate" ] ~doc:"Export by navigation, not by scan.") in
+  let run output nav store =
+    let tree = Export.document ~scan:(not nav) store in
+    Xml_writer.to_file ~declaration:true output tree;
+    Printf.printf "exported %d elements to %s (%s)\n" (Tree.size tree) output
+      (if nav then "navigational" else "sequential scan")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Serialise a stored document back to XML.")
+    Term.(const run $ output $ nav $ common_store_term)
+
+(* --- main ------------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "xnav" ~version:"1.0.0"
+      ~doc:"Cost-sensitive reordering of navigational primitives for XPath."
+  in
+  exit
+    (Cmd.eval (Cmd.group info [ gen_cmd; import_cmd; stats_cmd; explain_cmd; query_cmd; export_cmd ]))

@@ -1,0 +1,1 @@
+examples/async_io_demo.ml: List Printf String Xnav_core Xnav_storage Xnav_store Xnav_xmark Xnav_xml Xnav_xpath

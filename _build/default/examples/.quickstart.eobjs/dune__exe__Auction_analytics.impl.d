@@ -1,0 +1,1 @@
+examples/auction_analytics.ml: Float Format List Printf Xnav_core Xnav_storage Xnav_store Xnav_xmark Xnav_xpath

@@ -1,0 +1,1 @@
+examples/clustering_lab.ml: Float List Printf Xnav_core Xnav_storage Xnav_store Xnav_xmark Xnav_xpath

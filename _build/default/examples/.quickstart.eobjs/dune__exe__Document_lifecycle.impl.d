@@ -1,0 +1,1 @@
+examples/document_lifecycle.ml: Filename List Printf Sys Xnav_core Xnav_storage Xnav_store Xnav_xml Xnav_xpath

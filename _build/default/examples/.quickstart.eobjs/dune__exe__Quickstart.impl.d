@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf Xnav_core Xnav_storage Xnav_store Xnav_xml Xnav_xpath

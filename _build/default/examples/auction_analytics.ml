@@ -1,0 +1,64 @@
+(* Auction analytics: the XMark workload end to end, with the cost-based
+   plan chooser deciding between XSchedule and XScan per query — the
+   "cost model to support the choice of the I/O-performing operator" the
+   paper names as future work.
+
+   Run with: dune exec examples/auction_analytics.exe *)
+
+module Disk = Xnav_storage.Disk
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Import = Xnav_store.Import
+module Store = Xnav_store.Store
+module Path = Xnav_xpath.Path
+module Xpath_parser = Xnav_xpath.Xpath_parser
+module Plan = Xnav_core.Plan
+module Compile = Xnav_core.Compile
+module Exec = Xnav_core.Exec
+module Xmark = Xnav_xmark.Gen
+
+let parse s = Path.from_root_element (Xpath_parser.parse s)
+
+let analytics =
+  [
+    ("auction volume", "/site/closed_auctions/closed_auction/price");
+    ("open bids", "/site/open_auctions/open_auction/bidder/increase");
+    ("all prose markup", "/site//keyword");
+    ("european items", "/site/regions/europe/item/name");
+    ("buyer references", "//closed_auction/buyer");
+    ("interests of people", "/site/people/person/profile/interest");
+    ("deep annotation keywords", Xnav_xmark.Queries.q15.Xnav_xmark.Queries.description);
+  ]
+
+let () =
+  let config = { Xmark.default_config with Xmark.fidelity = 0.03 } in
+  Printf.printf "generating XMark document (scale %.2f, fidelity %.2f)...\n" config.Xmark.scale
+    config.Xmark.fidelity;
+  let doc = Xmark.generate ~config () in
+  let disk = Disk.create () in
+  let import = Import.run disk doc in
+  let buffer = Buffer_manager.create ~capacity:128 disk in
+  let store = Store.attach buffer import in
+  Printf.printf "%d elements on %d pages\n\n" import.Import.node_count import.Import.page_count;
+
+  Printf.printf "%-26s %-14s %8s %10s %10s %8s\n" "query" "plan (auto)" "count" "total[s]"
+    "io[s]" "cpu%%";
+  List.iter
+    (fun (label, path_str) ->
+      let path = parse path_str in
+      let plan = Compile.compile store path in
+      let r = Exec.cold_run ~ordered:false store path plan in
+      let m = r.Exec.metrics in
+      Printf.printf "%-26s %-14s %8d %10.4f %10.4f %7.0f%%\n" label (Plan.name plan) r.Exec.count
+        m.Exec.total_time m.Exec.io_time
+        (100. *. m.Exec.cpu_time /. Float.max 1e-9 m.Exec.total_time))
+    analytics;
+
+  (* Compare the chooser's pick against the alternatives on one query. *)
+  let path = parse "/site//keyword" in
+  Printf.printf "\nplan comparison for /site//keyword:\n";
+  List.iter
+    (fun plan ->
+      let r = Exec.cold_run ~ordered:false store path plan in
+      Printf.printf "  %-15s %.4fs\n" (Plan.name plan) r.Exec.metrics.Exec.total_time)
+    [ Plan.simple; Plan.xschedule ~speculative:false (); Plan.xscan () ];
+  Format.printf "\ncost model said: %a@." Compile.pp_estimate (Compile.estimate store path)

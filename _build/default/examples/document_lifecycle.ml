@@ -1,0 +1,74 @@
+(* Document lifecycle: everything a downstream user does with the
+   library, end to end — parse, cluster, query (with predicates),
+   update in place, persist, reload, export.
+
+   Run with: dune exec examples/document_lifecycle.exe *)
+
+module Tree = Xnav_xml.Tree
+module Tag = Xnav_xml.Tag
+module Xml_parser = Xnav_xml.Xml_parser
+module Disk = Xnav_storage.Disk
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Import = Xnav_store.Import
+module Store = Xnav_store.Store
+module Update = Xnav_store.Update
+module Export = Xnav_store.Export
+module Image = Xnav_store.Image
+module Query = Xnav_xpath.Query
+module Xpath_parser = Xnav_xpath.Xpath_parser
+module Query_exec = Xnav_core.Query_exec
+
+let () =
+  (* 1. Parse an XML document (a small bug tracker). *)
+  let xml =
+    "<tracker>\
+     <project><name/><bug><status/><severity/><comment/></bug>\
+     <bug><status/><comment/><comment/></bug></project>\
+     <project><name/><bug><status/><severity/></bug></project>\
+     </tracker>"
+  in
+  let doc = Xml_parser.parse_string xml in
+  Printf.printf "parsed %d elements\n" (Tree.size doc);
+
+  (* 2. Cluster onto a (simulated) disk. *)
+  let disk = Disk.create ~config:{ Disk.default_config with Disk.page_size = 512 } () in
+  let import = Import.run disk doc in
+  let buffer = Buffer_manager.create ~capacity:32 disk in
+  let store = Store.attach buffer import in
+  Printf.printf "clustered onto %d pages\n" import.Import.page_count;
+
+  (* 3. Query with a predicate: bugs that have a severity. *)
+  let query = Xpath_parser.parse_query "//bug[severity]" in
+  let r = Query_exec.run ~cold:true store query in
+  Printf.printf "//bug[severity] -> %d of %d bugs\n" r.Query_exec.count
+    (Query_exec.run ~cold:true store (Xpath_parser.parse_query "//bug")).Query_exec.count;
+
+  (* 4. Update in place: file a new bug with two comments, close an old
+     one (delete it). *)
+  let projects = r.Query_exec.nodes in
+  ignore projects;
+  let first_project =
+    match (Query_exec.run ~cold:false store (Xpath_parser.parse_query "/project")).Query_exec.nodes with
+    | p :: _ -> p.Store.id
+    | [] -> failwith "no project"
+  in
+  let new_bug =
+    Tree.elt "bug" [ Tree.elt "status" []; Tree.elt "severity" []; Tree.elt "comment" [] ]
+  in
+  ignore (Update.insert_tree store ~parent:first_project new_bug);
+  (match (Query_exec.run ~cold:false store (Xpath_parser.parse_query "//bug[not(severity)]")).Query_exec.nodes with
+  | victim :: _ ->
+    let removed = Update.delete_subtree store victim.Store.id in
+    Printf.printf "deleted a severity-less bug (%d nodes)\n" removed
+  | [] -> ());
+  Printf.printf "after updates: %d elements\n" (Store.node_count store);
+
+  (* 5. Persist, reload, and export. *)
+  let path = Filename.temp_file "lifecycle" ".xnav" in
+  Image.save path [ store ];
+  let reloaded = List.hd (Image.load ~capacity:32 path) in
+  Printf.printf "persisted and reloaded: %d elements on %d pages\n"
+    (Store.node_count reloaded) (Store.page_count reloaded);
+  print_endline "exported document:";
+  print_endline (Export.to_xml reloaded (Store.root reloaded));
+  Sys.remove path

@@ -1,0 +1,1 @@
+lib/core/compile.ml: Format List Plan Xnav_storage Xnav_store Xnav_xpath

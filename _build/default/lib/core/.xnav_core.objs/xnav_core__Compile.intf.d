@@ -1,0 +1,1 @@
+lib/core/compile.mli: Format Plan Xnav_store Xnav_xpath

@@ -1,0 +1,1 @@
+lib/core/eval_store.ml: List Xnav_store Xnav_xml Xnav_xpath

@@ -1,0 +1,1 @@
+lib/core/eval_store.mli: Xnav_store Xnav_xpath

@@ -1,0 +1,1 @@
+lib/core/exec.ml: Context Format List Plan Printf Sys Unnest_map Xassembly Xnav_storage Xnav_store Xnav_xml Xnav_xpath Xscan Xschedule Xstep

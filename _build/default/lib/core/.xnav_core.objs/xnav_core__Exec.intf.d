@@ -1,0 +1,1 @@
+lib/core/exec.mli: Context Format Plan Xnav_store Xnav_xpath

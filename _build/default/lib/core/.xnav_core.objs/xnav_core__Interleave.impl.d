@@ -1,0 +1,1 @@
+lib/core/interleave.ml: Array Exec List Printf Sys Xnav_storage Xnav_store Xnav_xml

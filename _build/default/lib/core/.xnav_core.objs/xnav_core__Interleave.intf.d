@@ -1,0 +1,1 @@
+lib/core/interleave.mli: Context Plan Xnav_store Xnav_xpath

@@ -1,0 +1,1 @@
+lib/core/multi.ml: Array Context Exec List Path_instance Plan Queue Sys Xassembly Xnav_storage Xnav_store Xnav_xml Xnav_xpath Xstep

@@ -1,0 +1,1 @@
+lib/core/multi.mli: Context Xnav_store Xnav_xpath

@@ -1,0 +1,1 @@
+lib/core/path_instance.ml: Format Xnav_store

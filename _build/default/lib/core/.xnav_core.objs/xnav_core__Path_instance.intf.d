@@ -1,0 +1,1 @@
+lib/core/path_instance.mli: Format Xnav_store

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Format List String Xnav_xpath

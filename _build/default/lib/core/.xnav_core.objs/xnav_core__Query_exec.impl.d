@@ -1,0 +1,1 @@
+lib/core/query_exec.ml: Compile Exec List Sys Xnav_storage Xnav_store Xnav_xml Xnav_xpath

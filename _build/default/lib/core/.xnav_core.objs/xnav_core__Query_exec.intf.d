@@ -1,0 +1,1 @@
+lib/core/query_exec.mli: Compile Context Xnav_store Xnav_xpath

@@ -1,0 +1,1 @@
+lib/core/unnest_map.ml: Context Xnav_store Xnav_xpath

@@ -1,0 +1,1 @@
+lib/core/xassembly.ml: Array Context List Option Path_instance Printf Queue Xnav_store Xschedule

@@ -1,0 +1,1 @@
+lib/core/xassembly.mli: Context Path_instance Xnav_store Xschedule

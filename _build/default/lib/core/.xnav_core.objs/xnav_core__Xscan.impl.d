@@ -1,0 +1,1 @@
+lib/core/xscan.ml: Context List Path_instance Printf Queue Xnav_store

@@ -1,0 +1,1 @@
+lib/core/xscan.mli: Context Path_instance Xnav_store

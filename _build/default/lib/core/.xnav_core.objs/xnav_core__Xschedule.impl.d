@@ -1,0 +1,1 @@
+lib/core/xschedule.ml: Context Hashtbl List Path_instance Printf Queue Xnav_storage Xnav_store

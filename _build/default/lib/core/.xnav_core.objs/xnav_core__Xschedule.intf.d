@@ -1,0 +1,1 @@
+lib/core/xschedule.mli: Context Path_instance Xnav_store

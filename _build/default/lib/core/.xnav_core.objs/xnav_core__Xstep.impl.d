@@ -1,0 +1,1 @@
+lib/core/xstep.ml: Context Path_instance Printf Xnav_store Xnav_xpath

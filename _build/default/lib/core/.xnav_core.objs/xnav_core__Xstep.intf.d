@@ -1,0 +1,1 @@
+lib/core/xstep.mli: Context Path_instance Xnav_xpath

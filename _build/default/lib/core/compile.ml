@@ -1,0 +1,95 @@
+module Store = Xnav_store.Store
+module Path = Xnav_xpath.Path
+module Disk = Xnav_storage.Disk
+module Buffer_manager = Xnav_storage.Buffer_manager
+
+type choice = Auto | Force_simple | Force_schedule | Force_scan
+
+type estimate = {
+  touched_nodes : int;
+  est_pages : int;
+  cost_simple : float;
+  cost_schedule : float;
+  cost_scan : float;
+}
+
+(* CPU cost constants (seconds per unit); rough but only their order of
+   magnitude matters for regime separation. *)
+let cpu_per_node = 2e-6
+let cpu_per_spec = 1e-6
+
+let estimate store path =
+  let node_count = max 1 (Store.node_count store) in
+  let page_count = max 1 (Store.page_count store) in
+  let config = Disk.config (Buffer_manager.disk (Store.buffer store)) in
+  let random_cost =
+    (* An average random fetch: half-stroke seek + rotation + transfer. *)
+    (config.Disk.seek_max /. 2.) +. config.Disk.rotational +. config.Disk.transfer
+  in
+  let touched_nodes =
+    match Store.doc_stats store with
+    | Some stats ->
+      (* Frontier propagation over the parent/child synopsis — far
+         tighter than the per-tag upper bound. *)
+      let per_step = Xnav_store.Doc_stats.estimate_path stats path in
+      int_of_float (ceil (List.fold_left ( +. ) 0.0 per_step))
+      |> min (node_count * Path.length path)
+      |> max 1
+    | None ->
+      let step_cardinality (s : Path.step) =
+        match s.Path.test with
+        | Path.Name tag -> Store.tag_count store tag
+        | Path.Wildcard | Path.Any_node -> node_count
+      in
+      List.fold_left (fun acc s -> acc + step_cardinality s) 0 path
+      |> min (node_count * Path.length path)
+  in
+  (* Assume touched nodes occupy their proportional share of the pages. *)
+  let est_pages =
+    min page_count
+      (int_of_float (ceil (float_of_int touched_nodes /. float_of_int node_count *. float_of_int page_count)))
+    |> max 1
+  in
+  let touched = float_of_int touched_nodes in
+  let cost_scan =
+    (float_of_int page_count *. config.Disk.transfer)
+    +. (float_of_int node_count *. float_of_int (Path.length path) *. cpu_per_spec)
+    +. (touched *. cpu_per_node)
+  in
+  let cost_schedule =
+    (* Asynchronous reordering roughly halves the per-page random cost. *)
+    (float_of_int est_pages *. random_cost /. 2.) +. (touched *. cpu_per_node)
+  in
+  let cost_simple =
+    (* Every step re-fetches its share of pages at full random cost. *)
+    (float_of_int est_pages *. random_cost) +. (touched *. cpu_per_node)
+  in
+  { touched_nodes; est_pages; cost_simple; cost_schedule; cost_scan }
+
+let compile ?(choice = Auto) ?(context_is_root = true) store path =
+  let downward = Path.is_downward path in
+  let dslash = context_is_root && Path.starts_with_descendant_any path in
+  match choice with
+  | Force_simple -> Plan.simple
+  | Force_schedule ->
+    if not downward then
+      invalid_arg "Compile: XSchedule plans require downward axes only";
+    Plan.xschedule ()
+  | Force_scan ->
+    if not downward then invalid_arg "Compile: XScan plans require downward axes only";
+    Plan.xscan ~dslash ()
+  | Auto ->
+    if not downward then Plan.simple
+    else begin
+      let e = estimate store path in
+      if e.cost_scan < e.cost_schedule then Plan.xscan ~dslash () else Plan.xschedule ()
+    end
+
+let plan_for ?choice ?(rewrite = false) ?context_is_root store path =
+  let path = if rewrite then Xnav_xpath.Rewrite.normalize path else path in
+  (path, compile ?choice ?context_is_root store path)
+
+let pp_estimate ppf e =
+  Format.fprintf ppf
+    "touched~%d pages~%d | simple %.4fs, xschedule %.4fs, xscan %.4fs" e.touched_nodes
+    e.est_pages e.cost_simple e.cost_schedule e.cost_scan

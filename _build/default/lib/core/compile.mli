@@ -1,0 +1,64 @@
+(** Plan compilation, including the cost model the paper leaves as
+    future work ("a cost model to support the choice of the
+    I/O-performing operator", Sec. 7).
+
+    The model estimates, from the document statistics collected at
+    import time (tag counts, node count, page count) and the disk's cost
+    parameters:
+
+    - [cost_scan]: one sequential pass over all pages plus the CPU spent
+      generating and maintaining speculative instances (proportional to
+      nodes x steps);
+    - [cost_schedule]: the touched nodes' proportional share of the
+      document's pages fetched at (scheduler-discounted) random-access
+      cost;
+    - [cost_simple]: the same page share fetched at full random cost,
+      once per step that reaches it (no batching, no reordering).
+
+    When the store carries the import-time path synopsis
+    ({!Xnav_store.Doc_stats}), touched-node counts come from frontier
+    propagation over parent/child tag-pair statistics; otherwise a crude
+    per-tag upper bound is used. Either way the model separates the
+    regimes the paper's evaluation exhibits: low-selectivity paths (Q7)
+    go to XScan, selective paths (Q15) to XSchedule. *)
+
+type choice = Auto | Force_simple | Force_schedule | Force_scan
+
+type estimate = {
+  touched_nodes : int;  (** Upper bound on nodes enumerated by the steps. *)
+  est_pages : int;  (** Estimated distinct clusters a schedule plan loads. *)
+  cost_simple : float;
+  cost_schedule : float;
+  cost_scan : float;
+}
+
+val estimate : Xnav_store.Store.t -> Xnav_xpath.Path.t -> estimate
+
+val compile :
+  ?choice:choice ->
+  ?context_is_root:bool ->
+  Xnav_store.Store.t ->
+  Xnav_xpath.Path.t ->
+  Plan.t
+(** [compile store path] picks a plan. Paths with non-downward axes
+    always compile to the Simple method (the physical cursors cover the
+    downward axes; see {!Xnav_xml.Axis.is_downward}). [context_is_root]
+    (default [true]) enables the [//] optimisation on scan plans.
+
+    @raise Invalid_argument if [Force_schedule]/[Force_scan] is requested
+    for a non-downward path. *)
+
+val plan_for :
+  ?choice:choice ->
+  ?rewrite:bool ->
+  ?context_is_root:bool ->
+  Xnav_store.Store.t ->
+  Xnav_xpath.Path.t ->
+  Xnav_xpath.Path.t * Plan.t
+(** Like {!compile}, optionally running the logical normaliser
+    ({!Xnav_xpath.Rewrite.normalize}) first — requirement 4 of the paper:
+    physical reordering composes with orthogonal logical optimisation.
+    Returns the (possibly rewritten) path together with its plan; execute
+    that path, not the original. *)
+
+val pp_estimate : Format.formatter -> estimate -> unit

@@ -1,0 +1,60 @@
+type config = {
+  k : int;
+  speculative : bool;
+  memory_budget : int;
+  dedup_intermediate : bool;
+}
+
+let default_config =
+  { k = 100; speculative = true; memory_budget = 1_000_000; dedup_intermediate = true }
+
+type mode = Normal | Fallback
+
+type counters = {
+  mutable instances : int;
+  mutable crossings : int;
+  mutable specs_created : int;
+  mutable specs_resolved : int;
+  mutable s_peak : int;
+  mutable q_peak : int;
+  mutable clusters_visited : int;
+  mutable fallbacks : int;
+}
+
+type t = {
+  store : Xnav_store.Store.t;
+  config : config;
+  mutable mode : mode;
+  counters : counters;
+  mutable trace : (string -> unit) option;
+}
+
+let create ?(config = default_config) store =
+  {
+    store;
+    config;
+    mode = Normal;
+    trace = None;
+    counters =
+      {
+        instances = 0;
+        crossings = 0;
+        specs_created = 0;
+        specs_resolved = 0;
+        s_peak = 0;
+        q_peak = 0;
+        clusters_visited = 0;
+        fallbacks = 0;
+      };
+  }
+
+let enter_fallback t =
+  match t.mode with
+  | Fallback -> ()
+  | Normal ->
+    t.mode <- Fallback;
+    t.counters.fallbacks <- t.counters.fallbacks + 1
+
+let fallback t = t.mode = Fallback
+
+let emit t msg = match t.trace with None -> () | Some f -> f (msg ())

@@ -1,0 +1,65 @@
+(** Shared execution state of one plan run: configuration, the
+    normal/fallback mode switch, and operator-level counters.
+
+    One [Context.t] is created per plan execution and threaded through
+    every operator. The [mode] reference implements the paper's fallback
+    protocol (Sec. 5.4.6): when XAssembly's speculative store [S]
+    outgrows [memory_budget], it flips the mode once, and every operator
+    checks it on its next call — XStep stops honouring cluster borders,
+    XScan restarts as the identity, XAssembly degenerates to duplicate
+    elimination. *)
+
+type config = {
+  k : int;
+      (** Desired minimum size of XSchedule's queue [Q] — "enough
+          scheduling alternatives for the asynchronous I/O subsystem"
+          (paper default: 100). *)
+  speculative : bool;
+      (** Whether XSchedule generates left-incomplete instances to avoid
+          revisiting clusters (Sec. 5.4.4). XScan always speculates. *)
+  memory_budget : int;
+      (** Maximum number of instances held in [S] before the run falls
+          back to the simple method. *)
+  dedup_intermediate : bool;
+      (** Simple plans only: eliminate duplicates after every step rather
+          than only at the end (the [14]-style refinement the paper
+          cites). *)
+}
+
+val default_config : config
+(** [k = 100], speculation on, a 1M-instance budget, intermediate
+    duplicate elimination on. *)
+
+type mode = Normal | Fallback
+
+type counters = {
+  mutable instances : int;  (** Path instances created. *)
+  mutable crossings : int;  (** Inter-cluster edges encountered by XStep. *)
+  mutable specs_created : int;  (** Left-incomplete instances generated. *)
+  mutable specs_resolved : int;  (** Speculations whose left end became reachable. *)
+  mutable s_peak : int;  (** High-water mark of |S|. *)
+  mutable q_peak : int;  (** High-water mark of |Q|. *)
+  mutable clusters_visited : int;  (** Clusters made current by an I/O operator. *)
+  mutable fallbacks : int;
+}
+
+type t = {
+  store : Xnav_store.Store.t;
+  config : config;
+  mutable mode : mode;
+  counters : counters;
+  mutable trace : (string -> unit) option;
+      (** Optional operator-event sink (cluster visits, crossings,
+          results); used to render the paper's Example 6/7 traces. *)
+}
+
+val create : ?config:config -> Xnav_store.Store.t -> t
+
+val enter_fallback : t -> unit
+(** Switch to fallback mode (idempotent; counted once). *)
+
+val fallback : t -> bool
+
+val emit : t -> (unit -> string) -> unit
+(** Send an event to the trace sink, if any (the thunk is only forced
+    when tracing is on). *)

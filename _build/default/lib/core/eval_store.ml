@@ -1,0 +1,30 @@
+module Store = Xnav_store.Store
+module Node_id = Xnav_store.Node_id
+module Path = Xnav_xpath.Path
+
+let eval store context path =
+  let step acc (s : Path.step) =
+    let seen = ref Node_id.Set.empty in
+    let out = ref [] in
+    List.iter
+      (fun (inf : Store.info) ->
+        let next = Store.global_axis store s.axis inf.id in
+        let rec drain () =
+          match next () with
+          | None -> ()
+          | Some (result : Store.info) ->
+            if Path.matches s.test result.tag && not (Node_id.Set.mem result.id !seen) then begin
+              seen := Node_id.Set.add result.id !seen;
+              out := result :: !out
+            end;
+            drain ()
+        in
+        drain ())
+      acc;
+    List.sort
+      (fun (a : Store.info) (b : Store.info) -> Xnav_xml.Ordpath.compare a.ordpath b.ordpath)
+      !out
+  in
+  List.fold_left step [ Store.info store context ] path
+
+let count store context path = List.length (eval store context path)

@@ -1,0 +1,14 @@
+(** Reference evaluator over the clustered store.
+
+    The same node-set semantics as {!Eval_ref}, but computed through
+    {!Xnav_store.Store.global_axis} — i.e. navigating the physical
+    representation with synchronous border-transparent primitives. It
+    serves two roles: an independent oracle proving that the physical
+    representation faithfully encodes the document, and a baseline for
+    what a logical-only evaluator costs on clustered storage. *)
+
+val eval : Xnav_store.Store.t -> Xnav_store.Node_id.t -> Xnav_xpath.Path.t -> Xnav_store.Store.info list
+(** [eval store context path] is the result list in document order
+    (by ordpath), without duplicates. *)
+
+val count : Xnav_store.Store.t -> Xnav_store.Node_id.t -> Xnav_xpath.Path.t -> int

@@ -1,0 +1,185 @@
+module Store = Xnav_store.Store
+module Node_id = Xnav_store.Node_id
+module Path = Xnav_xpath.Path
+module Disk = Xnav_storage.Disk
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Ordpath = Xnav_xml.Ordpath
+
+type metrics = {
+  io_time : float;
+  cpu_time : float;
+  total_time : float;
+  page_reads : int;
+  sequential_reads : int;
+  random_reads : int;
+  seek_distance : int;
+  buffer_lookups : int;
+  buffer_hits : int;
+  buffer_misses : int;
+  async_reads : int;
+  instances : int;
+  crossings : int;
+  specs_created : int;
+  specs_resolved : int;
+  s_peak : int;
+  q_peak : int;
+  clusters_visited : int;
+  fell_back : bool;
+}
+
+type result = { nodes : Store.info list; count : int; metrics : metrics }
+
+let of_list items =
+  let remaining = ref items in
+  fun () ->
+    match !remaining with
+    | [] -> None
+    | x :: rest ->
+      remaining := rest;
+      Some x
+
+(* Build the result iterator for [plan]. *)
+let pipeline ctx store path plan contexts =
+  let path_len = Path.length path in
+  match (plan : Plan.t) with
+  | Plan.Simple { dedup_intermediate } ->
+    let infos = List.map (fun id -> Store.info store id) contexts in
+    let producer =
+      List.fold_left
+        (fun producer step -> Unnest_map.create ctx ~step ~dedup:dedup_intermediate producer)
+        (of_list infos) path
+    in
+    producer
+  | Plan.Reordered { io; dslash } ->
+    if not (Path.is_downward path) then
+      invalid_arg "Exec.run: reordered plans require downward axes only";
+    let chain base =
+      List.fold_left
+        (fun (producer, i) step -> (Xstep.create ctx ~i ~step producer, i + 1))
+        (base, 1) path
+      |> fst
+    in
+    (match io with
+    | Plan.Io_schedule _ ->
+      let sched = Xschedule.create ctx ~path_len ~contexts:(of_list contexts) in
+      let top = chain (fun () -> Xschedule.next sched) in
+      Xassembly.create ctx ~path_len ~xschedule:(Some sched) ~dslash:false top
+    | Plan.Io_scan ->
+      let sorted = List.sort Node_id.compare contexts in
+      let scan = Xscan.create ctx ~path_len ~contexts:(fun () -> of_list sorted) in
+      let top = chain (fun () -> Xscan.next scan) in
+      Xassembly.create ctx ~path_len ~xschedule:None ~dslash top)
+
+let run ?config ?contexts ?trace ?(ordered = true) store path plan =
+  if path = [] then invalid_arg "Exec.run: empty path";
+  let contexts = match contexts with Some c -> c | None -> [ Store.root store ] in
+  let config =
+    match (config, plan) with
+    | Some c, _ -> c
+    | None, Plan.Reordered { io = Plan.Io_schedule { speculative }; _ } ->
+      { Context.default_config with Context.speculative }
+    | None, _ -> Context.default_config
+  in
+  let ctx = Context.create ~config store in
+  ctx.Context.trace <- trace;
+  let buffer = Store.buffer store in
+  let disk = Buffer_manager.disk buffer in
+  let disk_before = Disk.stats disk in
+  let io_before = Disk.elapsed disk in
+  let buf_before = Buffer_manager.stats buffer in
+  let cpu_before = Sys.time () in
+
+  let next = pipeline ctx store path plan contexts in
+  let rec drain acc = match next () with None -> List.rev acc | Some info -> drain (info :: acc) in
+  let nodes = drain [] in
+
+  let cpu_time = Sys.time () -. cpu_before in
+  let io_time = Disk.elapsed disk -. io_before in
+  let disk_after = Disk.stats disk in
+  let buf_after = Buffer_manager.stats buffer in
+  let pinned = Buffer_manager.pinned_count buffer in
+  if pinned <> 0 then failwith (Printf.sprintf "Exec.run: %d pages left pinned" pinned);
+
+  (* Final duplicate elimination (reordered plans are already
+     duplicate-free through R, but the Simple method needs it, Sec. 5.1)
+     and re-established document order (Sec. 5.5). *)
+  let nodes =
+    let seen = Node_id.Tbl.create 256 in
+    List.filter
+      (fun (i : Store.info) ->
+        if Node_id.Tbl.mem seen i.id then false
+        else begin
+          Node_id.Tbl.replace seen i.id ();
+          true
+        end)
+      nodes
+  in
+  let nodes =
+    if ordered then
+      List.sort (fun (a : Store.info) b -> Ordpath.compare a.ordpath b.ordpath) nodes
+    else nodes
+  in
+  let c = ctx.Context.counters in
+  {
+    nodes;
+    count = List.length nodes;
+    metrics =
+      {
+        io_time;
+        cpu_time;
+        total_time = io_time +. cpu_time;
+        page_reads = disk_after.Disk.reads - disk_before.Disk.reads;
+        sequential_reads = disk_after.Disk.sequential_reads - disk_before.Disk.sequential_reads;
+        random_reads = disk_after.Disk.random_reads - disk_before.Disk.random_reads;
+        seek_distance = disk_after.Disk.seek_distance - disk_before.Disk.seek_distance;
+        buffer_lookups = buf_after.Buffer_manager.lookups - buf_before.Buffer_manager.lookups;
+        buffer_hits = buf_after.Buffer_manager.hits - buf_before.Buffer_manager.hits;
+        buffer_misses = buf_after.Buffer_manager.misses - buf_before.Buffer_manager.misses;
+        async_reads = buf_after.Buffer_manager.async_reads - buf_before.Buffer_manager.async_reads;
+        instances = c.Context.instances;
+        crossings = c.Context.crossings;
+        specs_created = c.Context.specs_created;
+        specs_resolved = c.Context.specs_resolved;
+        s_peak = c.Context.s_peak;
+        q_peak = c.Context.q_peak;
+        clusters_visited = c.Context.clusters_visited;
+        fell_back = Context.fallback ctx;
+      };
+  }
+
+type stream = { next : unit -> Store.info option; stream_ctx : Context.t }
+
+let prepare ?config ?contexts ?trace store path plan =
+  if path = [] then invalid_arg "Exec.prepare: empty path";
+  let contexts = match contexts with Some c -> c | None -> [ Store.root store ] in
+  let config =
+    match (config, plan) with
+    | Some c, _ -> c
+    | None, Plan.Reordered { io = Plan.Io_schedule { speculative }; _ } ->
+      { Context.default_config with Context.speculative }
+    | None, _ -> Context.default_config
+  in
+  let ctx = Context.create ~config store in
+  ctx.Context.trace <- trace;
+  { next = pipeline ctx store path plan contexts; stream_ctx = ctx }
+
+let stream_next stream = stream.next ()
+let stream_fell_back stream = Context.fallback stream.stream_ctx
+
+let cold_run ?config ?contexts ?trace ?ordered store path plan =
+  let buffer = Store.buffer store in
+  Buffer_manager.reset buffer;
+  Disk.reset_clock (Buffer_manager.disk buffer);
+  run ?config ?contexts ?trace ?ordered store path plan
+
+let pp_metrics ppf m =
+  Format.fprintf ppf
+    "@[<v>total %.4fs (io %.4fs, cpu %.4fs)@,\
+     reads %d (seq %d, rnd %d, seek-dist %d), async %d@,\
+     buffer: lookups %d hits %d misses %d@,\
+     instances %d crossings %d specs %d/%d (S peak %d, Q peak %d)@,\
+     clusters visited %d%s@]"
+    m.total_time m.io_time m.cpu_time m.page_reads m.sequential_reads m.random_reads
+    m.seek_distance m.async_reads m.buffer_lookups m.buffer_hits m.buffer_misses m.instances
+    m.crossings m.specs_created m.specs_resolved m.s_peak m.q_peak m.clusters_visited
+    (if m.fell_back then " [fell back]" else "")

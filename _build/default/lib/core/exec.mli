@@ -1,0 +1,99 @@
+(** Plan execution: builds the operator pipeline for a plan, drains it,
+    and reports results plus the full cost breakdown.
+
+    Timing model: [io_time] is the simulated disk clock consumed by the
+    run (deterministic, from the {!Xnav_storage.Disk} cost model) and
+    [cpu_time] is measured process CPU time; [total_time] is their sum.
+    This mirrors the paper's Table 3, which reports total and CPU time
+    separately — with the difference that our I/O seconds come from a
+    reproducible simulator rather than a wall clock. *)
+
+type metrics = {
+  io_time : float;
+  cpu_time : float;
+  total_time : float;
+  page_reads : int;
+  sequential_reads : int;
+  random_reads : int;
+  seek_distance : int;
+  buffer_lookups : int;
+  buffer_hits : int;
+  buffer_misses : int;
+  async_reads : int;
+  instances : int;
+  crossings : int;
+  specs_created : int;
+  specs_resolved : int;
+  s_peak : int;
+  q_peak : int;
+  clusters_visited : int;
+  fell_back : bool;
+}
+
+type result = {
+  nodes : Xnav_store.Store.info list;
+      (** Result nodes, duplicate-free; in document order unless
+          [ordered:false]. *)
+  count : int;
+  metrics : metrics;
+}
+
+val run :
+  ?config:Context.config ->
+  ?contexts:Xnav_store.Node_id.t list ->
+  ?trace:(string -> unit) ->
+  ?ordered:bool ->
+  Xnav_store.Store.t ->
+  Xnav_xpath.Path.t ->
+  Plan.t ->
+  result
+(** [run store path plan] evaluates [path] from [contexts] (default: the
+    document root). [ordered] (default [true]) re-establishes document
+    order by sorting on ordpaths (Sec. 5.5) — pass [false] for
+    aggregates like [count()] where order is irrelevant.
+
+    @raise Invalid_argument if [path] is empty, or a reordered plan is
+    requested for a path with non-downward axes.
+
+    The buffer pool is left warm; callers wanting the paper's cold-cache
+    regime reset the buffer and disk clock first (see {!cold_run}). *)
+
+type stream
+(** A prepared, lazily evaluated plan: results are pulled one at a time.
+    Streams make interleaved (concurrent) execution possible — see
+    {!Interleave}. *)
+
+val prepare :
+  ?config:Context.config ->
+  ?contexts:Xnav_store.Node_id.t list ->
+  ?trace:(string -> unit) ->
+  Xnav_store.Store.t ->
+  Xnav_xpath.Path.t ->
+  Plan.t ->
+  stream
+(** Build the operator pipeline without draining it. The stream shares
+    the store's buffer pool and asynchronous I/O queue with any other
+    live stream — concurrent streams' requests merge in the scheduler,
+    which is exactly the multi-query benefit the paper's outlook
+    anticipates. *)
+
+val stream_next : stream -> Xnav_store.Store.info option
+(** The next result node (duplicate-free for reordered plans; the Simple
+    plan may repeat nodes unless intermediate dedup is on — {!run}
+    deduplicates at the end). [None] is final. *)
+
+val stream_fell_back : stream -> bool
+
+val cold_run :
+  ?config:Context.config ->
+  ?contexts:Xnav_store.Node_id.t list ->
+  ?trace:(string -> unit) ->
+  ?ordered:bool ->
+  Xnav_store.Store.t ->
+  Xnav_xpath.Path.t ->
+  Plan.t ->
+  result
+(** {!run} preceded by a buffer reset and disk-clock reset — each
+    measurement starts cold, as in the paper's setup (Sec. 6.1). *)
+
+val pp_metrics : Format.formatter -> metrics -> unit

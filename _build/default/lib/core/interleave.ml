@@ -1,0 +1,85 @@
+module Store = Xnav_store.Store
+module Node_id = Xnav_store.Node_id
+module Disk = Xnav_storage.Disk
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Ordpath = Xnav_xml.Ordpath
+
+type query_result = { count : int; nodes : Store.info list; fell_back : bool }
+
+type result = {
+  queries : query_result array;
+  io_time : float;
+  cpu_time : float;
+  total_time : float;
+  page_reads : int;
+  seek_distance : int;
+}
+
+type lane = {
+  stream : Exec.stream;
+  seen : unit Node_id.Tbl.t;
+  mutable nodes : Store.info list;  (* reversed *)
+  mutable live : bool;
+}
+
+let run ?config ?contexts ?(ordered = true) ~cold store queries =
+  if queries = [] then invalid_arg "Interleave.run: no queries";
+  let buffer = Store.buffer store in
+  let disk = Buffer_manager.disk buffer in
+  if cold then begin
+    Buffer_manager.reset buffer;
+    Disk.reset_clock disk
+  end;
+  let disk_before = Disk.stats disk in
+  let io_before = Disk.elapsed disk in
+  let cpu_before = Sys.time () in
+  let lanes =
+    Array.of_list
+      (List.map
+         (fun (path, plan) ->
+           {
+             stream = Exec.prepare ?config ?contexts store path plan;
+             seen = Node_id.Tbl.create 64;
+             nodes = [];
+             live = true;
+           })
+         queries)
+  in
+  let live = ref (Array.length lanes) in
+  while !live > 0 do
+    Array.iter
+      (fun lane ->
+        if lane.live then begin
+          match Exec.stream_next lane.stream with
+          | None ->
+            lane.live <- false;
+            decr live
+          | Some info ->
+            if not (Node_id.Tbl.mem lane.seen info.Store.id) then begin
+              Node_id.Tbl.replace lane.seen info.Store.id ();
+              lane.nodes <- info :: lane.nodes
+            end
+        end)
+      lanes
+  done;
+  let cpu_time = Sys.time () -. cpu_before in
+  let io_time = Disk.elapsed disk -. io_before in
+  let disk_after = Disk.stats disk in
+  let pinned = Buffer_manager.pinned_count buffer in
+  if pinned <> 0 then failwith (Printf.sprintf "Interleave.run: %d pages left pinned" pinned);
+  let finish lane =
+    let nodes =
+      if ordered then
+        List.sort (fun (a : Store.info) b -> Ordpath.compare a.ordpath b.ordpath) lane.nodes
+      else List.rev lane.nodes
+    in
+    { count = List.length nodes; nodes; fell_back = Exec.stream_fell_back lane.stream }
+  in
+  {
+    queries = Array.map finish lanes;
+    io_time;
+    cpu_time;
+    total_time = io_time +. cpu_time;
+    page_reads = disk_after.Disk.reads - disk_before.Disk.reads;
+    seek_distance = disk_after.Disk.seek_distance - disk_before.Disk.seek_distance;
+  }

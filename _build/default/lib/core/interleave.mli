@@ -1,0 +1,45 @@
+(** Concurrent query execution (paper outlook, Sec. 7: "we also expect
+    concurrent queries to strongly benefit from asynchronous I/O, as
+    scheduling decisions can be made based on more pending requests" —
+    and Sec. 2's warning that several concurrent {e scans} interfere,
+    causing "additional disk arm movement").
+
+    [run] executes several plans as interleaved streams over the shared
+    buffer pool and disk: each scheduling round pulls one result from
+    every still-live stream. Two consequences fall out of the
+    architecture:
+
+    - concurrent XSchedule plans' asynchronous requests merge in the one
+      {!Xnav_storage.Io_scheduler}, so the policy reorders across
+      queries — more pending choices, better sweeps;
+    - concurrent XScan plans drag the head to alternating scan positions
+      — the interference the paper predicts for scan-based designs.
+
+    The harness's [abl-conc] section quantifies both. *)
+
+type query_result = {
+  count : int;
+  nodes : Xnav_store.Store.info list;  (** Document order, duplicate-free. *)
+  fell_back : bool;
+}
+
+type result = {
+  queries : query_result array;
+  io_time : float;
+  cpu_time : float;
+  total_time : float;
+  page_reads : int;
+  seek_distance : int;
+}
+
+val run :
+  ?config:Context.config ->
+  ?contexts:Xnav_store.Node_id.t list ->
+  ?ordered:bool ->
+  cold:bool ->
+  Xnav_store.Store.t ->
+  (Xnav_xpath.Path.t * Plan.t) list ->
+  result
+(** [run ~cold store queries] interleaves the queries round-robin (one
+    result node each per round) until all are exhausted.
+    @raise Invalid_argument on an empty query list or an empty path. *)

@@ -1,0 +1,167 @@
+module Store = Xnav_store.Store
+module Node_id = Xnav_store.Node_id
+module Node_record = Xnav_store.Node_record
+module Path = Xnav_xpath.Path
+module Disk = Xnav_storage.Disk
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Ordpath = Xnav_xml.Ordpath
+open Path_instance
+
+type result = {
+  per_path : Store.info list array;
+  counts : int array;
+  fell_back : bool array;
+  io_time : float;
+  cpu_time : float;
+  total_time : float;
+  page_reads : int;
+}
+
+(* One path's pipeline: a feed queue standing in for the scan, the XStep
+   chain, and the XAssembly on top. *)
+type lane = {
+  ctx : Context.t;
+  path : Path.t;
+  path_len : int;
+  dslash : bool;
+  feed : Path_instance.t Queue.t;
+  top : unit -> Store.info option;
+  mutable nodes : Store.info list;  (* reversed *)
+}
+
+let make_lane ?config store ~context_is_root path =
+  if path = [] then invalid_arg "Multi.run: empty path";
+  if not (Path.is_downward path) then
+    invalid_arg "Multi.run: shared-scan evaluation requires downward axes only";
+  let ctx = Context.create ?config store in
+  let path_len = Path.length path in
+  let dslash = context_is_root && Path.starts_with_descendant_any path in
+  let feed = Queue.create () in
+  let producer () = Queue.take_opt feed in
+  let chain =
+    List.fold_left
+      (fun (producer, i) step -> (Xstep.create ctx ~i ~step producer, i + 1))
+      (producer, 1) path
+    |> fst
+  in
+  let top = Xassembly.create ctx ~path_len ~xschedule:None ~dslash chain in
+  { ctx; path; path_len; dslash; feed; top; nodes = [] }
+
+let drain lane =
+  let rec go () =
+    match lane.top () with
+    | None -> ()
+    | Some info ->
+      lane.nodes <- info :: lane.nodes;
+      go ()
+  in
+  go ()
+
+let run ?config ?contexts ?(ordered = true) ~cold store paths =
+  if paths = [] then invalid_arg "Multi.run: no paths";
+  let buffer = Store.buffer store in
+  let disk = Buffer_manager.disk buffer in
+  if cold then begin
+    Buffer_manager.reset buffer;
+    Disk.reset_clock disk
+  end;
+  let contexts = match contexts with Some c -> c | None -> [ Store.root store ] in
+  let contexts = List.sort Node_id.compare contexts in
+  let context_is_root =
+    match contexts with [ c ] -> Node_id.equal c (Store.root store) | _ -> false
+  in
+  let lanes = Array.of_list (List.map (make_lane ?config store ~context_is_root) paths) in
+
+  let disk_before = Disk.stats disk in
+  let io_before = Disk.elapsed disk in
+  let cpu_before = Sys.time () in
+
+  let first = Store.first_page store in
+  let last = first + Store.page_count store - 1 in
+  let remaining_contexts = ref contexts in
+  for pid = first to last do
+    let view = Store.view store pid in
+    (* Contexts located in this cluster (the list is sorted). *)
+    let here = ref [] in
+    let rec take () =
+      match !remaining_contexts with
+      | id :: rest when Node_id.cluster id = pid ->
+        here := id :: !here;
+        remaining_contexts := rest;
+        take ()
+      | _ -> ()
+    in
+    take ();
+    let here = List.rev !here in
+    let ups = Store.up_slots view in
+    Array.iter
+      (fun lane ->
+        List.iter
+          (fun (id : Node_id.t) ->
+            match Store.get view id.Node_id.slot with
+            | Node_record.Core core ->
+              Queue.add
+                {
+                  s_l = 0;
+                  n_l = id;
+                  left_incomplete = false;
+                  s_r = 0;
+                  n_r = R_core { view; slot = id.Node_id.slot; core };
+                }
+                lane.feed
+            | Node_record.Down _ | Node_record.Up _ ->
+              invalid_arg "Multi.run: context is a border record")
+          here;
+        List.iter
+          (fun slot ->
+            let id = Store.id_of view slot in
+            for step = 0 to lane.path_len - 1 do
+              lane.ctx.Context.counters.Context.specs_created <-
+                lane.ctx.Context.counters.Context.specs_created + 1;
+              Queue.add
+                {
+                  s_l = step;
+                  n_l = id;
+                  left_incomplete = true;
+                  s_r = step;
+                  n_r = R_entry { view; slot };
+                }
+                lane.feed
+            done)
+          ups;
+        drain lane)
+      lanes;
+    Store.release store view
+  done;
+
+  (* A lane that fell back lost speculative state the shared scan cannot
+     replay; recompute it with the Simple method (warm buffer). *)
+  let fell_back = Array.map (fun lane -> Context.fallback lane.ctx) lanes in
+  Array.iteri
+    (fun i lane ->
+      if fell_back.(i) then begin
+        let r = Exec.run ?config ~contexts ~ordered:false store lane.path Plan.simple in
+        lane.nodes <- r.Exec.nodes
+      end)
+    lanes;
+
+  let cpu_time = Sys.time () -. cpu_before in
+  let io_time = Disk.elapsed disk -. io_before in
+  let disk_after = Disk.stats disk in
+  let finish lane =
+    (* XAssembly already deduplicates; Simple-recomputed lanes were
+       deduplicated by Exec. *)
+    if ordered then
+      List.sort (fun (a : Store.info) b -> Ordpath.compare a.ordpath b.ordpath) lane.nodes
+    else List.rev lane.nodes
+  in
+  let per_path = Array.map finish lanes in
+  {
+    per_path;
+    counts = Array.map List.length per_path;
+    fell_back;
+    io_time;
+    cpu_time;
+    total_time = io_time +. cpu_time;
+    page_reads = disk_after.Disk.reads - disk_before.Disk.reads;
+  }

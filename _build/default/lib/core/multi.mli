@@ -1,0 +1,44 @@
+(** Multi-query evaluation with a single I/O-performing operator — the
+    paper's outlook (Sec. 7): "Our method can be easily extended to
+    evaluate multiple location paths with a single I/O-performing
+    operator."
+
+    [run] evaluates several location paths in {e one} sequential pass
+    over the document: each cluster is pinned once and fed to every
+    path's XStep chain + XAssembly (contexts located there, plus that
+    path's speculative instances for every Up border), exactly as a
+    per-path XScan would, but sharing the physical scan. For a workload
+    like XMark Q7 — three separate descendant paths — this cuts the scan
+    I/O by the number of paths.
+
+    If a path's speculation store outgrows the memory budget mid-scan,
+    that path alone is transparently re-evaluated with the Simple method
+    afterwards (the shared scan cannot restart for one path), flagged in
+    [fell_back]. *)
+
+type result = {
+  per_path : Xnav_store.Store.info list array;
+      (** Result nodes per input path (duplicate-free; document order
+          unless [ordered:false]). *)
+  counts : int array;
+  fell_back : bool array;
+  io_time : float;
+  cpu_time : float;
+  total_time : float;
+  page_reads : int;
+}
+
+val run :
+  ?config:Context.config ->
+  ?contexts:Xnav_store.Node_id.t list ->
+  ?ordered:bool ->
+  cold:bool ->
+  Xnav_store.Store.t ->
+  Xnav_xpath.Path.t list ->
+  result
+(** [run ~cold store paths] evaluates all [paths] from [contexts]
+    (default: the document root) in one shared scan. [cold] resets the
+    buffer pool and disk clock first.
+
+    @raise Invalid_argument if [paths] is empty, any path is empty, or
+    any path uses a non-downward axis. *)

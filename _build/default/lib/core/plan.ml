@@ -1,0 +1,45 @@
+module Path = Xnav_xpath.Path
+
+type io_operator = Io_schedule of { speculative : bool } | Io_scan
+
+type t =
+  | Simple of { dedup_intermediate : bool }
+  | Reordered of { io : io_operator; dslash : bool }
+
+let simple = Simple { dedup_intermediate = true }
+let xschedule ?(speculative = true) () = Reordered { io = Io_schedule { speculative }; dslash = false }
+let xscan ?(dslash = false) () = Reordered { io = Io_scan; dslash }
+
+let name = function
+  | Simple _ -> "simple"
+  | Reordered { io = Io_schedule { speculative = false }; _ } -> "xschedule"
+  | Reordered { io = Io_schedule { speculative = true }; _ } -> "xschedule+spec"
+  | Reordered { io = Io_scan; dslash = false } -> "xscan"
+  | Reordered { io = Io_scan; dslash = true } -> "xscan+dslash"
+
+let explain ppf (path, plan) =
+  let steps = List.mapi (fun i s -> (i + 1, s)) path in
+  match plan with
+  | Simple { dedup_intermediate } ->
+    Format.fprintf ppf "@[<v>Sort/DedupResult@,";
+    List.iter
+      (fun (i, s) ->
+        Format.fprintf ppf "%s UnnestMap[%d: %a%s]@,"
+          (String.make i ' ') i Path.pp_step s
+          (if dedup_intermediate then " dedup" else ""))
+      (List.rev steps);
+    Format.fprintf ppf "%s Contexts@]" (String.make (List.length steps + 1) ' ')
+  | Reordered { io; dslash } ->
+    Format.fprintf ppf "@[<v>XAssembly%s%s@,"
+      (match io with Io_schedule _ -> "(->XSchedule.Q)" | Io_scan -> "")
+      (if dslash then " //-opt" else "");
+    List.iter
+      (fun (i, s) -> Format.fprintf ppf "%s XStep[%d: %a]@," (String.make i ' ') i Path.pp_step s)
+      (List.rev steps);
+    let pad = String.make (List.length steps + 1) ' ' in
+    (match io with
+    | Io_schedule { speculative } ->
+      Format.fprintf ppf "%s XSchedule[k, async I/O%s]@,%s  Contexts@]" pad
+        (if speculative then ", speculative" else "")
+        pad
+    | Io_scan -> Format.fprintf ppf "%s XScan[sequential]@,%s  Contexts(sorted)@]" pad pad)

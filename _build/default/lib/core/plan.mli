@@ -1,0 +1,29 @@
+(** Physical plans for location paths.
+
+    Three plan shapes, matching the paper's evaluation (Sec. 6.2): the
+    Simple nested-loop method, and the two reordered shapes built from
+    the XStep chain topped by XAssembly, with either XSchedule
+    (asynchronous I/O) or XScan (one sequential scan) as the single
+    I/O-performing operator. *)
+
+type io_operator =
+  | Io_schedule of { speculative : bool }
+  | Io_scan
+
+type t =
+  | Simple of { dedup_intermediate : bool }
+  | Reordered of { io : io_operator; dslash : bool }
+      (** [dslash]: apply the [//]-prefix optimisation (only ever set on
+          scan plans whose path starts with [descendant-or-self::node()]
+          and whose context is the document root). *)
+
+val simple : t
+val xschedule : ?speculative:bool -> unit -> t
+val xscan : ?dslash:bool -> unit -> t
+
+val name : t -> string
+(** Short name as used in the paper's figures: "simple", "xschedule",
+    "xscan" (speculative/dslash variants annotated). *)
+
+val explain : Format.formatter -> Xnav_xpath.Path.t * t -> unit
+(** Renders the operator tree, e.g. for the CLI's [explain] command. *)

@@ -1,0 +1,124 @@
+module Store = Xnav_store.Store
+module Node_id = Xnav_store.Node_id
+module Path = Xnav_xpath.Path
+module Query = Xnav_xpath.Query
+module Disk = Xnav_storage.Disk
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Ordpath = Xnav_xml.Ordpath
+
+type result = {
+  nodes : Store.info list;
+  count : int;
+  io_time : float;
+  cpu_time : float;
+  total_time : float;
+  segments : int;
+  predicate_checks : int;
+}
+
+(* --- predicate evaluation over the store -------------------------------- *)
+
+let rec holds store id = function
+  | Query.Exists steps -> exists_branch store id steps
+  | Query.And (a, b) -> holds store id a && holds store id b
+  | Query.Or (a, b) -> holds store id a || holds store id b
+  | Query.Not p -> not (holds store id p)
+
+and exists_branch store id = function
+  | [] -> true
+  | (q : Query.qstep) :: rest ->
+    let next = Store.global_axis store q.Query.step.Path.axis id in
+    let rec try_next () =
+      match next () with
+      | None -> false
+      | Some (info : Store.info) ->
+        if
+          Path.matches q.Query.step.Path.test info.Store.tag
+          && List.for_all (holds store info.Store.id) q.Query.predicates
+          && exists_branch store info.Store.id rest
+        then true
+        else try_next ()
+    in
+    try_next ()
+
+(* --- segment decomposition ------------------------------------------------ *)
+
+(* Split a branch into (trunk steps, trailing predicates) segments: each
+   segment's trunk ends at the first predicated step. *)
+let segments_of branch =
+  let rec go trunk = function
+    | [] -> if trunk = [] then [] else [ (List.rev trunk, []) ]
+    | (q : Query.qstep) :: rest ->
+      if q.Query.predicates = [] then go (q.Query.step :: trunk) rest
+      else (List.rev (q.Query.step :: trunk), q.Query.predicates) :: go [] rest
+  in
+  go [] branch
+
+let run ?(choice = Compile.Auto) ?config ?contexts ?(ordered = true) ~cold store query =
+  if query = [] then invalid_arg "Query_exec.run: empty query";
+  let buffer = Store.buffer store in
+  let disk = Buffer_manager.disk buffer in
+  if cold then begin
+    Buffer_manager.reset buffer;
+    Disk.reset_clock disk
+  end;
+  let io_before = Disk.elapsed disk in
+  let cpu_before = Sys.time () in
+  let root_contexts = match contexts with Some c -> c | None -> [ Store.root store ] in
+  let segment_count = ref 0 in
+  let predicate_checks = ref 0 in
+
+  let run_branch branch =
+    List.fold_left
+      (fun contexts (trunk, predicates) ->
+        if contexts = [] then []
+        else begin
+          incr segment_count;
+          let context_is_root =
+            match contexts with [ c ] -> Node_id.equal c (Store.root store) | _ -> false
+          in
+          let plan = Compile.compile ~choice ~context_is_root store trunk in
+          let seg = Exec.run ?config ~contexts ~ordered:false store trunk plan in
+          List.filter_map
+            (fun (info : Store.info) ->
+              if predicates = [] then Some info.Store.id
+              else begin
+                incr predicate_checks;
+                if List.for_all (holds store info.Store.id) predicates then
+                  Some info.Store.id
+                else None
+              end)
+            seg.Exec.nodes
+        end)
+      root_contexts (segments_of branch)
+  in
+
+  let all = List.concat_map run_branch query in
+  (* Union merge: deduplicate and materialise infos. *)
+  let seen = Node_id.Tbl.create 256 in
+  let nodes =
+    List.filter_map
+      (fun id ->
+        if Node_id.Tbl.mem seen id then None
+        else begin
+          Node_id.Tbl.replace seen id ();
+          Some (Store.info store id)
+        end)
+      all
+  in
+  let nodes =
+    if ordered then
+      List.sort (fun (a : Store.info) b -> Ordpath.compare a.ordpath b.ordpath) nodes
+    else nodes
+  in
+  let cpu_time = Sys.time () -. cpu_before in
+  let io_time = Disk.elapsed disk -. io_before in
+  {
+    nodes;
+    count = List.length nodes;
+    io_time;
+    cpu_time;
+    total_time = io_time +. cpu_time;
+    segments = !segment_count;
+    predicate_checks = !predicate_checks;
+  }

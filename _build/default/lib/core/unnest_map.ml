@@ -1,0 +1,35 @@
+module Store = Xnav_store.Store
+module Node_id = Xnav_store.Node_id
+module Path = Xnav_xpath.Path
+
+let create ctx ~step ~dedup producer =
+  let counters = ctx.Context.counters in
+  let seen : unit Node_id.Tbl.t = Node_id.Tbl.create 64 in
+  let current = ref None in
+  let rec next () =
+    match !current with
+    | Some enum -> begin
+      match enum () with
+      | None ->
+        current := None;
+        next ()
+      | Some (info : Store.info) ->
+        if
+          Path.matches step.Path.test info.tag
+          && not (dedup && Node_id.Tbl.mem seen info.id)
+        then begin
+          if dedup then Node_id.Tbl.replace seen info.id ();
+          counters.Context.instances <- counters.Context.instances + 1;
+          Some info
+        end
+        else next ()
+    end
+    | None -> begin
+      match producer () with
+      | None -> None
+      | Some (info : Store.info) ->
+        current := Some (Store.global_axis ctx.Context.store step.Path.axis info.id);
+        next ()
+    end
+  in
+  next

@@ -1,0 +1,18 @@
+(** The Unnest-Map operator of the Simple method (paper Sec. 5.1).
+
+    One operator per location step, chained: each pulls a context node
+    from its producer and enumerates the step's result nodes with the
+    border-transparent global primitives — traversing inter-cluster
+    edges the moment they are met, which is precisely the random-I/O
+    behaviour the reordered plans avoid. Optional per-step duplicate
+    elimination implements the refinement the paper cites from
+    Hidders/Michiels to avoid the exponential blow-up of nested
+    duplicates. *)
+
+val create :
+  Context.t ->
+  step:Xnav_xpath.Path.step ->
+  dedup:bool ->
+  (unit -> Xnav_store.Store.info option) ->
+  unit ->
+  Xnav_store.Store.info option

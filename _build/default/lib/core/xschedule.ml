@@ -1,0 +1,188 @@
+module Store = Xnav_store.Store
+module Node_id = Xnav_store.Node_id
+module Node_record = Xnav_store.Node_record
+module Buffer_manager = Xnav_storage.Buffer_manager
+open Path_instance
+
+type item = { s_l : int; n_l : Node_id.t; s_r : int; target : Node_id.t }
+
+type t = {
+  ctx : Context.t;
+  path_len : int;
+  contexts : unit -> Node_id.t option;
+  queue : (int, item Queue.t) Hashtbl.t;  (* cluster -> pending items *)
+  mutable qsize : int;
+  visited : (int, unit) Hashtbl.t;
+  mutable ready : int list;  (* resident clusters with queued items *)
+  mutable current : (int * Store.view) option;
+  agenda : Path_instance.t Queue.t;  (* instances for the current cluster *)
+  mutable exhausted : bool;
+}
+
+let create ctx ~path_len ~contexts =
+  {
+    ctx;
+    path_len;
+    contexts;
+    queue = Hashtbl.create 64;
+    qsize = 0;
+    visited = Hashtbl.create 64;
+    ready = [];
+    current = None;
+    agenda = Queue.create ();
+    exhausted = false;
+  }
+
+let queue_size t = t.qsize
+
+let buffer t = Store.buffer t.ctx.Context.store
+
+(* Queue an item and make sure its cluster's I/O has been requested. *)
+let enqueue t item =
+  let cluster = Node_id.cluster item.target in
+  let fresh = not (Hashtbl.mem t.queue cluster) in
+  let q =
+    match Hashtbl.find_opt t.queue cluster with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.queue cluster q;
+      q
+  in
+  Queue.add item q;
+  t.qsize <- t.qsize + 1;
+  let c = t.ctx.Context.counters in
+  if t.qsize > c.Context.q_peak then c.Context.q_peak <- t.qsize;
+  if fresh then begin
+    Context.emit t.ctx (fun () -> Printf.sprintf "XSchedule: async request for cluster %d" cluster);
+    let is_current = match t.current with Some (pid, _) -> pid = cluster | None -> false in
+    if is_current || Buffer_manager.prefetch (buffer t) cluster then
+      (if not (is_current || List.mem cluster t.ready) then t.ready <- cluster :: t.ready)
+  end
+
+let push t ~s_l ~n_l ~s_r ~target =
+  let cluster = Node_id.cluster target in
+  if t.ctx.Context.config.Context.speculative && Hashtbl.mem t.visited cluster then
+    (* Already visited: the speculative instances generated there subsume
+       this continuation. *)
+    ()
+  else enqueue t { s_l; n_l; s_r; target }
+
+let replenish t =
+  while (not t.exhausted) && t.qsize < t.ctx.Context.config.Context.k do
+    match t.contexts () with
+    | None -> t.exhausted <- true
+    | Some id -> enqueue t { s_l = 0; n_l = id; s_r = 0; target = id }
+  done
+
+(* Turn a queued item into an instance against the current view. *)
+let instantiate view item =
+  let slot = item.target.Node_id.slot in
+  let n_r =
+    match Store.get view slot with
+    | Node_record.Core core -> R_core { view; slot; core }
+    | Node_record.Up _ -> R_entry { view; slot }
+    | Node_record.Down _ ->
+      invalid_arg "Xschedule: queued target is a Down border"
+  in
+  { s_l = item.s_l; n_l = item.n_l; left_incomplete = false; s_r = item.s_r; n_r }
+
+let speculate t view =
+  List.iter
+    (fun slot ->
+      let id = Store.id_of view slot in
+      for step = 0 to t.path_len - 1 do
+        t.ctx.Context.counters.Context.specs_created <-
+          t.ctx.Context.counters.Context.specs_created + 1;
+        Queue.add
+          { s_l = step; n_l = id; left_incomplete = true; s_r = step; n_r = R_entry { view; slot } }
+          t.agenda
+      done)
+    (Store.up_slots view)
+
+(* Drain the queued items of cluster [pid] into the agenda (against
+   [view]), speculating on first visit if configured. *)
+let load_agenda t pid view =
+  let first_visit = not (Hashtbl.mem t.visited pid) in
+  if first_visit then begin
+    Hashtbl.replace t.visited pid ();
+    t.ctx.Context.counters.Context.clusters_visited <-
+      t.ctx.Context.counters.Context.clusters_visited + 1
+  end;
+  (match Hashtbl.find_opt t.queue pid with
+  | None -> ()
+  | Some q ->
+    Queue.iter (fun item -> Queue.add (instantiate view item) t.agenda) q;
+    t.qsize <- t.qsize - Queue.length q;
+    Hashtbl.remove t.queue pid);
+  if
+    first_visit
+    && t.ctx.Context.config.Context.speculative
+    && not (Context.fallback t.ctx)
+  then speculate t view
+
+let release_current t =
+  match t.current with
+  | None -> ()
+  | Some (_, view) ->
+    Store.release t.ctx.Context.store view;
+    t.current <- None
+
+let make_current t pid view =
+  release_current t;
+  Context.emit t.ctx (fun () -> Printf.sprintf "XSchedule: cluster %d loaded, serving its queue" pid);
+  t.current <- Some (pid, view);
+  load_agenda t pid view
+
+let rec next t =
+  match Queue.take_opt t.agenda with
+  | Some instance -> Some instance
+  | None -> begin
+    replenish t;
+    (* Serve remaining items for the current cluster first. *)
+    match t.current with
+    | Some (pid, view) when Hashtbl.mem t.queue pid ->
+      load_agenda t pid view;
+      next t
+    | _ -> begin
+      match t.ready with
+      | pid :: rest ->
+        t.ready <- rest;
+        if Hashtbl.mem t.queue pid then begin
+          make_current t pid (Store.view t.ctx.Context.store pid);
+          next t
+        end
+        else next t
+      | [] -> begin
+        match Buffer_manager.await_one (buffer t) with
+        | Some (pid, frame) ->
+          let view = Store.view_of_frame t.ctx.Context.store frame in
+          if Hashtbl.mem t.queue pid then begin
+            make_current t pid view;
+            next t
+          end
+          else begin
+            (* A stale request (its items were served through another
+               path); drop the pin and keep going. *)
+            Store.release t.ctx.Context.store view;
+            next t
+          end
+        | None ->
+          if t.qsize = 0 && t.exhausted then begin
+            release_current t;
+            None
+          end
+          else begin
+            (* Items remain but have no pending I/O: their clusters are
+               resident (or were evicted meanwhile); serve them directly. *)
+            match Hashtbl.fold (fun pid _ _ -> Some pid) t.queue None with
+            | Some pid ->
+              make_current t pid (Store.view t.ctx.Context.store pid);
+              next t
+            | None ->
+              release_current t;
+              None
+          end
+      end
+    end
+  end

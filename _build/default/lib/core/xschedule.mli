@@ -1,0 +1,44 @@
+(** The XSchedule operator (paper Sec. 5.3.4 / 5.4.4): the single
+    I/O-performing operator of a schedule-based plan.
+
+    XSchedule keeps a queue [Q] of unprocessed partial path instances —
+    context nodes from its producer plus right-incomplete instances that
+    XAssembly forwards through {!push}. Cluster accesses are submitted to
+    the asynchronous I/O layer as soon as the instances enter [Q]; the
+    operator serves whichever cluster the layer completes first, keeping
+    it pinned (the {e current cluster}) while downstream XSteps navigate
+    it. The producer is drained lazily so that at least [k] right ends
+    are queued, giving the I/O layer scheduling alternatives.
+
+    With [speculative] set (Sec. 5.4.4), every newly visited cluster also
+    yields left-incomplete instances for each of its [Up] borders and
+    each step — and {!push} drops requests whose target cluster was
+    already visited, because the speculation subsumes them. Without it,
+    such requests re-visit the cluster (the revisit cost speculation
+    exists to avoid).
+
+    Termination: [Q] empty and the producer exhausted. XAssembly only
+    pushes in direct response to instances this operator emitted, so a
+    [None] from a schedule-based plan is final. *)
+
+type t
+
+val create :
+  Context.t -> path_len:int -> contexts:(unit -> Xnav_store.Node_id.t option) -> t
+(** [contexts] produces the context NodeIDs (the paper's non-full,
+    complete instances with [S_L = S_R = 0]). *)
+
+val push :
+  t ->
+  s_l:int ->
+  n_l:Xnav_store.Node_id.t ->
+  s_r:int ->
+  target:Xnav_store.Node_id.t ->
+  unit
+(** Queue a continuation: visit [target]'s cluster and resume step
+    [s_r + 1] at the [Up] border [target]. Called by XAssembly. *)
+
+val next : t -> Path_instance.t option
+(** The iterator [next] method. *)
+
+val queue_size : t -> int

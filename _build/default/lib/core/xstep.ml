@@ -1,0 +1,83 @@
+module Store = Xnav_store.Store
+module Path = Xnav_xpath.Path
+open Path_instance
+
+type enumeration =
+  | Local of { base : t; cursor : Store.cursor; view : Store.view }
+      (** Intra-cluster enumeration over the pinned cluster. *)
+  | Global of { base : t; next : unit -> Store.info option }
+      (** Fallback: border-transparent enumeration. *)
+
+let create ctx ~i ~step producer =
+  let counters = ctx.Context.counters in
+  let state = ref None in
+  let extend base right =
+    counters.Context.instances <- counters.Context.instances + 1;
+    Some { base with s_r = i; n_r = right }
+  in
+  let rec next () =
+    match !state with
+    | Some (Local { base; cursor; view }) -> begin
+      match Store.next_emission cursor with
+      | Some (Store.Reached (slot, core)) ->
+        if Path.matches step.Path.test core.Xnav_store.Node_record.tag then
+          extend base (R_core { view; slot; core })
+        else next ()
+      | Some (Store.Crossing (_slot, target)) ->
+        counters.Context.crossings <- counters.Context.crossings + 1;
+        counters.Context.instances <- counters.Context.instances + 1;
+        Context.emit ctx (fun () ->
+            Printf.sprintf "XStep_%d: inter-cluster edge -> %s deferred" i
+              (Xnav_store.Node_id.to_string target));
+        (* Right-incomplete: S_R stays i-1, the node test is deferred. *)
+        Some { base with n_r = R_pending target }
+      | None ->
+        state := None;
+        next ()
+    end
+    | Some (Global { base; next = enum }) -> begin
+      match enum () with
+      | Some info ->
+        if Path.matches step.Path.test info.Store.tag then extend base (R_info info) else next ()
+      | None ->
+        state := None;
+        next ()
+    end
+    | None -> begin
+      match producer () with
+      | None -> None
+      | Some p ->
+        if p.s_r <> i - 1 then Some p (* not produced by step i-1: forward *)
+        else begin
+          match p.n_r with
+          | R_pending _ ->
+            (* A crossing some upstream operator deferred; not ours to
+               process. *)
+            Some p
+          | R_core { view; slot; _ } ->
+            let axis = step.Path.axis in
+            if Context.fallback ctx then begin
+              let id = Store.id_of view slot in
+              state := Some (Global { base = p; next = Store.global_axis ctx.Context.store axis id })
+            end
+            else state := Some (Local { base = p; cursor = Store.start view axis slot; view });
+            next ()
+          | R_entry { view; slot } ->
+            let axis = step.Path.axis in
+            if Context.fallback ctx then begin
+              let id = Store.id_of view slot in
+              state :=
+                Some (Global { base = p; next = Store.global_resume ctx.Context.store axis id })
+            end
+            else state := Some (Local { base = p; cursor = Store.resume view axis slot; view });
+            next ()
+          | R_info info ->
+            state :=
+              Some
+                (Global
+                   { base = p; next = Store.global_axis ctx.Context.store step.Path.axis info.Store.id });
+            next ()
+        end
+    end
+  in
+  next

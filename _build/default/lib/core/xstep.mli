@@ -1,0 +1,31 @@
+(** The XStep operator (paper Sec. 5.3.2): per-location-step navigation
+    that never performs I/O.
+
+    [XStep_i] pulls partial path instances from its producer. Instances
+    whose right end was not produced by step [i-1] are forwarded
+    untouched. Applicable instances are extended by enumerating step
+    [pi_i] {e using intra-cluster navigation only}: each core node found
+    locally (and passing the node test) yields a right-complete extension
+    with [S_R = i]; each inter-cluster edge yields a right-incomplete
+    instance whose right end is the untraversed border ([S_R] unchanged —
+    "the step has not been fully evaluated yet"). The enumeration state
+    is kept in the operator, so one input instance fans out across many
+    [next] calls.
+
+    Two kinds of applicable right end exist: a swizzled core node (a
+    fresh application of the axis) and a swizzled [Up] border (a
+    continuation of step [i] after a crossing, delivered by the I/O
+    operator).
+
+    In fallback mode XStep behaves as a plain Unnest-Map: it navigates
+    across borders with synchronous global primitives (Sec. 5.4.6). *)
+
+val create :
+  Context.t ->
+  i:int ->
+  step:Xnav_xpath.Path.step ->
+  (unit -> Path_instance.t option) ->
+  unit ->
+  Path_instance.t option
+(** [create ctx ~i ~step producer] is the [next] method of [XStep_i].
+    [i] is 1-based. *)

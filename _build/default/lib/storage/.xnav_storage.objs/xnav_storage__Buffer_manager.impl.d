@@ -1,0 +1,1 @@
+lib/storage/buffer_manager.ml: Disk Format Hashtbl Io_scheduler List Page Printf Queue String

@@ -1,0 +1,1 @@
+lib/storage/buffer_manager.mli: Disk Format Io_scheduler Page

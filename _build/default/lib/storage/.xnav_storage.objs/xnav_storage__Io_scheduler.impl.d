@@ -1,0 +1,1 @@
+lib/storage/io_scheduler.ml: Disk Int List Set

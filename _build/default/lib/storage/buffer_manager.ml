@@ -1,0 +1,196 @@
+type stats = {
+  lookups : int;
+  hits : int;
+  misses : int;
+  async_reads : int;
+  evictions : int;
+}
+
+let empty_stats = { lookups = 0; hits = 0; misses = 0; async_reads = 0; evictions = 0 }
+
+type replacement = Lru | Mru | Fifo | Clock
+
+let replacement_to_string = function
+  | Lru -> "lru"
+  | Mru -> "mru"
+  | Fifo -> "fifo"
+  | Clock -> "clock"
+
+let all_replacements = [ Lru; Mru; Fifo; Clock ]
+
+let replacement_of_string s =
+  List.find_opt (fun r -> String.equal (replacement_to_string r) s) all_replacements
+
+type frame = {
+  pid : int;
+  page : Page.t;
+  mutable pins : int;
+  mutable last_use : int;
+  mutable loaded_at : int;
+  mutable referenced : bool;
+}
+
+type t = {
+  disk : Disk.t;
+  sched : Io_scheduler.t;
+  capacity : int;
+  replacement : replacement;
+  table : (int, frame) Hashtbl.t;
+  clock_ring : int Queue.t;  (* page ids, for Clock *)
+  mutable tick : int;
+  mutable stats : stats;
+}
+
+exception Buffer_full
+
+let create ?(capacity = 1000) ?(policy = Io_scheduler.Elevator) ?(replacement = Lru) disk =
+  if capacity < 1 then invalid_arg "Buffer_manager.create: capacity must be positive";
+  {
+    disk;
+    sched = Io_scheduler.create ~policy disk;
+    capacity;
+    replacement;
+    table = Hashtbl.create (2 * capacity);
+    clock_ring = Queue.create ();
+    tick = 0;
+    stats = empty_stats;
+  }
+
+let capacity t = t.capacity
+let disk t = t.disk
+let scheduler t = t.sched
+
+let touch t frame =
+  t.tick <- t.tick + 1;
+  frame.last_use <- t.tick;
+  frame.referenced <- true
+
+(* Victim selection among unpinned frames, per the configured policy. *)
+let pick_victim t =
+  let by f =
+    Hashtbl.fold
+      (fun _ frame best ->
+        if frame.pins > 0 then best
+        else
+          match best with
+          | Some b when f b <= f frame -> best
+          | _ -> Some frame)
+      t.table None
+  in
+  match t.replacement with
+  | Lru -> by (fun frame -> frame.last_use)
+  | Mru -> by (fun frame -> -frame.last_use)
+  | Fifo -> by (fun frame -> frame.loaded_at)
+  | Clock ->
+    (* Second chance over the ring; bounded sweep, falls back to LRU if
+       everything is pinned or the ring ran dry. *)
+    let limit = 2 * (Queue.length t.clock_ring + 1) in
+    let rec sweep i =
+      if i > limit then by (fun frame -> frame.last_use)
+      else begin
+        match Queue.take_opt t.clock_ring with
+        | None -> by (fun frame -> frame.last_use)
+        | Some pid -> begin
+          match Hashtbl.find_opt t.table pid with
+          | None -> sweep (i + 1) (* stale ring entry *)
+          | Some frame ->
+            if frame.pins > 0 then begin
+              Queue.add pid t.clock_ring;
+              sweep (i + 1)
+            end
+            else if frame.referenced then begin
+              frame.referenced <- false;
+              Queue.add pid t.clock_ring;
+              sweep (i + 1)
+            end
+            else Some frame
+        end
+      end
+    in
+    sweep 0
+
+let evict_one t =
+  match pick_victim t with
+  | None -> raise Buffer_full
+  | Some frame ->
+    Hashtbl.remove t.table frame.pid;
+    t.stats <- { t.stats with evictions = t.stats.evictions + 1 }
+
+let ensure_room t = if Hashtbl.length t.table >= t.capacity then evict_one t
+
+let install t pid bytes ~async =
+  ensure_room t;
+  let frame =
+    { pid; page = Page.of_bytes bytes; pins = 1; last_use = 0; loaded_at = t.tick; referenced = true }
+  in
+  touch t frame;
+  Hashtbl.replace t.table pid frame;
+  if t.replacement = Clock then Queue.add pid t.clock_ring;
+  let s = t.stats in
+  t.stats <-
+    (if async then { s with async_reads = s.async_reads + 1 } else { s with misses = s.misses + 1 });
+  frame
+
+let lookup t pid =
+  t.stats <- { t.stats with lookups = t.stats.lookups + 1 };
+  Hashtbl.find_opt t.table pid
+
+let fix t pid =
+  match lookup t pid with
+  | Some frame ->
+    frame.pins <- frame.pins + 1;
+    touch t frame;
+    t.stats <- { t.stats with hits = t.stats.hits + 1 };
+    frame
+  | None -> install t pid (Disk.read t.disk pid) ~async:false
+
+let unfix _t frame =
+  if frame.pins <= 0 then invalid_arg "Buffer_manager.unfix: frame is not pinned";
+  frame.pins <- frame.pins - 1
+
+let page frame = frame.page
+let frame_pid frame = frame.pid
+
+let resident t pid = lookup t pid <> None
+
+let prefetch t pid =
+  if resident t pid then true
+  else begin
+    Io_scheduler.submit t.sched pid;
+    false
+  end
+
+let await_one t =
+  match Io_scheduler.complete_one t.sched with
+  | None -> None
+  | Some (pid, bytes) ->
+    let frame =
+      match Hashtbl.find_opt t.table pid with
+      | Some frame ->
+        (* Arrived through another path meanwhile; keep the cached copy. *)
+        frame.pins <- frame.pins + 1;
+        touch t frame;
+        frame
+      | None -> install t pid bytes ~async:true
+    in
+    Some (pid, frame)
+
+let pinned_count t = Hashtbl.fold (fun _ frame n -> if frame.pins > 0 then n + 1 else n) t.table 0
+
+let stats t = t.stats
+
+let reset t =
+  Hashtbl.iter
+    (fun pid frame ->
+      if frame.pins > 0 then
+        invalid_arg (Printf.sprintf "Buffer_manager.reset: page %d still pinned" pid))
+    t.table;
+  Hashtbl.reset t.table;
+  Queue.clear t.clock_ring;
+  Io_scheduler.drain t.sched;
+  t.tick <- 0;
+  t.stats <- empty_stats
+
+let pp_stats ppf s =
+  Format.fprintf ppf "lookups=%d hits=%d misses=%d async=%d evictions=%d" s.lookups s.hits s.misses
+    s.async_reads s.evictions

@@ -1,0 +1,88 @@
+(** The page buffer: caches disk pages in main memory frames, with
+    pinning, LRU replacement, and an asynchronous prefetch path.
+
+    Two access paths mirror the paper's cost distinction:
+    - {!fix} is the synchronous path the Simple plan (and fallback mode)
+      uses: a hash lookup, then — on a miss — a blocking, possibly
+      random, disk read.
+    - {!prefetch} + {!await_one} is the asynchronous path XSchedule uses:
+      requests pile up in the {!Io_scheduler}, which serves them in a
+      seek-minimising order.
+
+    Every {!fix} and {!resident} check counts as a hash-table lookup in
+    the statistics; the paper identifies these lookups (and the implied
+    latch traffic) as the "swizzling" cost that passing direct pointers
+    between XStep operators avoids. *)
+
+type stats = {
+  lookups : int;  (** Hash-table probes (the swizzling cost proxy). *)
+  hits : int;
+  misses : int;  (** Synchronous reads caused by {!fix}. *)
+  async_reads : int;  (** Pages installed via {!await_one}. *)
+  evictions : int;
+}
+
+type replacement = Lru | Mru | Fifo | Clock
+(** Victim selection among unpinned frames: least/most recently used,
+    first loaded, or the clock (second chance) approximation of LRU. *)
+
+val replacement_of_string : string -> replacement option
+val replacement_to_string : replacement -> string
+val all_replacements : replacement list
+
+type frame
+(** A pinned page in the buffer. Holding a [frame] is the swizzled
+    representation: node access through it costs no lookups. *)
+
+type t
+
+exception Buffer_full
+(** Raised when a page must be brought in but every frame is pinned. *)
+
+val create :
+  ?capacity:int -> ?policy:Io_scheduler.policy -> ?replacement:replacement -> Disk.t -> t
+(** [create disk] makes a buffer of [capacity] frames (default 1000, the
+    paper's configuration) over [disk], with an internal scheduler using
+    [policy] (default [Elevator]) and [replacement] victim selection
+    (default [Lru]). *)
+
+val capacity : t -> int
+val disk : t -> Disk.t
+val scheduler : t -> Io_scheduler.t
+
+val fix : t -> int -> frame
+(** Pin page [pid], reading it synchronously on a miss. Must be matched
+    by {!unfix}. @raise Buffer_full if no frame can be evicted. *)
+
+val unfix : t -> frame -> unit
+(** Release one pin. @raise Invalid_argument if not pinned. *)
+
+val page : frame -> Page.t
+(** The page contents; valid only while the frame is pinned. *)
+
+val frame_pid : frame -> int
+
+val resident : t -> int -> bool
+(** Whether the page is currently buffered (counts as a lookup). *)
+
+val prefetch : t -> int -> bool
+(** Ask for page [pid] asynchronously. Returns [true] if the page is
+    already resident (no request submitted — the caller can treat it as
+    instantly complete), [false] if a request is now pending. *)
+
+val await_one : t -> (int * frame) option
+(** Let the scheduler service one pending request, install the page and
+    return it pinned. [None] iff no request is pending.
+    @raise Buffer_full if no frame can be evicted. *)
+
+val pinned_count : t -> int
+(** Number of frames with a non-zero pin count (for leak tests). *)
+
+val stats : t -> stats
+
+val reset : t -> unit
+(** Drop every frame and pending request, zeroing statistics — a cold
+    cache, as each measured run in the paper starts with.
+    @raise Invalid_argument if any frame is still pinned. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,143 @@
+type config = {
+  page_size : int;
+  seek_base : float;
+  seek_factor : float;
+  seek_max : float;
+  rotational : float;
+  transfer : float;
+  async_overhead : float;
+}
+
+let default_config =
+  {
+    page_size = 8192;
+    seek_base = 0.0010;
+    seek_factor = 0.00007;
+    seek_max = 0.0080;
+    rotational = 0.0030;
+    transfer = 0.00013;
+    async_overhead = 0.00015;
+  }
+
+type stats = {
+  reads : int;
+  writes : int;
+  sequential_reads : int;
+  random_reads : int;
+  seek_distance : int;
+}
+
+let empty_stats = { reads = 0; writes = 0; sequential_reads = 0; random_reads = 0; seek_distance = 0 }
+
+type t = {
+  config : config;
+  mutable pages : Bytes.t array;
+  mutable count : int;
+  mutable head : int;
+  mutable clock : float;
+  mutable stats : stats;
+  mutable tracing : bool;
+  mutable trace : int list;  (* newest first *)
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    pages = Array.make 64 Bytes.empty;
+    count = 0;
+    head = -1;
+    clock = 0.0;
+    stats = empty_stats;
+    tracing = false;
+    trace = [];
+  }
+
+let config disk = disk.config
+let page_count disk = disk.count
+
+let alloc disk =
+  if disk.count = Array.length disk.pages then begin
+    let grown = Array.make (2 * Array.length disk.pages) Bytes.empty in
+    Array.blit disk.pages 0 grown 0 disk.count;
+    disk.pages <- grown
+  end;
+  let pid = disk.count in
+  disk.pages.(pid) <- Bytes.make disk.config.page_size '\000';
+  disk.count <- pid + 1;
+  pid
+
+let check_pid disk pid =
+  if pid < 0 || pid >= disk.count then
+    invalid_arg (Printf.sprintf "Disk: page %d out of range (0..%d)" pid (disk.count - 1))
+
+(* Cost of moving the head from its current position to [pid]: nothing
+   extra at the current position or the immediately following page (track
+   buffer / read-ahead), seek + rotational latency otherwise. *)
+let access_cost disk pid =
+  let c = disk.config in
+  if disk.head = -1 || pid = disk.head || pid = disk.head + 1 then c.transfer
+  else begin
+    let distance = abs (pid - disk.head) in
+    let seek = min c.seek_max (c.seek_base +. (c.seek_factor *. sqrt (float_of_int distance))) in
+    seek +. c.rotational +. c.transfer
+  end
+
+let is_sequential disk pid = disk.head = -1 || pid = disk.head || pid = disk.head + 1
+
+let account disk pid ~write =
+  let cost = access_cost disk pid in
+  let sequential = is_sequential disk pid in
+  let s = disk.stats in
+  let s =
+    if write then { s with writes = s.writes + 1 }
+    else if sequential then { s with reads = s.reads + 1; sequential_reads = s.sequential_reads + 1 }
+    else
+      {
+        s with
+        reads = s.reads + 1;
+        random_reads = s.random_reads + 1;
+        seek_distance = s.seek_distance + abs (pid - disk.head);
+      }
+  in
+  disk.stats <- s;
+  disk.clock <- disk.clock +. cost;
+  disk.head <- pid;
+  if disk.tracing then disk.trace <- pid :: disk.trace
+
+let read disk pid =
+  check_pid disk pid;
+  account disk pid ~write:false;
+  Bytes.copy disk.pages.(pid)
+
+let write disk pid bytes =
+  check_pid disk pid;
+  if Bytes.length bytes <> disk.config.page_size then
+    invalid_arg "Disk.write: byte buffer has wrong page size";
+  account disk pid ~write:true;
+  disk.pages.(pid) <- Bytes.copy bytes
+
+let charge disk cost = disk.clock <- disk.clock +. cost
+
+let read_cost disk pid =
+  check_pid disk pid;
+  access_cost disk pid
+
+let head disk = disk.head
+let elapsed disk = disk.clock
+let stats disk = disk.stats
+
+let reset_clock disk =
+  disk.clock <- 0.0;
+  disk.head <- -1;
+  disk.stats <- empty_stats;
+  disk.trace <- []
+
+let set_trace disk on =
+  disk.tracing <- on;
+  if on then disk.trace <- []
+
+let trace disk = List.rev disk.trace
+
+let pp_stats ppf s =
+  Format.fprintf ppf "reads=%d (seq=%d rnd=%d) writes=%d seek-dist=%d" s.reads s.sequential_reads
+    s.random_reads s.writes s.seek_distance

@@ -1,0 +1,99 @@
+type policy = Fifo | Sstf | Elevator | Cscan
+
+let policy_of_string = function
+  | "fifo" -> Some Fifo
+  | "sstf" -> Some Sstf
+  | "elevator" | "scan" -> Some Elevator
+  | "cscan" -> Some Cscan
+  | _ -> None
+
+let policy_to_string = function
+  | Fifo -> "fifo"
+  | Sstf -> "sstf"
+  | Elevator -> "elevator"
+  | Cscan -> "cscan"
+
+let all_policies = [ Fifo; Sstf; Elevator; Cscan ]
+
+module Int_set = Set.Make (Int)
+
+type t = {
+  disk : Disk.t;
+  policy : policy;
+  mutable pending : Int_set.t;
+  mutable order : int list;  (* submission order, newest first; for Fifo *)
+  mutable upward : bool;  (* current elevator direction *)
+}
+
+let create ?(policy = Elevator) disk = { disk; policy; pending = Int_set.empty; order = []; upward = true }
+
+let policy t = t.policy
+
+let submit t pid =
+  if not (Int_set.mem pid t.pending) then begin
+    t.pending <- Int_set.add pid t.pending;
+    t.order <- pid :: t.order
+  end
+
+let is_pending t pid = Int_set.mem pid t.pending
+let pending_count t = Int_set.cardinal t.pending
+
+let nearest t head =
+  (* Closest pending page to [head] in either direction. *)
+  let below = Int_set.find_last_opt (fun p -> p <= head) t.pending in
+  let above = Int_set.find_first_opt (fun p -> p >= head) t.pending in
+  match below, above with
+  | None, None -> None
+  | Some p, None | None, Some p -> Some p
+  | Some b, Some a -> Some (if head - b <= a - head then b else a)
+
+let pick t =
+  if Int_set.is_empty t.pending then None
+  else begin
+    let head = max 0 (Disk.head t.disk) in
+    match t.policy with
+    | Fifo ->
+      let rec last_submitted = function
+        | [] -> None
+        | [ p ] -> Some p
+        | _ :: rest -> last_submitted rest
+      in
+      last_submitted (List.filter (fun p -> Int_set.mem p t.pending) t.order)
+    | Sstf -> nearest t head
+    | Elevator -> begin
+      let in_direction =
+        if t.upward then Int_set.find_first_opt (fun p -> p >= head) t.pending
+        else Int_set.find_last_opt (fun p -> p <= head) t.pending
+      in
+      match in_direction with
+      | Some p -> Some p
+      | None ->
+        t.upward <- not t.upward;
+        if t.upward then Int_set.find_first_opt (fun p -> p >= head) t.pending
+        else Int_set.find_last_opt (fun p -> p <= head) t.pending
+    end
+    | Cscan -> begin
+      match Int_set.find_first_opt (fun p -> p >= head) t.pending with
+      | Some p -> Some p
+      | None -> Int_set.min_elt_opt t.pending
+    end
+  end
+
+let complete_one t =
+  match pick t with
+  | None -> None
+  | Some pid ->
+    t.pending <- Int_set.remove pid t.pending;
+    if Int_set.is_empty t.pending then t.order <- [];
+    let bytes = Disk.read t.disk pid in
+    Disk.charge t.disk (Disk.config t.disk).Disk.async_overhead;
+    Some (pid, bytes)
+
+let cancel t pid =
+  let was = Int_set.mem pid t.pending in
+  if was then t.pending <- Int_set.remove pid t.pending;
+  was
+
+let drain t =
+  t.pending <- Int_set.empty;
+  t.order <- []

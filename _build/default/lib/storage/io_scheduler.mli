@@ -1,0 +1,49 @@
+(** Asynchronous I/O request scheduling (paper Sec. 3.7).
+
+    The XSchedule operator submits cluster-load requests "without waiting
+    for them to complete" and later asks for *some* completed request;
+    the lower system layers — OS, driver, on-disk controller — are free
+    to reorder pending requests to minimise latency. This module plays
+    the role of those layers for the simulated {!Disk}: requests
+    accumulate in a pending set, and {!complete_one} services whichever
+    request the configured policy picks given the current head position.
+
+    Policies:
+    - [Fifo]: submission order (no reordering; the pessimistic bound).
+    - [Sstf]: shortest seek time first (nearest pending page).
+    - [Elevator]: SCAN — keep moving in the current direction, service
+      pending requests on the way, reverse at the last one.
+    - [Cscan]: circular SCAN — one direction only, wrap around. *)
+
+type policy = Fifo | Sstf | Elevator | Cscan
+
+val policy_of_string : string -> policy option
+val policy_to_string : policy -> string
+val all_policies : policy list
+
+type t
+
+val create : ?policy:policy -> Disk.t -> t
+(** A scheduler over [disk]. Default policy: [Elevator]. *)
+
+val policy : t -> policy
+
+val submit : t -> int -> unit
+(** Queue an asynchronous read of the page. Duplicate submissions of a
+    page that is still pending are absorbed. *)
+
+val is_pending : t -> int -> bool
+val pending_count : t -> int
+
+val complete_one : t -> (int * Bytes.t) option
+(** Service one pending request — chosen by the policy — by reading it
+    from the disk (advancing the simulated clock by the access cost plus
+    {!Disk.config}'s [async_overhead]), and return the page number with
+    its contents. [None] iff nothing is pending. *)
+
+val cancel : t -> int -> bool
+(** Drop a pending request (e.g. the page arrived in the buffer through
+    another path). Returns whether it was pending. *)
+
+val drain : t -> unit
+(** Drop all pending requests. *)

@@ -1,0 +1,1 @@
+lib/store/doc_stats.ml: Array Buffer Float Hashtbl Int32 List Option String Xnav_xml Xnav_xpath

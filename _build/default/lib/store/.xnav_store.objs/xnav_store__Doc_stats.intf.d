@@ -1,0 +1,1 @@
+lib/store/doc_stats.mli: Buffer Xnav_xml Xnav_xpath

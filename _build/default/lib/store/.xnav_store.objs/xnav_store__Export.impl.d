@@ -1,0 +1,1 @@
+lib/store/export.ml: Array Hashtbl List Node_id Node_record Store Xnav_xml

@@ -1,0 +1,1 @@
+lib/store/export.mli: Node_id Store Xnav_xml

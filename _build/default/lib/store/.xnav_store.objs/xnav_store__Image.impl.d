@@ -1,0 +1,1 @@
+lib/store/image.ml: Buffer Bytes Doc_stats Int32 Int64 List Node_id Store String Xnav_storage Xnav_xml

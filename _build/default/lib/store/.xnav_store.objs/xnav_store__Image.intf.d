@@ -1,0 +1,1 @@
+lib/store/image.mli: Store Xnav_storage

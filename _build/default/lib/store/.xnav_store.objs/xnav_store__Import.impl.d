@@ -1,0 +1,1 @@
+lib/store/import.ml: Array Doc_stats Int64 List Node_id Node_record Printf Queue Stdlib Xnav_storage Xnav_xml

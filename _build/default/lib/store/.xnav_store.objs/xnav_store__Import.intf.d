@@ -1,0 +1,1 @@
+lib/store/import.mli: Doc_stats Node_id Xnav_storage Xnav_xml

@@ -1,0 +1,1 @@
+lib/store/node_id.ml: Format Hashtbl Map Set Stdlib

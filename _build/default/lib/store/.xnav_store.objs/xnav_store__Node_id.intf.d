@@ -1,0 +1,1 @@
+lib/store/node_id.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/store/node_record.ml: Buffer Char Format Node_id Printf String Xnav_storage Xnav_xml

@@ -1,0 +1,1 @@
+lib/store/node_record.mli: Format Node_id Xnav_xml

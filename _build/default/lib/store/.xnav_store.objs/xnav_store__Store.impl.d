@@ -1,0 +1,1 @@
+lib/store/store.ml: Doc_stats Import List Node_id Node_record Printf String Xnav_storage Xnav_xml

@@ -1,0 +1,1 @@
+lib/store/store.mli: Doc_stats Import Node_id Node_record Xnav_storage Xnav_xml

@@ -1,0 +1,1 @@
+lib/store/update.ml: Array Node_id Node_record Option Printf Store String Xnav_storage Xnav_xml

@@ -1,0 +1,1 @@
+lib/store/update.mli: Node_id Store Xnav_xml

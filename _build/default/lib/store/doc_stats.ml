@@ -1,0 +1,208 @@
+module Tree = Xnav_xml.Tree
+module Tag = Xnav_xml.Tag
+module Axis = Xnav_xml.Axis
+module Path = Xnav_xpath.Path
+
+type t = {
+  node_count : int;
+  height : int;
+  root_tag : Tag.t;
+  tags : Tag.t list;  (* tags occurring in the document *)
+  counts : (Tag.t, int) Hashtbl.t;
+  pairs : (Tag.t * Tag.t, int) Hashtbl.t;
+  subtree_totals : (Tag.t, int) Hashtbl.t;
+}
+
+let bump table key delta =
+  Hashtbl.replace table key (delta + Option.value ~default:0 (Hashtbl.find_opt table key))
+
+let collect doc =
+  let counts = Hashtbl.create 64 in
+  let pairs = Hashtbl.create 256 in
+  let subtree_totals = Hashtbl.create 64 in
+  let rec go node =
+    bump counts node.Tree.tag 1;
+    let size =
+      Array.fold_left
+        (fun acc child ->
+          bump pairs (node.Tree.tag, child.Tree.tag) 1;
+          acc + go child)
+        1 node.Tree.children
+    in
+    bump subtree_totals node.Tree.tag size;
+    size
+  in
+  let node_count = go doc in
+  {
+    node_count;
+    height = Tree.height doc;
+    root_tag = doc.Tree.tag;
+    tags = Hashtbl.fold (fun tag _ acc -> tag :: acc) counts [];
+    counts;
+    pairs;
+    subtree_totals;
+  }
+
+let node_count t = t.node_count
+let height t = t.height
+let root_tag t = t.root_tag
+let tag_count t tag = Option.value ~default:0 (Hashtbl.find_opt t.counts tag)
+
+let pair_count t ~parent ~child =
+  Option.value ~default:0 (Hashtbl.find_opt t.pairs (parent, child))
+
+let avg_subtree t tag =
+  let n = tag_count t tag in
+  if n = 0 then 0.0
+  else float_of_int (Option.value ~default:0 (Hashtbl.find_opt t.subtree_totals tag)) /. float_of_int n
+
+type frontier = (Tag.t * float) list
+
+let initial _t tag = [ (tag, 1.0) ]
+let root_frontier t = [ (t.root_tag, 1.0) ]
+let cardinality frontier = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 frontier
+
+let matching_tags t test =
+  match (test : Path.node_test) with
+  | Path.Name tag -> if tag_count t tag > 0 then [ tag ] else []
+  | Path.Wildcard | Path.Any_node -> t.tags
+
+let cap t tag w = Float.min w (float_of_int (tag_count t tag))
+
+(* Expected children with tag [c] under the frontier. *)
+let child_estimate t frontier c =
+  List.fold_left
+    (fun acc (p, w) ->
+      let parents = tag_count t p in
+      if parents = 0 then acc
+      else acc +. (w *. float_of_int (pair_count t ~parent:p ~child:c) /. float_of_int parents))
+    0.0 frontier
+
+(* Expected proper descendants with tag [c]: subtree volume below the
+   frontier, scaled by the tag's global density. *)
+let descendant_estimate t frontier c =
+  let volume =
+    List.fold_left (fun acc (p, w) -> acc +. (w *. Float.max 0.0 (avg_subtree t p -. 1.0))) 0.0 frontier
+  in
+  let density = float_of_int (tag_count t c) /. float_of_int (max 1 t.node_count) in
+  volume *. density
+
+let prune frontier = List.filter (fun (_, w) -> w > 1e-9) frontier
+
+let step t frontier (s : Path.step) =
+  let targets = matching_tags t s.Path.test in
+  let result =
+    match s.Path.axis with
+    | Axis.Self ->
+      List.filter (fun (tag, _) -> Path.matches s.Path.test tag) frontier
+    | Axis.Child -> List.map (fun c -> (c, cap t c (child_estimate t frontier c))) targets
+    | Axis.Descendant ->
+      List.map (fun c -> (c, cap t c (descendant_estimate t frontier c))) targets
+    | Axis.Descendant_or_self ->
+      let self = List.filter (fun (tag, _) -> Path.matches s.Path.test tag) frontier in
+      List.map
+        (fun c ->
+          let self_w = Option.value ~default:0.0 (List.assoc_opt c self) in
+          (c, cap t c (self_w +. descendant_estimate t frontier c)))
+        targets
+    | Axis.Parent | Axis.Ancestor | Axis.Ancestor_or_self | Axis.Following_sibling
+    | Axis.Preceding_sibling ->
+      (* Crude upper bound for non-downward axes: everything with the
+         target tag, bounded by the document. *)
+      List.map (fun c -> (c, cap t c (float_of_int (tag_count t c)))) targets
+  in
+  prune result
+
+let estimate_path t ?context path =
+  let start = match context with Some tag -> initial t tag | None -> root_frontier t in
+  let _, rev =
+    List.fold_left
+      (fun (frontier, acc) s ->
+        let next = step t frontier s in
+        (next, cardinality next :: acc))
+      (start, []) path
+  in
+  List.rev rev
+
+(* --- persistence -------------------------------------------------------------- *)
+
+let add_u32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+
+let add_string buf s =
+  add_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let encode buf t =
+  add_u32 buf t.node_count;
+  add_u32 buf t.height;
+  add_string buf (Tag.to_string t.root_tag);
+  add_u32 buf (Hashtbl.length t.counts);
+  Hashtbl.iter
+    (fun tag count ->
+      add_string buf (Tag.to_string tag);
+      add_u32 buf count)
+    t.counts;
+  add_u32 buf (Hashtbl.length t.pairs);
+  Hashtbl.iter
+    (fun (parent, child) count ->
+      add_string buf (Tag.to_string parent);
+      add_string buf (Tag.to_string child);
+      add_u32 buf count)
+    t.pairs;
+  add_u32 buf (Hashtbl.length t.subtree_totals);
+  Hashtbl.iter
+    (fun tag total ->
+      add_string buf (Tag.to_string tag);
+      add_u32 buf total)
+    t.subtree_totals
+
+let read_u32 s pos =
+  let v = Int32.to_int (String.get_int32_le s pos) in
+  (v, pos + 4)
+
+let read_string s pos =
+  let n, pos = read_u32 s pos in
+  (String.sub s pos n, pos + n)
+
+let decode s pos =
+  let node_count, pos = read_u32 s pos in
+  let height, pos = read_u32 s pos in
+  let root_name, pos = read_string s pos in
+  let counts = Hashtbl.create 64 in
+  let n, pos = read_u32 s pos in
+  let pos = ref pos in
+  for _ = 1 to n do
+    let name, p = read_string s !pos in
+    let count, p = read_u32 s p in
+    Hashtbl.replace counts (Tag.of_string name) count;
+    pos := p
+  done;
+  let pairs = Hashtbl.create 256 in
+  let n, p = read_u32 s !pos in
+  pos := p;
+  for _ = 1 to n do
+    let parent, p = read_string s !pos in
+    let child, p = read_string s p in
+    let count, p = read_u32 s p in
+    Hashtbl.replace pairs (Tag.of_string parent, Tag.of_string child) count;
+    pos := p
+  done;
+  let subtree_totals = Hashtbl.create 64 in
+  let n, p = read_u32 s !pos in
+  pos := p;
+  for _ = 1 to n do
+    let name, p = read_string s !pos in
+    let total, p = read_u32 s p in
+    Hashtbl.replace subtree_totals (Tag.of_string name) total;
+    pos := p
+  done;
+  ( {
+      node_count;
+      height;
+      root_tag = Tag.of_string root_name;
+      tags = Hashtbl.fold (fun tag _ acc -> tag :: acc) counts [];
+      counts;
+      pairs;
+      subtree_totals;
+    },
+    !pos )

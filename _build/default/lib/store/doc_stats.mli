@@ -1,0 +1,57 @@
+(** Document statistics for cardinality estimation.
+
+    The paper leaves "a cost model to support the choice of the
+    I/O-performing operator" as future work (Sec. 7). The baseline model
+    in {!Xnav_core.Compile} only uses global tag counts — a gross upper
+    bound. This module collects, in one pass at import time:
+
+    - per-tag node counts,
+    - parent/child tag-pair edge counts (a 2-gram path synopsis),
+    - per-tag total subtree sizes,
+
+    and estimates step-by-step result cardinalities by propagating a
+    {e frontier} (tag → expected count) through the location path:
+    child steps use the pair counts, descendant steps use expected
+    subtree volume scaled by tag density. Estimates are capped by the
+    per-tag totals. *)
+
+type t
+
+val collect : Xnav_xml.Tree.t -> t
+(** One post-order pass over the document. *)
+
+val node_count : t -> int
+val height : t -> int
+val root_tag : t -> Xnav_xml.Tag.t
+val tag_count : t -> Xnav_xml.Tag.t -> int
+
+val pair_count : t -> parent:Xnav_xml.Tag.t -> child:Xnav_xml.Tag.t -> int
+(** Number of parent/child edges with these tags. *)
+
+val avg_subtree : t -> Xnav_xml.Tag.t -> float
+(** Mean subtree size (including the node itself) of nodes with the tag;
+    0 if the tag does not occur. *)
+
+type frontier = (Xnav_xml.Tag.t * float) list
+(** Expected number of result nodes per tag, after some step. *)
+
+val initial : t -> Xnav_xml.Tag.t -> frontier
+(** A single context node with the given tag. *)
+
+val root_frontier : t -> frontier
+(** The document root as context. *)
+
+val step : t -> frontier -> Xnav_xpath.Path.step -> frontier
+(** Propagate one location step (estimates capped at tag totals; upward
+    axes fall back to a crude bound). *)
+
+val cardinality : frontier -> float
+(** Total expected nodes in the frontier. *)
+
+val estimate_path : t -> ?context:Xnav_xml.Tag.t -> Xnav_xpath.Path.t -> float list
+(** Expected cardinality after each step (default context: the root). *)
+
+(** {2 Persistence} (used by {!Image}) *)
+
+val encode : Buffer.t -> t -> unit
+val decode : string -> int -> t * int

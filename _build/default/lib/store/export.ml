@@ -1,0 +1,60 @@
+module Tree = Xnav_xml.Tree
+module Axis = Xnav_xml.Axis
+
+let subtree store (id : Node_id.t) =
+  let rec build (id : Node_id.t) =
+    let info = Store.info store id in
+    let next = Store.global_axis store Axis.Child id in
+    let rec kids acc =
+      match next () with
+      | None -> List.rev acc
+      | Some (child : Store.info) -> kids (build child.Store.id :: acc)
+    in
+    Tree.make info.Store.tag (kids [])
+  in
+  build id
+
+let subtree_scanned store (id : Node_id.t) =
+  (* One sequential pass: decode every record of every page into memory. *)
+  let first = Store.first_page store in
+  let count = Store.page_count store in
+  let records : (int, Node_record.t) Hashtbl.t array = Array.init count (fun _ -> Hashtbl.create 64) in
+  for pid = first to first + count - 1 do
+    let view = Store.view store pid in
+    let frame_records = records.(pid - first) in
+    Store.iter_records view (fun slot record -> Hashtbl.replace frame_records slot record);
+    Store.release store view
+  done;
+  (* Pure in-memory assembly. *)
+  let record (nid : Node_id.t) = Hashtbl.find records.(nid.Node_id.pid - first) nid.Node_id.slot in
+  let rec build (nid : Node_id.t) =
+    match record nid with
+    | Node_record.Core c ->
+      Tree.make c.Node_record.tag (chain nid.Node_id.pid c.Node_record.first_child)
+    | Node_record.Down _ | Node_record.Up _ ->
+      invalid_arg "Export.subtree_scanned: not a core record"
+  and chain pid slot_opt =
+    match slot_opt with
+    | None -> []
+    | Some slot -> begin
+      let nid = Node_id.make ~pid ~slot in
+      match record nid with
+      | Node_record.Core c -> build nid :: chain pid c.Node_record.next_sibling
+      | Node_record.Down d -> begin
+        match record d.Node_record.target with
+        | Node_record.Up u ->
+          chain d.Node_record.target.Node_id.pid u.Node_record.first_child
+          @ chain pid d.Node_record.next_sibling
+        | Node_record.Core _ | Node_record.Down _ -> assert false
+      end
+      | Node_record.Up _ -> assert false
+    end
+  in
+  build id
+
+let document ?(scan = true) store =
+  if scan then subtree_scanned store (Store.root store) else subtree store (Store.root store)
+
+let to_xml ?(scan = true) store id =
+  let tree = if scan then subtree_scanned store id else subtree store id in
+  Xnav_xml.Xml_writer.to_string ~declaration:true tree

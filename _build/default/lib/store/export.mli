@@ -1,0 +1,28 @@
+(** Document export: materialising stored (sub)trees back into memory —
+    the paper's outlook application ("how our method can be used to
+    speed up document export, where our 'path instance' becomes the
+    textual representation of a whole document", Sec. 7).
+
+    Two strategies with the familiar cost profile:
+
+    - {!subtree} follows the tree structure with the global navigation
+      primitives — random I/O proportional to the subtree's page
+      footprint, but only touching pages the subtree lives on;
+    - {!subtree_scanned} reads {e every} page of the document once,
+      sequentially, into a record table and assembles the result purely
+      in memory — linear in document size, layout-independent, and the
+      clear winner for whole-document export (the usual scan-vs-navigate
+      crossover applies to small subtrees). *)
+
+val subtree : Store.t -> Node_id.t -> Xnav_xml.Tree.t
+(** Rebuild the subtree rooted at the core node, by navigation.
+    @raise Invalid_argument on a border record. *)
+
+val subtree_scanned : Store.t -> Node_id.t -> Xnav_xml.Tree.t
+(** Same result via one sequential scan of the whole document. *)
+
+val document : ?scan:bool -> Store.t -> Xnav_xml.Tree.t
+(** The whole document ([scan] defaults to [true]). *)
+
+val to_xml : ?scan:bool -> Store.t -> Node_id.t -> string
+(** XML text of the subtree (via {!Xnav_xml.Xml_writer}). *)

@@ -1,0 +1,156 @@
+module Disk = Xnav_storage.Disk
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Tag = Xnav_xml.Tag
+
+exception Corrupt of string
+
+let magic = "XNAVIMG1"
+
+(* --- encoding helpers -------------------------------------------------- *)
+
+let add_u32 buf v =
+  if v < 0 then invalid_arg "Image: negative integer";
+  Buffer.add_int32_le buf (Int32.of_int v)
+
+let add_float buf v = Buffer.add_int64_le buf (Int64.bits_of_float v)
+
+let add_string buf s =
+  add_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+type reader = { data : string; mutable pos : int }
+
+let need r n = if r.pos + n > String.length r.data then raise (Corrupt "truncated image")
+
+let read_u32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_le r.data r.pos) in
+  r.pos <- r.pos + 4;
+  if v < 0 then raise (Corrupt "negative field");
+  v
+
+let read_float r =
+  need r 8;
+  let v = Int64.float_of_bits (String.get_int64_le r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let read_string r =
+  let n = read_u32 r in
+  need r n;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* --- save ---------------------------------------------------------------- *)
+
+let save path stores =
+  (match stores with
+  | [] -> invalid_arg "Image.save: no stores"
+  | first :: rest ->
+    let disk = Buffer_manager.disk (Store.buffer first) in
+    if
+      List.exists (fun s -> Buffer_manager.disk (Store.buffer s) != disk) rest
+    then invalid_arg "Image.save: stores live on different disks");
+  let disk = Buffer_manager.disk (Store.buffer (List.hd stores)) in
+  let config = Disk.config disk in
+  let buf = Buffer.create (1 lsl 20) in
+  Buffer.add_string buf magic;
+  add_u32 buf config.Disk.page_size;
+  add_float buf config.Disk.seek_base;
+  add_float buf config.Disk.seek_factor;
+  add_float buf config.Disk.seek_max;
+  add_float buf config.Disk.rotational;
+  add_float buf config.Disk.transfer;
+  add_float buf config.Disk.async_overhead;
+  add_u32 buf (Disk.page_count disk);
+  for pid = 0 to Disk.page_count disk - 1 do
+    Buffer.add_bytes buf (Disk.read disk pid)
+  done;
+  Disk.reset_clock disk;
+  add_u32 buf (List.length stores);
+  List.iter
+    (fun store ->
+      add_u32 buf (Node_id.cluster (Store.root store));
+      add_u32 buf (Store.root store).Node_id.slot;
+      add_u32 buf (Store.first_page store);
+      add_u32 buf (Store.page_count store);
+      add_u32 buf (Store.node_count store);
+      add_u32 buf (Store.height store);
+      let tags = Store.tag_counts store in
+      add_u32 buf (List.length tags);
+      List.iter
+        (fun (tag, count) ->
+          add_string buf (Tag.to_string tag);
+          add_u32 buf count)
+        tags;
+      match Store.doc_stats store with
+      | Some stats ->
+        add_u32 buf 1;
+        Doc_stats.encode buf stats
+      | None -> add_u32 buf 0)
+    stores;
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+(* --- load ----------------------------------------------------------------- *)
+
+let load ?(capacity = 1000) ?policy path =
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let r = { data; pos = 0 } in
+  need r (String.length magic);
+  if String.sub data 0 (String.length magic) <> magic then raise (Corrupt "bad magic");
+  r.pos <- String.length magic;
+  let page_size = read_u32 r in
+  let seek_base = read_float r in
+  let seek_factor = read_float r in
+  let seek_max = read_float r in
+  let rotational = read_float r in
+  let transfer = read_float r in
+  let async_overhead = read_float r in
+  let config =
+    { Disk.page_size; seek_base; seek_factor; seek_max; rotational; transfer; async_overhead }
+  in
+  let disk = Disk.create ~config () in
+  let pages = read_u32 r in
+  for _ = 1 to pages do
+    need r page_size;
+    let pid = Disk.alloc disk in
+    Disk.write disk pid (Bytes.of_string (String.sub r.data r.pos page_size));
+    r.pos <- r.pos + page_size
+  done;
+  Disk.reset_clock disk;
+  let buffer = Buffer_manager.create ~capacity ?policy disk in
+  let stores = read_u32 r in
+  List.init stores (fun _ -> ())
+  |> List.map (fun () ->
+         let root_pid = read_u32 r in
+         let root_slot = read_u32 r in
+         let root = Node_id.make ~pid:root_pid ~slot:root_slot in
+         let first_page = read_u32 r in
+         let page_count = read_u32 r in
+         let node_count = read_u32 r in
+         let height = read_u32 r in
+         let tag_entries = read_u32 r in
+         let tag_counts =
+           List.init tag_entries (fun _ -> ())
+           |> List.map (fun () ->
+                  let name = read_string r in
+                  let count = read_u32 r in
+                  (Tag.of_string name, count))
+         in
+         if first_page + page_count > pages then raise (Corrupt "catalog exceeds disk");
+         let has_stats = read_u32 r in
+         let doc_stats =
+           if has_stats = 1 then begin
+             let stats, next = Doc_stats.decode r.data r.pos in
+             r.pos <- next;
+             Some stats
+           end
+           else None
+         in
+         Store.attach_meta ?doc_stats buffer ~root ~first_page ~page_count ~node_count ~height
+           ~tag_counts)

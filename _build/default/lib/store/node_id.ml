@@ -1,0 +1,30 @@
+type t = { pid : int; slot : int }
+
+let make ~pid ~slot = { pid; slot }
+let cluster id = id.pid
+let equal a b = a.pid = b.pid && a.slot = b.slot
+
+let compare a b =
+  match Stdlib.compare a.pid b.pid with
+  | 0 -> Stdlib.compare a.slot b.slot
+  | c -> c
+
+let hash a = (a.pid * 65599) + a.slot
+let pp ppf id = Format.fprintf ppf "%d.%d" id.pid id.slot
+let to_string id = Format.asprintf "%a" pp id
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

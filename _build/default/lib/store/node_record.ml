@@ -1,0 +1,149 @@
+type core = {
+  tag : Xnav_xml.Tag.t;
+  ordpath : Xnav_xml.Ordpath.t;
+  parent : int option;
+  first_child : int option;
+  last_child : int option;
+  next_sibling : int option;
+  prev_sibling : int option;
+}
+
+type down = {
+  parent : int option;
+  next_sibling : int option;
+  prev_sibling : int option;
+  target : Node_id.t;
+}
+
+type up = {
+  first_child : int option;
+  last_child : int option;
+  target : Node_id.t;
+  owner : Node_id.t;
+  continues : bool;
+}
+
+type t = Core of core | Down of down | Up of up
+
+let is_border = function Core _ -> false | Down _ | Up _ -> true
+
+let target = function
+  | Core _ -> invalid_arg "Node_record.target: core records have no target"
+  | Down d -> d.target
+  | Up u -> u.target
+
+let none_slot = 0xffff
+
+let add_slot buf slot =
+  let v = match slot with None -> none_slot | Some s -> s in
+  Buffer.add_uint16_le buf v
+
+let add_varint buf x =
+  let rec go x =
+    if x < 0x80 then Buffer.add_char buf (Char.chr x)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (x land 0x7f)));
+      go (x lsr 7)
+    end
+  in
+  if x < 0 then invalid_arg "Node_record: negative varint";
+  go x
+
+let add_node_id buf id =
+  add_varint buf id.Node_id.pid;
+  add_varint buf id.Node_id.slot
+
+let encode record =
+  let buf = Buffer.create 32 in
+  (match record with
+  | Core c ->
+    Buffer.add_char buf '\000';
+    add_slot buf c.parent;
+    add_slot buf c.first_child;
+    add_slot buf c.last_child;
+    add_slot buf c.next_sibling;
+    add_slot buf c.prev_sibling;
+    add_varint buf (Xnav_xml.Tag.id c.tag);
+    Xnav_xml.Ordpath.encode buf c.ordpath
+  | Down d ->
+    Buffer.add_char buf '\001';
+    add_slot buf d.parent;
+    add_slot buf d.next_sibling;
+    add_slot buf d.prev_sibling;
+    add_node_id buf d.target
+  | Up u ->
+    Buffer.add_char buf (if u.continues then '\003' else '\002');
+    add_slot buf u.first_child;
+    add_slot buf u.last_child;
+    add_node_id buf u.target;
+    add_node_id buf u.owner);
+  Buffer.contents buf
+
+let read_u16 s off = Char.code s.[off] lor (Char.code s.[off + 1] lsl 8)
+
+let read_slot s off =
+  let v = read_u16 s off in
+  if v = none_slot then None else Some v
+
+let read_varint s off =
+  let rec go off shift acc =
+    let byte = Char.code s.[off] in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte < 0x80 then (acc, off + 1) else go (off + 1) (shift + 7) acc
+  in
+  go off 0 0
+
+let read_node_id s off =
+  let pid, off = read_varint s off in
+  let slot, off = read_varint s off in
+  (Node_id.make ~pid ~slot, off)
+
+let decode s =
+  match s.[0] with
+  | '\000' ->
+    let parent = read_slot s 1 in
+    let first_child = read_slot s 3 in
+    let last_child = read_slot s 5 in
+    let next_sibling = read_slot s 7 in
+    let prev_sibling = read_slot s 9 in
+    let tag_id, off = read_varint s 11 in
+    let ordpath, _ = Xnav_xml.Ordpath.decode s off in
+    Core
+      {
+        tag = Xnav_xml.Tag.of_id tag_id;
+        ordpath;
+        parent;
+        first_child;
+        last_child;
+        next_sibling;
+        prev_sibling;
+      }
+  | '\001' ->
+    let parent = read_slot s 1 in
+    let next_sibling = read_slot s 3 in
+    let prev_sibling = read_slot s 5 in
+    let target, _ = read_node_id s 7 in
+    Down { parent; next_sibling; prev_sibling; target }
+  | ('\002' | '\003') as kind ->
+    let first_child = read_slot s 1 in
+    let last_child = read_slot s 3 in
+    let target, off = read_node_id s 5 in
+    let owner, _ = read_node_id s off in
+    Up { first_child; last_child; target; owner; continues = kind = '\003' }
+  | c -> invalid_arg (Printf.sprintf "Node_record.decode: unknown kind %d" (Char.code c))
+
+let encoded_size record = String.length (encode record)
+
+(* Worst case chargeable to one node: it anchors a run (Up: 1 + 4 + two
+   NodeIDs of <= 10 bytes = 25), ends a run (Down: 1 + 6 + 10 = 17), and
+   starts a remote child chain (another Down: 17), plus 4 slot-directory
+   entries of 4 bytes. *)
+let max_overhead = 26 + 17 + 17 + (4 * Xnav_storage.Page.slot_entry_size)
+
+let pp ppf = function
+  | Core c ->
+    Format.fprintf ppf "core(%a @@%a)" Xnav_xml.Tag.pp c.tag Xnav_xml.Ordpath.pp c.ordpath
+  | Down d -> Format.fprintf ppf "down(->%a)" Node_id.pp d.target
+  | Up u -> Format.fprintf ppf "up(->%a owner=%a)" Node_id.pp u.target Node_id.pp u.owner
+
+let equal a b = String.equal (encode a) (encode b)

@@ -1,0 +1,74 @@
+(** On-page node records and their binary codec.
+
+    Three record kinds implement the paper's storage model (Sec. 3.4):
+
+    - [Core] records represent logical document nodes. All their
+      structural references (parent, first/last child, next/previous
+      sibling) are {e slot numbers within the same page} — an edge never
+      silently leaves the cluster.
+    - [Down] border records stand, inside a sibling chain, for the
+      continuation of that chain in another cluster (a {e run} of one or
+      more consecutive children stored elsewhere). Their [target] is the
+      NodeID of the matching [Up] record.
+    - [Up] border records anchor such a run in its cluster: [first_child]
+      /[last_child] delimit the run, [target] points back to the matching
+      [Down], and [owner] is the NodeID of the run's logical parent's
+      core record (needed for upward navigation).
+
+    Splitting chains into runs generalises the paper's one-border-per-edge
+    picture (Fig. 3) just enough that a node with more children than fit
+    on one page is still representable; with one remote child per run the
+    two models coincide. *)
+
+type core = {
+  tag : Xnav_xml.Tag.t;
+  ordpath : Xnav_xml.Ordpath.t;
+  parent : int option;  (** Slot of the parent core or anchoring [Up]. *)
+  first_child : int option;  (** Slot of the first chain entry ([Core] or [Down]). *)
+  last_child : int option;
+  next_sibling : int option;
+  prev_sibling : int option;
+}
+
+type down = {
+  parent : int option;
+  next_sibling : int option;
+  prev_sibling : int option;
+  target : Node_id.t;  (** The [Up] anchoring the remote run. *)
+}
+
+type up = {
+  first_child : int option;
+  last_child : int option;
+  target : Node_id.t;  (** The [Down] standing for this run. *)
+  owner : Node_id.t;  (** Core record of the run's logical parent. *)
+  continues : bool;
+      (** Whether the matching [Down] sits mid-chain (created by an
+          in-place update), i.e. the sibling chain resumes after it. Bulk
+          import always produces terminal [Down]s ([continues = false]),
+          letting the chain walkers skip the end-of-run check. The flag
+          is conservative: deletes may turn a continuing run terminal
+          without clearing it. *)
+}
+
+type t = Core of core | Down of down | Up of up
+
+val is_border : t -> bool
+
+val target : t -> Node_id.t
+(** The companion border's NodeID (paper's [target] operation).
+    @raise Invalid_argument on a [Core] record. *)
+
+val encode : t -> string
+val decode : string -> t
+
+val encoded_size : t -> int
+(** [encoded_size r = String.length (encode r)]. *)
+
+val max_overhead : int
+(** Safe upper bound, in bytes, of border records plus slot-directory
+    entries chargeable to a single node during clustering (used by the
+    import packer's pessimistic fit test). *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

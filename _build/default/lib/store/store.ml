@@ -1,0 +1,438 @@
+module Axis = Xnav_xml.Axis
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Page = Xnav_storage.Page
+
+type t = {
+  buffer : Buffer_manager.t;
+  root : Node_id.t;
+  first_page : int;
+  mutable page_count : int;
+  mutable node_count : int;
+  height : int;
+  tag_counts : (Xnav_xml.Tag.t * int) list;
+  doc_stats : Doc_stats.t option;
+}
+
+let attach buffer (import : Import.result) =
+  {
+    buffer;
+    root = import.root;
+    first_page = import.first_page;
+    page_count = import.page_count;
+    node_count = import.node_count;
+    height = import.height;
+    tag_counts = import.tag_counts;
+    doc_stats = Some import.stats;
+  }
+
+let attach_meta ?doc_stats buffer ~root ~first_page ~page_count ~node_count ~height ~tag_counts =
+  { buffer; root; first_page; page_count; node_count; height; tag_counts; doc_stats }
+
+let buffer t = t.buffer
+let root t = t.root
+let node_count t = t.node_count
+let first_page t = t.first_page
+let page_count t = t.page_count
+let height t = t.height
+let tag_counts t = t.tag_counts
+let doc_stats t = t.doc_stats
+
+(* Bookkeeping hooks for the update layer. *)
+let note_new_page t = t.page_count <- t.page_count + 1
+let note_nodes_delta t delta = t.node_count <- t.node_count + delta
+
+let tag_count t tag =
+  match List.assoc_opt tag t.tag_counts with Some n -> n | None -> 0
+
+(* --- Views ------------------------------------------------------------ *)
+
+type view = { pid : int; frame : Buffer_manager.frame; page : Page.t }
+
+let view t pid =
+  let frame = Buffer_manager.fix t.buffer pid in
+  { pid; frame; page = Buffer_manager.page frame }
+
+let view_of_frame _t frame =
+  { pid = Buffer_manager.frame_pid frame; frame; page = Buffer_manager.page frame }
+
+let release t v = Buffer_manager.unfix t.buffer v.frame
+let view_pid v = v.pid
+let get v slot = Node_record.decode (Page.get v.page slot)
+let id_of v slot = Node_id.make ~pid:v.pid ~slot
+
+let iter_records v f =
+  Page.iter (fun slot encoded -> f slot (Node_record.decode encoded)) v.page
+
+let up_slots v =
+  let acc = ref [] in
+  Page.iter
+    (fun slot record -> if record.[0] = '\002' || record.[0] = '\003' then acc := slot :: !acc)
+    v.page;
+  List.rev !acc
+
+(* --- Intra-cluster cursors --------------------------------------------- *)
+
+type emission = Reached of int * Node_record.core | Crossing of int * Node_id.t
+
+(* A chain task walks a sibling chain; [descend] additionally visits each
+   core's subtree in preorder. *)
+type task = T_node of int * Node_record.core * bool | T_chain of int option * bool
+
+type cursor = { view : view; mutable agenda : task list }
+
+let core_at v slot =
+  match get v slot with
+  | Node_record.Core c -> c
+  | Node_record.Down _ | Node_record.Up _ ->
+    invalid_arg (Printf.sprintf "Store: slot %d is a border record" slot)
+
+let up_at v slot =
+  match get v slot with
+  | Node_record.Up u -> u
+  | Node_record.Core _ | Node_record.Down _ ->
+    invalid_arg (Printf.sprintf "Store: slot %d is not an Up border" slot)
+
+let check_downward axis =
+  if not (Axis.is_downward axis) then
+    invalid_arg
+      (Printf.sprintf "Store: axis %s has no intra-cluster cursor (use global_axis)"
+         (Axis.to_string axis))
+
+let start v axis slot =
+  check_downward axis;
+  let core = core_at v slot in
+  let agenda =
+    match (axis : Axis.t) with
+    | Self -> [ T_node (slot, core, false) ]
+    | Child -> [ T_chain (core.first_child, false) ]
+    | Descendant -> [ T_chain (core.first_child, true) ]
+    | Descendant_or_self -> [ T_node (slot, core, true) ]
+    | Parent | Ancestor | Ancestor_or_self | Following_sibling | Preceding_sibling ->
+      assert false
+  in
+  { view = v; agenda }
+
+let resume v axis slot =
+  check_downward axis;
+  let up = up_at v slot in
+  let agenda =
+    match (axis : Axis.t) with
+    | Self -> []
+    | Child -> [ T_chain (up.first_child, false) ]
+    | Descendant | Descendant_or_self -> [ T_chain (up.first_child, true) ]
+    | Parent | Ancestor | Ancestor_or_self | Following_sibling | Preceding_sibling ->
+      assert false
+  in
+  { view = v; agenda }
+
+let rec next_emission cursor =
+  match cursor.agenda with
+  | [] -> None
+  | T_node (slot, core, descend) :: rest ->
+    cursor.agenda <- (if descend then T_chain (core.first_child, true) :: rest else rest);
+    Some (Reached (slot, core))
+  | T_chain (None, _) :: rest ->
+    cursor.agenda <- rest;
+    next_emission cursor
+  | T_chain (Some slot, descend) :: rest -> begin
+    match get cursor.view slot with
+    | Node_record.Core core ->
+      cursor.agenda <- T_node (slot, core, descend) :: T_chain (core.next_sibling, descend) :: rest;
+      next_emission cursor
+    | Node_record.Down down ->
+      cursor.agenda <- T_chain (down.next_sibling, descend) :: rest;
+      Some (Crossing (slot, down.target))
+    | Node_record.Up _ -> assert false (* Up records never sit in chains *)
+  end
+
+(* --- Whole-node access -------------------------------------------------- *)
+
+type info = { id : Node_id.t; tag : Xnav_xml.Tag.t; ordpath : Xnav_xml.Ordpath.t }
+
+let read t (id : Node_id.t) =
+  let frame = Buffer_manager.fix t.buffer id.pid in
+  let record = Node_record.decode (Page.get (Buffer_manager.page frame) id.slot) in
+  Buffer_manager.unfix t.buffer frame;
+  record
+
+let info t id =
+  match read t id with
+  | Node_record.Core c -> { id; tag = c.tag; ordpath = c.ordpath }
+  | Node_record.Down _ | Node_record.Up _ ->
+    invalid_arg (Printf.sprintf "Store.info: %s is a border record" (Node_id.to_string id))
+
+(* --- Global navigation --------------------------------------------------- *)
+
+(* Forward walk of a sibling chain across clusters: Down records are
+   resolved eagerly through their target Up, and at the end of a run the
+   walk resumes after the run's Down (runs created by in-place updates
+   may sit mid-chain). Positions are (pid, slot option, anchor slot). *)
+let rec chain_next ?stop_up t pid slot_opt ~parent_slot =
+  match slot_opt with
+  | None -> begin
+    (* End of a segment: if anchored by an Up, resume after its Down —
+       unless the Up is [stop_up], the entry point of a border
+       continuation, whose post-run siblings belong to the cluster the
+       crossing came from. *)
+    match parent_slot with
+    | None -> None
+    | Some pslot -> begin
+      let anchor = Node_id.make ~pid ~slot:pslot in
+      match read t anchor with
+      | Node_record.Core _ -> None (* true end of the children list *)
+      | Node_record.Up u ->
+        if
+          (not u.continues)
+          || match stop_up with Some stop -> Node_id.equal stop anchor | None -> false
+        then None
+        else begin
+          match read t u.target with
+          | Node_record.Down d ->
+            chain_next ?stop_up t u.target.pid d.next_sibling ~parent_slot:d.parent
+          | Node_record.Core _ | Node_record.Up _ -> assert false
+        end
+      | Node_record.Down _ -> assert false
+    end
+  end
+  | Some slot -> begin
+    match read t (Node_id.make ~pid ~slot) with
+    | Node_record.Core c ->
+      Some
+        ( { id = Node_id.make ~pid ~slot; tag = c.tag; ordpath = c.ordpath },
+          c,
+          (pid, c.next_sibling, c.parent) )
+    | Node_record.Down d -> begin
+      match read t d.target with
+      | Node_record.Up u ->
+        chain_next t d.target.pid u.first_child ~parent_slot:(Some d.target.slot)
+      | Node_record.Core _ | Node_record.Down _ -> assert false
+    end
+    | Node_record.Up _ -> assert false
+  end
+
+(* Backward walk: at the head of a run, jump through the anchoring Up to
+   the Down that stands for the run and continue before it. *)
+let rec chain_prev t pid slot_opt ~parent_slot =
+  match slot_opt with
+  | None -> begin
+    (* Head of a segment: if anchored by an Up, continue before its Down. *)
+    match parent_slot with
+    | None -> None
+    | Some pslot -> begin
+      match read t (Node_id.make ~pid ~slot:pslot) with
+      | Node_record.Core _ -> None (* true start of the children list *)
+      | Node_record.Up u -> begin
+        match read t u.target with
+        | Node_record.Down d -> chain_prev t u.target.pid d.prev_sibling ~parent_slot:d.parent
+        | Node_record.Core _ | Node_record.Up _ -> assert false
+      end
+      | Node_record.Down _ -> assert false
+    end
+  end
+  | Some slot -> begin
+    match read t (Node_id.make ~pid ~slot) with
+    | Node_record.Core c ->
+      Some
+        ( { id = Node_id.make ~pid ~slot; tag = c.tag; ordpath = c.ordpath },
+          pid,
+          c.prev_sibling,
+          c.parent )
+    | Node_record.Down d -> begin
+      (* A remote run precedes: walk it backwards from its last entry. *)
+      match read t d.target with
+      | Node_record.Up u -> chain_prev t d.target.pid u.last_child ~parent_slot:(Some d.target.slot)
+      | Node_record.Core _ | Node_record.Down _ -> assert false
+    end
+    | Node_record.Up _ -> assert false
+  end
+
+let parent_info t (id : Node_id.t) =
+  match read t id with
+  | Node_record.Core c -> begin
+    match c.parent with
+    | None -> None
+    | Some pslot -> begin
+      match read t (Node_id.make ~pid:id.pid ~slot:pslot) with
+      | Node_record.Core pc ->
+        Some { id = Node_id.make ~pid:id.pid ~slot:pslot; tag = pc.tag; ordpath = pc.ordpath }
+      | Node_record.Up u -> Some (info t u.owner)
+      | Node_record.Down _ -> assert false
+    end
+  end
+  | Node_record.Down _ | Node_record.Up _ ->
+    invalid_arg "Store.global_axis: context is a border record"
+
+let global_axis t axis (id : Node_id.t) =
+  match (axis : Axis.t) with
+  | Self ->
+    let fired = ref false in
+    fun () ->
+      if !fired then None
+      else begin
+        fired := true;
+        Some (info t id)
+      end
+  | Child ->
+    let record = read t id in
+    let first =
+      match record with
+      | Node_record.Core c -> c.first_child
+      | Node_record.Down _ | Node_record.Up _ ->
+        invalid_arg "Store.global_axis: context is a border record"
+    in
+    let pos = ref (id.pid, first, (Some id.slot : int option)) in
+    fun () ->
+      let pid, slot, parent_slot = !pos in
+      begin
+        match chain_next t pid slot ~parent_slot with
+        | None -> None
+        | Some (inf, _core, next_pos) ->
+          pos := next_pos;
+          Some inf
+      end
+  | Descendant | Descendant_or_self ->
+    (* Stack of chain positions; each emitted core pushes its children. *)
+    let stack = ref [] in
+    let self_pending = ref (axis = Descendant_or_self) in
+    let record = read t id in
+    (match record with
+    | Node_record.Core c -> stack := [ (id.pid, c.first_child, Some id.slot) ]
+    | Node_record.Down _ | Node_record.Up _ ->
+      invalid_arg "Store.global_axis: context is a border record");
+    let rec next () =
+      if !self_pending then begin
+        self_pending := false;
+        Some (info t id)
+      end
+      else begin
+        match !stack with
+        | [] -> None
+        | (pid, slot, parent_slot) :: rest -> begin
+          match chain_next t pid slot ~parent_slot with
+          | None ->
+            stack := rest;
+            next ()
+          | Some (inf, core, (pid', nxt, par')) ->
+            stack :=
+              (inf.id.pid, core.first_child, Some inf.id.slot) :: (pid', nxt, par') :: rest;
+            Some inf
+        end
+      end
+    in
+    next
+  | Parent ->
+    let fired = ref false in
+    fun () ->
+      if !fired then None
+      else begin
+        fired := true;
+        parent_info t id
+      end
+  | Ancestor | Ancestor_or_self ->
+    let current = ref (Some id) in
+    let self_pending = ref (axis = Ancestor_or_self) in
+    fun () ->
+      if !self_pending then begin
+        self_pending := false;
+        Some (info t id)
+      end
+      else begin
+        match !current with
+        | None -> None
+        | Some node -> begin
+          match parent_info t node with
+          | None ->
+            current := None;
+            None
+          | Some inf ->
+            current := Some inf.id;
+            Some inf
+        end
+      end
+  | Following_sibling ->
+    let record = read t id in
+    let next =
+      match record with
+      | Node_record.Core c -> c.next_sibling
+      | Node_record.Down _ | Node_record.Up _ ->
+        invalid_arg "Store.global_axis: context is a border record"
+    in
+    let parent0 =
+      match record with Node_record.Core c -> c.parent | _ -> None
+    in
+    let pos = ref (id.pid, next, parent0) in
+    fun () ->
+      let pid, slot, parent_slot = !pos in
+      begin
+        match chain_next t pid slot ~parent_slot with
+        | None -> None
+        | Some (inf, _core, next_pos) ->
+          pos := next_pos;
+          Some inf
+      end
+  | Preceding_sibling ->
+    let record = read t id in
+    let prev, parent =
+      match record with
+      | Node_record.Core c -> (c.prev_sibling, c.parent)
+      | Node_record.Down _ | Node_record.Up _ ->
+        invalid_arg "Store.global_axis: context is a border record"
+    in
+    let pos = ref (id.pid, prev, parent) in
+    fun () ->
+      let pid, slot, parent_slot = !pos in
+      match chain_prev t pid slot ~parent_slot with
+      | None -> None
+      | Some (inf, pid', prv, par) ->
+        pos := (pid', prv, par);
+        Some inf
+
+let global_count t axis id =
+  let next = global_axis t axis id in
+  let rec go n = match next () with None -> n | Some _ -> go (n + 1) in
+  go 0
+
+let global_resume t axis (up_id : Node_id.t) =
+  check_downward axis;
+  let up =
+    match read t up_id with
+    | Node_record.Up u -> u
+    | Node_record.Core _ | Node_record.Down _ ->
+      invalid_arg "Store.global_resume: entry is not an Up border"
+  in
+  match (axis : Axis.t) with
+  | Self -> fun () -> None
+  | Child ->
+    (* Only this run: the walk must not resume past the run's own Down
+       (those siblings were enumerated in the cluster the crossing came
+       from). *)
+    let pos = ref (up_id.pid, up.first_child, (Some up_id.slot : int option)) in
+    fun () ->
+      let pid, slot, parent_slot = !pos in
+      begin
+        match chain_next ~stop_up:up_id t pid slot ~parent_slot with
+        | None -> None
+        | Some (inf, _core, next_pos) ->
+          pos := next_pos;
+          Some inf
+      end
+  | Descendant | Descendant_or_self ->
+    (* The run's nodes and all their descendants. *)
+    let stack = ref [ (up_id.pid, up.first_child, (Some up_id.slot : int option)) ] in
+    let rec next () =
+      match !stack with
+      | [] -> None
+      | (pid, slot, parent_slot) :: rest -> begin
+        match chain_next ~stop_up:up_id t pid slot ~parent_slot with
+        | None ->
+          stack := rest;
+          next ()
+        | Some (inf, core, (pid', nxt, par')) ->
+          stack :=
+            (inf.id.pid, core.first_child, Some inf.id.slot) :: (pid', nxt, par') :: rest;
+          Some inf
+      end
+    in
+    next
+  | Parent | Ancestor | Ancestor_or_self | Following_sibling | Preceding_sibling ->
+    assert false (* excluded by check_downward *)

@@ -1,0 +1,156 @@
+(** The clustered document store: navigation primitives over imported
+    documents.
+
+    Two navigation layers implement the paper's cost split (Sec. 3.5):
+
+    {2 Intra-cluster cursors}
+
+    {!start} / {!resume} enumerate an axis step {e within one pinned
+    page} ({!view}). They emit [Reached] for core nodes found locally and
+    [Crossing] wherever the navigation would have to traverse an
+    inter-cluster edge — carrying the target border's NodeID so the
+    caller (XAssembly/XSchedule) can defer and batch the I/O. A cursor
+    never touches the buffer manager: while a page is pinned, navigation
+    over it is pure in-memory pointer chasing — the swizzled regime the
+    paper's XStep chain operates in. Only the downward axes are
+    supported ({!Xnav_xml.Axis.is_downward}).
+
+    {2 Global navigation}
+
+    {!global_axis} enumerates any of the nine axes transparently across
+    cluster borders, paying a buffer-manager lookup (and possibly a
+    random synchronous page read) per page touched. This is the access
+    pattern of the paper's Simple method and of fallback mode, and it
+    doubles as the specification layer the cursors are tested against. *)
+
+type t
+
+val attach : Xnav_storage.Buffer_manager.t -> Import.result -> t
+(** Binds an imported document to the buffer pool it will be read
+    through. *)
+
+val attach_meta :
+  ?doc_stats:Doc_stats.t ->
+  Xnav_storage.Buffer_manager.t ->
+  root:Node_id.t ->
+  first_page:int ->
+  page_count:int ->
+  node_count:int ->
+  height:int ->
+  tag_counts:(Xnav_xml.Tag.t * int) list ->
+  t
+(** Rebinds a document from persisted catalog metadata (see {!Image}). *)
+
+val buffer : t -> Xnav_storage.Buffer_manager.t
+val root : t -> Node_id.t
+val node_count : t -> int
+val first_page : t -> int
+val page_count : t -> int
+val height : t -> int
+val tag_counts : t -> (Xnav_xml.Tag.t * int) list
+
+val doc_stats : t -> Doc_stats.t option
+(** The import-time path synopsis, when available (imported or loaded
+    stores have it; it is frozen — updates do not maintain it). *)
+
+val tag_count : t -> Xnav_xml.Tag.t -> int
+(** Number of nodes carrying the tag (0 if absent) — selectivity input
+    for the cost-based plan chooser. Statistics are collected at import
+    time and are {e not} maintained by {!Update}; re-import to refresh. *)
+
+val note_new_page : t -> unit
+(** Registers a page appended after import (update layer only): extends
+    the range XScan sweeps. *)
+
+val note_nodes_delta : t -> int -> unit
+(** Adjusts the logical node count (update layer only). *)
+
+(** {2 Views: pinned pages} *)
+
+type view
+
+val view : t -> int -> view
+(** Pin page [pid] through the synchronous buffer path. *)
+
+val view_of_frame : t -> Xnav_storage.Buffer_manager.frame -> view
+(** Adopt an already pinned frame (the asynchronous path: the frame
+    returned by {!Xnav_storage.Buffer_manager.await_one}). The view takes
+    over the pin. *)
+
+val release : t -> view -> unit
+(** Unpin. The view and every cursor over it become invalid. *)
+
+val view_pid : view -> int
+
+val get : view -> int -> Node_record.t
+(** Decode the record in the slot. @raise Invalid_argument on a free or
+    out-of-range slot. *)
+
+val id_of : view -> int -> Node_id.t
+
+val up_slots : view -> int list
+(** Slots of all [Up] border records in the page — the entry points the
+    XScan operator speculates from. *)
+
+val iter_records : view -> (int -> Node_record.t -> unit) -> unit
+(** Decode and visit every live record of the page, in slot order (used
+    by scan-based export). *)
+
+(** {2 Intra-cluster cursors} *)
+
+type emission =
+  | Reached of int * Node_record.core
+      (** A core node found without leaving the cluster: slot and record. *)
+  | Crossing of int * Node_id.t
+      (** An inter-cluster edge: the local [Down]'s slot and the NodeID
+          of the target [Up] in the remote cluster. *)
+
+type cursor
+
+val start : view -> Xnav_xml.Axis.t -> int -> cursor
+(** [start view axis slot] enumerates [axis] from the core node in
+    [slot], intra-cluster only.
+    @raise Invalid_argument if the axis is not downward or the slot does
+    not hold a core record. *)
+
+val resume : view -> Xnav_xml.Axis.t -> int -> cursor
+(** [resume view axis slot] continues the enumeration of [axis] after
+    crossing into this cluster at the [Up] record in [slot] (the target
+    of an earlier [Crossing]).
+    @raise Invalid_argument if the axis is not downward or the slot does
+    not hold an [Up] record. *)
+
+val next_emission : cursor -> emission option
+(** The next emission, or [None] when the local enumeration is done. *)
+
+(** {2 Whole-node access} *)
+
+type info = { id : Node_id.t; tag : Xnav_xml.Tag.t; ordpath : Xnav_xml.Ordpath.t }
+(** What result handling needs to know about a core node: identity, tag
+    for node tests, ordpath for re-establishing document order. *)
+
+val read : t -> Node_id.t -> Node_record.t
+(** Synchronous single-record access (fix, decode, unfix). *)
+
+val info : t -> Node_id.t -> info
+(** @raise Invalid_argument if the NodeID names a border record. *)
+
+(** {2 Global navigation} *)
+
+val global_axis : t -> Xnav_xml.Axis.t -> Node_id.t -> unit -> info option
+(** [global_axis t axis id] is a stateful pull iterator over the full
+    axis result for the core node [id], resolving border crossings
+    eagerly with synchronous page fixes. Supports all nine axes, in the
+    axis' natural order. *)
+
+val global_count : t -> Xnav_xml.Axis.t -> Node_id.t -> int
+(** Drains {!global_axis} and counts. *)
+
+val global_resume : t -> Xnav_xml.Axis.t -> Node_id.t -> unit -> info option
+(** [global_resume t axis up_id] continues the enumeration of a downward
+    [axis] across the border entry [up_id] (an [Up] record), resolving
+    any further crossings eagerly — the border-transparent counterpart of
+    {!resume}, used by fallback mode to finish work that was pending at
+    the moment of the switch.
+    @raise Invalid_argument if the axis is not downward or [up_id] does
+    not name an [Up] record. *)

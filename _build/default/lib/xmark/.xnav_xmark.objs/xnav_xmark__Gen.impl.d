@@ -1,0 +1,1 @@
+lib/xmark/gen.ml: Float List Rng Xnav_xml

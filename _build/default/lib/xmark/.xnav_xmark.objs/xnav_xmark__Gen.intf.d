@@ -1,0 +1,1 @@
+lib/xmark/gen.mli: Xnav_xml

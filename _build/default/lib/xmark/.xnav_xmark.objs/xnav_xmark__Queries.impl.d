@@ -1,0 +1,1 @@
+lib/xmark/queries.ml: List String Xnav_xpath

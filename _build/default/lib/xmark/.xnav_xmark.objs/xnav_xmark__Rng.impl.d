@@ -1,0 +1,1 @@
+lib/xmark/rng.ml: Array Int64

@@ -1,0 +1,144 @@
+module Tree = Xnav_xml.Tree
+
+type config = { scale : float; fidelity : float; seed : int }
+
+let default_config = { scale = 1.0; fidelity = 0.05; seed = 20050614 }
+
+(* XMark entity counts at scaling factor 1. *)
+let base_items_per_region =
+  [ ("africa", 550); ("asia", 2000); ("australia", 2200); ("europe", 6000);
+    ("namerica", 10000); ("samerica", 1000) ]
+
+let base_persons = 25500
+let base_open_auctions = 12000
+let base_closed_auctions = 9750
+let base_categories = 1000
+
+let scaled config base =
+  max 1 (int_of_float (Float.round (float_of_int base *. config.scale *. config.fidelity)))
+
+let entity_counts config =
+  let items =
+    List.fold_left (fun acc (_, n) -> acc + scaled config n) 0 base_items_per_region
+  in
+  ( items,
+    scaled config base_persons,
+    scaled config base_open_auctions,
+    scaled config base_closed_auctions )
+
+let e = Tree.elt
+let leaf name = Tree.elt name []
+
+(* [text] elements carry keyword/bold/emph children (the prose markup of
+   XMark); [rich] raises the chance of an [emph] with a nested [keyword],
+   the pattern query Q15 selects. *)
+let text_elt rng ~rich =
+  let markup = ref [] in
+  let n = Rng.range rng 0 3 in
+  for _ = 1 to n do
+    match Rng.int rng 3 with
+    | 0 -> markup := leaf "keyword" :: !markup
+    | 1 -> markup := leaf "bold" :: !markup
+    | _ -> markup := e "emph" (if Rng.bool rng 0.5 then [ leaf "keyword" ] else []) :: !markup
+  done;
+  if rich && Rng.bool rng 0.7 then markup := e "emph" [ leaf "keyword" ] :: !markup;
+  e "text" !markup
+
+(* description ::= text | parlist; parlist ::= listitem+;
+   listitem ::= text | parlist (recursive). [depth] bounds the nesting;
+   [rich] flows down so closed-auction annotations contain the deep
+   parlist/listitem/parlist/listitem/text/emph/keyword chains of Q15. *)
+let rec parlist rng ~rich ~depth =
+  let items = Rng.range rng 1 3 in
+  e "parlist"
+    (List.init items (fun _ ->
+         let nest = depth > 0 && Rng.bool rng (if rich then 0.55 else 0.25) in
+         e "listitem" [ (if nest then parlist rng ~rich ~depth:(depth - 1) else text_elt rng ~rich) ]))
+
+let description rng ~rich =
+  let p = if rich then 0.8 else 0.35 in
+  e "description"
+    [ (if Rng.bool rng p then parlist rng ~rich ~depth:2 else text_elt rng ~rich) ]
+
+let mail rng =
+  e "mail" [ leaf "from"; leaf "to"; leaf "date"; text_elt rng ~rich:false ]
+
+let item rng =
+  let incategories = List.init (Rng.range rng 1 3) (fun _ -> leaf "incategory") in
+  let mails = List.init (Rng.range rng 0 2) (fun _ -> mail rng) in
+  e "item"
+    ([ leaf "location"; leaf "quantity"; leaf "name"; leaf "payment";
+       description rng ~rich:false; leaf "shipping" ]
+    @ incategories
+    @ [ e "mailbox" mails ])
+
+let person rng =
+  let optional p node = if Rng.bool rng p then [ node () ] else [] in
+  let address () =
+    e "address" ([ leaf "street"; leaf "city"; leaf "country" ] @ optional 0.5 (fun () -> leaf "province") @ [ leaf "zipcode" ])
+  in
+  let profile () =
+    e "profile"
+      (List.init (Rng.range rng 0 3) (fun _ -> leaf "interest")
+      @ optional 0.6 (fun () -> leaf "education")
+      @ optional 0.8 (fun () -> leaf "gender")
+      @ [ leaf "business" ]
+      @ optional 0.7 (fun () -> leaf "age"))
+  in
+  let watches () = e "watches" (List.init (Rng.range rng 0 3) (fun _ -> leaf "watch")) in
+  e "person"
+    ([ leaf "name"; leaf "email"; leaf "phone" ]
+    @ optional 0.6 address
+    @ optional 0.3 (fun () -> leaf "homepage")
+    @ optional 0.4 (fun () -> leaf "creditcard")
+    @ optional 0.9 profile
+    @ optional 0.5 watches)
+
+let bidder rng =
+  ignore rng;
+  e "bidder" [ leaf "date"; leaf "time"; leaf "personref"; leaf "increase" ]
+
+let annotation rng ~rich =
+  e "annotation" [ leaf "author"; description rng ~rich; leaf "happiness" ]
+
+let open_auction rng =
+  let optional p node = if Rng.bool rng p then [ node () ] else [] in
+  e "open_auction"
+    ([ leaf "initial" ]
+    @ optional 0.5 (fun () -> leaf "reserve")
+    @ List.init (Rng.range rng 0 4) (fun _ -> bidder rng)
+    @ [ leaf "current" ]
+    @ optional 0.3 (fun () -> leaf "privacy")
+    @ [ leaf "itemref"; leaf "seller"; annotation rng ~rich:false; leaf "quantity";
+        leaf "type"; e "interval" [ leaf "start"; leaf "end" ] ])
+
+let closed_auction rng =
+  e "closed_auction"
+    [ leaf "seller"; leaf "buyer"; leaf "itemref"; leaf "price"; leaf "date";
+      leaf "quantity"; leaf "type"; annotation rng ~rich:true ]
+
+let category rng = e "category" [ leaf "name"; description rng ~rich:false ]
+
+let generate ?(config = default_config) () =
+  let rng = Rng.create config.seed in
+  let regions =
+    e "regions"
+      (List.map
+         (fun (name, base) -> e name (List.init (scaled config base) (fun _ -> item rng)))
+         base_items_per_region)
+  in
+  let categories =
+    e "categories" (List.init (scaled config base_categories) (fun _ -> category rng))
+  in
+  let catgraph =
+    e "catgraph" (List.init (scaled config base_categories) (fun _ -> leaf "edge"))
+  in
+  let people = e "people" (List.init (scaled config base_persons) (fun _ -> person rng)) in
+  let open_auctions =
+    e "open_auctions" (List.init (scaled config base_open_auctions) (fun _ -> open_auction rng))
+  in
+  let closed_auctions =
+    e "closed_auctions"
+      (List.init (scaled config base_closed_auctions) (fun _ -> closed_auction rng))
+  in
+  e "site" [ regions; categories; catgraph; people; open_auctions; closed_auctions ]

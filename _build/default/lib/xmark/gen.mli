@@ -1,0 +1,35 @@
+(** XMark-schema document generator — our stand-in for the benchmark's
+    [xmlgen] tool (Schmidt et al., VLDB 2002), which the paper uses to
+    produce its evaluation documents (Sec. 6.2).
+
+    The generator reproduces the XMark element hierarchy (auction site:
+    regions with items, people, open and closed auctions with annotations
+    and recursive [parlist] descriptions) and the entity proportions of
+    the original at a given {e scaling factor}. Two deliberate deviations:
+
+    - text content is not generated (the paper's model is element-only,
+      Sec. 3.1); [text] {e elements} with [keyword]/[bold]/[emph] children
+      are kept, since query Q15 navigates through them;
+    - the person's [emailaddress] element is named [email] so the paper's
+      formulation of Q7 ([count(/site//email)]) matches literally;
+    - a [fidelity] knob scales all entity counts, so a scaling-factor
+      sweep runs in seconds instead of hours. At [fidelity = 1.0] and
+      [scale = 1.0] the document has the full XMark entity counts
+      (21750 items, 25500 persons, 12000 open / 9750 closed auctions,
+      1000 categories — roughly 1.3 million elements). *)
+
+type config = {
+  scale : float;  (** The XMark scaling factor (paper sweeps 0.1 - 2.0). *)
+  fidelity : float;  (** Multiplier on all entity counts (default 0.05). *)
+  seed : int;
+}
+
+val default_config : config
+(** [scale = 1.0], [fidelity = 0.05], [seed = 20050614]. *)
+
+val generate : ?config:config -> unit -> Xnav_xml.Tree.t
+(** A fresh document tree. Deterministic in [config]. *)
+
+val entity_counts : config -> int * int * int * int
+(** [(items, persons, open_auctions, closed_auctions)] the configuration
+    will produce. *)

@@ -1,0 +1,53 @@
+module Xpath_parser = Xnav_xpath.Xpath_parser
+module Path = Xnav_xpath.Path
+
+(* The paper's queries are absolute paths; evaluation starts at the root
+   [site] element, so leading [/site] steps become [self::site]. *)
+let parse s = Path.from_root_element (Xpath_parser.parse s)
+
+type t = {
+  name : string;
+  description : string;
+  paths : Xnav_xpath.Path.t list;
+  selective : bool;
+}
+
+let q6' =
+  {
+    name = "q6'";
+    description = "count(/site/regions//item)";
+    paths = [ parse "/site/regions//item" ];
+    selective = false;
+  }
+
+let q7 =
+  {
+    name = "q7";
+    description = "count(/site//description)+count(/site//annotation)+count(/site//email)";
+    paths =
+      [
+        parse "/site//description";
+        parse "/site//annotation";
+        parse "/site//email";
+      ];
+    selective = false;
+  }
+
+let q15 =
+  {
+    name = "q15";
+    description =
+      "/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword";
+    paths =
+      [
+        parse
+          "/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword";
+      ];
+    selective = true;
+  }
+
+let all = [ q6'; q7; q15 ]
+
+let find name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun q -> String.equal q.name name) all

@@ -1,0 +1,31 @@
+(** The XMark queries of the paper's evaluation (Table 2).
+
+    Of the twenty XMark queries, the paper selects the ones expressible
+    with XAssembly/XStep/XScan/XSchedule alone:
+
+    - Q6': [count(/site/regions//item)] — Q6 with an extra aggregation
+      over the regions;
+    - Q7: [count(/site//description) + count(/site//annotation) +
+      count(/site//email)];
+    - Q15: the long, highly selective child chain down to the keywords
+      inside closed-auction annotations.
+
+    Each benchmark query is a list of location paths whose counts are
+    summed (Q7 sums three; the others are single paths). *)
+
+type t = {
+  name : string;
+  description : string;
+  paths : Xnav_xpath.Path.t list;
+  selective : bool;
+      (** Whether the paper classifies it as highly selective (Q15) —
+          the regime where XScan loses. *)
+}
+
+val q6' : t
+val q7 : t
+val q15 : t
+val all : t list
+
+val find : string -> t option
+(** Lookup by [name] ("q6'", "q7", "q15" — case-insensitive). *)

@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random numbers (splitmix64) for the document
+    generator. Fixed seeds make every generated document — and hence
+    every benchmark figure — bit-reproducible. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n)]. @raise Invalid_argument if [n <= 0]. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [lo, hi] (inclusive). *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice. @raise Invalid_argument on an empty array. *)
+
+val split : t -> t
+(** An independent generator derived from the current state. *)

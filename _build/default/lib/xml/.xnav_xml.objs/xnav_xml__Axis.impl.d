@@ -1,0 +1,1 @@
+lib/xml/axis.ml: Format List String

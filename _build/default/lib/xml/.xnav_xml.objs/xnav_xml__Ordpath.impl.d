@@ -1,0 +1,1 @@
+lib/xml/ordpath.ml: Array Buffer Char Format Stdlib String

@@ -1,0 +1,1 @@
+lib/xml/ordpath.mli: Buffer Format

@@ -1,0 +1,1 @@
+lib/xml/tree_axes.ml: Array Axis List Option Tree

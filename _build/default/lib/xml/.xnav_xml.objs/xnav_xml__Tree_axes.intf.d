@@ -1,0 +1,1 @@
+lib/xml/tree_axes.mli: Axis Tree

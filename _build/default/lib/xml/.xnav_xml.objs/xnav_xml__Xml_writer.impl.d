@@ -1,0 +1,1 @@
+lib/xml/xml_writer.ml: Array Buffer Tag Tree

@@ -1,0 +1,42 @@
+type t =
+  | Self
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following_sibling
+  | Preceding_sibling
+
+let is_downward = function
+  | Self | Child | Descendant | Descendant_or_self -> true
+  | Parent | Ancestor | Ancestor_or_self | Following_sibling | Preceding_sibling -> false
+
+let to_string = function
+  | Self -> "self"
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+
+let all =
+  [
+    Self;
+    Child;
+    Descendant;
+    Descendant_or_self;
+    Parent;
+    Ancestor;
+    Ancestor_or_self;
+    Following_sibling;
+    Preceding_sibling;
+  ]
+
+let of_string s = List.find_opt (fun axis -> String.equal (to_string axis) s) all
+let equal (a : t) (b : t) = a = b
+let pp ppf axis = Format.pp_print_string ppf (to_string axis)

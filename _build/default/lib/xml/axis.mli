@@ -1,0 +1,31 @@
+(** XPath axes supported by the engine.
+
+    The physical, cluster-aware navigation primitives (and hence the
+    reordering plans XSchedule/XScan) support the downward axes — the
+    ones exercised by every query in the paper's evaluation. The upward
+    and sibling axes are fully supported by the logical layer and the
+    border-transparent global navigation used by the Simple plan and by
+    fallback mode. *)
+
+type t =
+  | Self
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following_sibling
+  | Preceding_sibling
+
+val is_downward : t -> bool
+(** True for [Self], [Child], [Descendant] and [Descendant_or_self] —
+    the axes eligible for cost-sensitive reordering plans. *)
+
+val to_string : t -> string
+(** XPath spelling, e.g. ["descendant-or-self"]. *)
+
+val of_string : string -> t option
+val all : t list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+type t = int
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 256
+let names : string array ref = ref (Array.make 256 "")
+let next = ref 0
+
+let of_string name =
+  match Hashtbl.find_opt table name with
+  | Some id -> id
+  | None ->
+    let id = !next in
+    incr next;
+    if id >= Array.length !names then begin
+      let grown = Array.make (2 * Array.length !names) "" in
+      Array.blit !names 0 grown 0 (Array.length !names);
+      names := grown
+    end;
+    !names.(id) <- name;
+    Hashtbl.add table name id;
+    id
+
+let to_string tag =
+  if tag < 0 || tag >= !next then
+    invalid_arg (Printf.sprintf "Tag.to_string: unknown tag id %d" tag);
+  !names.(tag)
+
+let of_id i =
+  if i < 0 || i >= !next then
+    invalid_arg (Printf.sprintf "Tag.of_id: unknown tag id %d" i);
+  i
+
+let id tag = tag
+let count () = !next
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (a : t) = a
+let pp ppf tag = Format.pp_print_string ppf (to_string tag)

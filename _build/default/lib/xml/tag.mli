@@ -1,0 +1,36 @@
+(** Interned element tags.
+
+    Tags are the labels of document-tree nodes, drawn from the tag alphabet
+    [Sigma] of the paper (Sec. 3.1). Interning gives O(1) equality and a
+    compact integer representation suitable for node records on disk. The
+    intern table is global and append-only; tag ids are dense and start
+    at 0, so they can double as indices into statistics arrays. *)
+
+type t = private int
+(** An interned tag. Ordering of [t] follows interning order, not
+    lexicographic order of the tag names. *)
+
+val of_string : string -> t
+(** [of_string name] interns [name], returning its unique tag. Idempotent:
+    interning the same name twice yields the same tag. *)
+
+val to_string : t -> string
+(** [to_string tag] is the name [tag] was interned from.
+    @raise Invalid_argument if [tag] was not produced by this table. *)
+
+val of_id : int -> t
+(** [of_id i] recovers the tag with intern id [i], as stored in a node
+    record. @raise Invalid_argument if no such tag has been interned. *)
+
+val id : t -> int
+(** [id tag] is the dense integer id of [tag]. *)
+
+val count : unit -> int
+(** [count ()] is the number of distinct tags interned so far. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints the tag name. *)

@@ -1,0 +1,74 @@
+type t = {
+  tag : Tag.t;
+  mutable children : t array;
+  mutable parent : t option;
+  mutable preorder : int;
+}
+
+let make tag children =
+  let node = { tag; children = Array.of_list children; parent = None; preorder = -1 } in
+  Array.iter
+    (fun child ->
+      match child.parent with
+      | Some _ -> invalid_arg "Tree.make: child already has a parent"
+      | None -> child.parent <- Some node)
+    node.children;
+  node
+
+let leaf tag = make tag []
+let elt name children = make (Tag.of_string name) children
+
+let index root =
+  let counter = ref 0 in
+  let rec go node =
+    node.preorder <- !counter;
+    incr counter;
+    Array.iter go node.children
+  in
+  go root;
+  !counter
+
+let rec size node = Array.fold_left (fun acc child -> acc + size child) 1 node.children
+
+let rec height node =
+  Array.fold_left (fun acc child -> max acc (1 + height child)) 0 node.children
+
+let rec equal a b =
+  Tag.equal a.tag b.tag
+  && Array.length a.children = Array.length b.children
+  && begin
+       let ok = ref true in
+       Array.iteri (fun i child -> if not (equal child b.children.(i)) then ok := false) a.children;
+       !ok
+     end
+
+let rec iter f node =
+  f node;
+  Array.iter (iter f) node.children
+
+let rec fold f acc node = Array.fold_left (fold f) (f acc node) node.children
+
+let nodes node = List.rev (fold (fun acc n -> n :: acc) [] node)
+
+let rec root node =
+  match node.parent with
+  | None -> node
+  | Some parent -> root parent
+
+let tag_counts node =
+  let counts = Hashtbl.create 64 in
+  iter
+    (fun n ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt counts n.tag) in
+      Hashtbl.replace counts n.tag (prev + 1))
+    node;
+  Hashtbl.fold (fun tag n acc -> (tag, n) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> Tag.compare a b)
+
+let rec pp ppf node =
+  if Array.length node.children = 0 then Tag.pp ppf node.tag
+  else begin
+    Format.fprintf ppf "@[<hov 1>(%a" Tag.pp node.tag;
+    Array.iter (fun child -> Format.fprintf ppf "@ %a" pp child) node.children;
+    Format.fprintf ppf ")@]"
+  end

@@ -1,0 +1,58 @@
+(** In-memory labeled ordered trees (the paper's logical tree model,
+    Sec. 3.1).
+
+    Documents are element-only trees: each node carries a tag and an
+    ordered array of children. Trees serve three purposes here: they are
+    the output of the XML parser and the XMark generator, the input of the
+    clustering import ({!Xnav_store}-side), and the substrate of the
+    reference XPath evaluator used to validate the physical plans. *)
+
+type t = {
+  tag : Tag.t;
+  mutable children : t array;
+  mutable parent : t option;  (** [None] for the root. *)
+  mutable preorder : int;
+      (** Preorder rank within the document; assigned by {!index}. *)
+}
+
+val make : Tag.t -> t list -> t
+(** [make tag children] builds a node. Parent pointers of [children] are
+    set to the new node; a child must not already have a parent.
+    @raise Invalid_argument on attempted node sharing. *)
+
+val leaf : Tag.t -> t
+(** [leaf tag] is [make tag []]. *)
+
+val elt : string -> t list -> t
+(** [elt name children] is [make (Tag.of_string name) children]. *)
+
+val index : t -> int
+(** [index root] assigns preorder ranks [0, 1, ...] to every node of the
+    tree and returns the total node count. Must be called on a root. *)
+
+val size : t -> int
+(** Number of nodes in the subtree rooted at the argument. *)
+
+val height : t -> int
+(** Length of the longest root-to-leaf path; a leaf has height 0. *)
+
+val equal : t -> t -> bool
+(** Structural equality of tags and shape (ignores [parent]/[preorder]). *)
+
+val iter : (t -> unit) -> t -> unit
+(** Preorder traversal of the subtree. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Preorder fold over the subtree. *)
+
+val nodes : t -> t list
+(** All nodes of the subtree in document (preorder) order. *)
+
+val root : t -> t
+(** Topmost ancestor of a node. *)
+
+val tag_counts : t -> (Tag.t * int) list
+(** Occurrences of each tag in the subtree, in interning order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact s-expression-like rendering, for debugging. *)

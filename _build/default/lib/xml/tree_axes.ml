@@ -1,0 +1,50 @@
+let descendants node =
+  let rec go acc node = Array.fold_left go (node :: acc) node.Tree.children in
+  List.rev (Array.fold_left go [] node.Tree.children)
+
+let ancestors node =
+  let rec go acc node =
+    match node.Tree.parent with
+    | None -> List.rev acc
+    | Some parent -> go (parent :: acc) parent
+  in
+  go [] node
+
+let siblings_of node =
+  match node.Tree.parent with
+  | None -> [||]
+  | Some parent -> parent.Tree.children
+
+let position_among node siblings =
+  let rec go i =
+    if i >= Array.length siblings then invalid_arg "Tree_axes: node not among parent's children"
+    else if siblings.(i) == node then i
+    else go (i + 1)
+  in
+  go 0
+
+let nodes axis node =
+  match (axis : Axis.t) with
+  | Self -> [ node ]
+  | Child -> Array.to_list node.Tree.children
+  | Descendant -> descendants node
+  | Descendant_or_self -> node :: descendants node
+  | Parent -> Option.to_list node.Tree.parent
+  | Ancestor -> ancestors node
+  | Ancestor_or_self -> node :: ancestors node
+  | Following_sibling ->
+    let siblings = siblings_of node in
+    if Array.length siblings = 0 then []
+    else begin
+      let pos = position_among node siblings in
+      Array.to_list (Array.sub siblings (pos + 1) (Array.length siblings - pos - 1))
+    end
+  | Preceding_sibling ->
+    let siblings = siblings_of node in
+    if Array.length siblings = 0 then []
+    else begin
+      let pos = position_among node siblings in
+      List.rev (Array.to_list (Array.sub siblings 0 pos))
+    end
+
+let count axis node = List.length (nodes axis node)

@@ -1,0 +1,11 @@
+(** Axis semantics on in-memory trees.
+
+    This is the specification the physical navigation layer is tested
+    against: for every axis, the nodes reachable from a context node, in
+    the axis' natural order (document order for forward axes, reverse
+    document order for [Ancestor*] and [Preceding_sibling]). *)
+
+val nodes : Axis.t -> Tree.t -> Tree.t list
+(** [nodes axis context] lists the axis result for [context]. *)
+
+val count : Axis.t -> Tree.t -> int

@@ -1,0 +1,169 @@
+exception Parse_error of { position : int; message : string }
+
+type state = { input : string; mutable pos : int }
+
+let fail st message = raise (Parse_error { position = st.pos; message })
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+let eof st = st.pos >= String.length st.input
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | Some d -> fail st (Printf.sprintf "expected %C, found %C" c d)
+  | None -> fail st (Printf.sprintf "expected %C, found end of input" c)
+
+let expect_string st s =
+  String.iter (fun c -> expect st c) s
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space st =
+  while (not (eof st)) && is_space st.input.[st.pos] do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  let start = st.pos in
+  (match peek st with
+  | Some c when is_name_start c -> advance st
+  | _ -> fail st "expected a name");
+  while (not (eof st)) && is_name_char st.input.[st.pos] do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+(* Skip an attribute value (quoted string); content is discarded. *)
+let skip_attr_value st =
+  match peek st with
+  | Some (('"' | '\'') as quote) ->
+    advance st;
+    let rec go () =
+      match peek st with
+      | Some c when c = quote -> advance st
+      | Some _ -> advance st; go ()
+      | None -> fail st "unterminated attribute value"
+    in
+    go ()
+  | _ -> fail st "expected a quoted attribute value"
+
+let skip_attributes st =
+  let rec go () =
+    skip_space st;
+    match peek st with
+    | Some c when is_name_start c ->
+      let _ = parse_name st in
+      skip_space st;
+      expect st '=';
+      skip_space st;
+      skip_attr_value st;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+(* Skip until the terminator string [stop] has been consumed. *)
+let skip_until st stop =
+  let n = String.length stop in
+  let limit = String.length st.input - n in
+  let rec go () =
+    if st.pos > limit then fail st (Printf.sprintf "unterminated construct (missing %S)" stop)
+    else if String.sub st.input st.pos n = stop then st.pos <- st.pos + n
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+(* Skip misc content between markup: text, comments, PIs, CDATA. Returns
+   when positioned at a '<' that starts an element tag or end tag, or at
+   end of input. *)
+let rec skip_misc st =
+  match peek st with
+  | None -> ()
+  | Some '<' ->
+    if st.pos + 1 < String.length st.input then begin
+      match st.input.[st.pos + 1] with
+      | '!' ->
+        if st.pos + 3 < String.length st.input && String.sub st.input st.pos 4 = "<!--" then begin
+          st.pos <- st.pos + 4;
+          skip_until st "-->";
+          skip_misc st
+        end
+        else if
+          st.pos + 8 < String.length st.input && String.sub st.input st.pos 9 = "<![CDATA["
+        then begin
+          st.pos <- st.pos + 9;
+          skip_until st "]]>";
+          skip_misc st
+        end
+        else begin
+          (* DOCTYPE or similar declaration: skip to matching '>'. *)
+          skip_until st ">";
+          skip_misc st
+        end
+      | '?' ->
+        st.pos <- st.pos + 2;
+        skip_until st "?>";
+        skip_misc st
+      | _ -> ()
+    end
+  | Some _ ->
+    advance st;
+    skip_misc st
+
+let rec parse_element st =
+  expect st '<';
+  let name = parse_name st in
+  skip_attributes st;
+  skip_space st;
+  match peek st with
+  | Some '/' ->
+    advance st;
+    expect st '>';
+    Tree.make (Tag.of_string name) []
+  | Some '>' ->
+    advance st;
+    let children = parse_children st in
+    expect_string st "</";
+    let closing = parse_name st in
+    if not (String.equal closing name) then
+      fail st (Printf.sprintf "mismatched end tag: expected </%s>, found </%s>" name closing);
+    skip_space st;
+    expect st '>';
+    Tree.make (Tag.of_string name) children
+  | _ -> fail st "malformed start tag"
+
+and parse_children st =
+  skip_misc st;
+  match peek st with
+  | Some '<' when st.pos + 1 < String.length st.input && st.input.[st.pos + 1] = '/' -> []
+  | Some '<' ->
+    let child = parse_element st in
+    child :: parse_children st
+  | Some _ -> fail st "unexpected character in element content"
+  | None -> fail st "unexpected end of input inside element"
+
+let parse_string input =
+  let st = { input; pos = 0 } in
+  skip_misc st;
+  if eof st then fail st "no root element";
+  let root = parse_element st in
+  skip_misc st;
+  if not (eof st) then fail st "trailing content after root element";
+  root
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  parse_string content

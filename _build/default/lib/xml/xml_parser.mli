@@ -1,0 +1,21 @@
+(** A small, robust XML parser producing element-only {!Tree.t} documents.
+
+    Matching the paper's logical model (Sec. 3.1), only element structure
+    is retained: text content, attributes, comments, processing
+    instructions, DOCTYPE declarations and CDATA sections are parsed and
+    discarded. Namespace prefixes are kept as part of the tag name.
+
+    This is the ingestion path for externally generated documents (e.g.
+    dumps of the XMark generator); the generator itself builds {!Tree.t}
+    values directly. *)
+
+exception Parse_error of { position : int; message : string }
+(** Raised on malformed input; [position] is a byte offset. *)
+
+val parse_string : string -> Tree.t
+(** [parse_string s] parses one XML document from [s].
+    @raise Parse_error on malformed input (including trailing garbage
+    after the root element, or mismatched end tags). *)
+
+val parse_file : string -> Tree.t
+(** Reads a whole file and parses it with {!parse_string}. *)

@@ -1,0 +1,23 @@
+let rec add_to_buffer buf (node : Tree.t) =
+  let name = Tag.to_string node.tag in
+  Buffer.add_char buf '<';
+  Buffer.add_string buf name;
+  if Array.length node.children = 0 then Buffer.add_string buf "/>"
+  else begin
+    Buffer.add_char buf '>';
+    Array.iter (add_to_buffer buf) node.children;
+    Buffer.add_string buf "</";
+    Buffer.add_string buf name;
+    Buffer.add_char buf '>'
+  end
+
+let to_string ?(declaration = false) node =
+  let buf = Buffer.create 4096 in
+  if declaration then Buffer.add_string buf "<?xml version=\"1.0\"?>\n";
+  add_to_buffer buf node;
+  Buffer.contents buf
+
+let to_file ?declaration path node =
+  let oc = open_out_bin path in
+  output_string oc (to_string ?declaration node);
+  close_out oc

@@ -1,0 +1,15 @@
+(** Serialization of element-only documents back to XML text.
+
+    The counterpart of {!Xml_parser}: [parse_string (to_string t)] is
+    structurally equal to [t]. Used by the CLI to export generated XMark
+    documents and by the document-export example. *)
+
+val add_to_buffer : Buffer.t -> Tree.t -> unit
+(** Appends the XML rendering of the tree, without an XML declaration. *)
+
+val to_string : ?declaration:bool -> Tree.t -> string
+(** [to_string t] is the XML text of [t]. With [~declaration:true]
+    (default [false]) an [<?xml version="1.0"?>] header is prepended. *)
+
+val to_file : ?declaration:bool -> string -> Tree.t -> unit
+(** Writes {!to_string} output to the named file. *)

@@ -1,0 +1,1 @@
+lib/xpath/eval_ref.ml: Int List Path Set Stdlib Xnav_xml

@@ -1,0 +1,1 @@
+lib/xpath/eval_ref.mli: Path Xnav_xml

@@ -1,0 +1,1 @@
+lib/xpath/path.ml: Format List Xnav_xml

@@ -1,0 +1,1 @@
+lib/xpath/path.mli: Format Xnav_xml

@@ -1,0 +1,1 @@
+lib/xpath/query.ml: Format List Path

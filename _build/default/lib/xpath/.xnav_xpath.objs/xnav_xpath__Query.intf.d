@@ -1,0 +1,1 @@
+lib/xpath/query.mli: Format Path

@@ -1,0 +1,1 @@
+lib/xpath/query_ref.ml: Int List Path Query Set Stdlib Xnav_xml

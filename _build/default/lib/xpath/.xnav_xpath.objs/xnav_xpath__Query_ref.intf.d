@@ -1,0 +1,1 @@
+lib/xpath/query_ref.mli: Query Xnav_xml

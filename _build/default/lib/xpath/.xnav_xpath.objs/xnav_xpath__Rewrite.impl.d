@@ -1,0 +1,1 @@
+lib/xpath/rewrite.ml: List Path Xnav_xml

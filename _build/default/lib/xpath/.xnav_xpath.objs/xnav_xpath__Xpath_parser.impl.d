@@ -1,0 +1,1 @@
+lib/xpath/xpath_parser.ml: List Path Printf Query String Xnav_xml

@@ -1,0 +1,25 @@
+module Tree = Xnav_xml.Tree
+module Tree_axes = Xnav_xml.Tree_axes
+
+let eval context path =
+  ignore (Tree.index (Tree.root context));
+  let step acc (s : Path.step) =
+    let module Int_set = Set.Make (Int) in
+    let seen = ref Int_set.empty in
+    let out = ref [] in
+    List.iter
+      (fun node ->
+        List.iter
+          (fun result ->
+            if Path.matches s.test result.Tree.tag && not (Int_set.mem result.Tree.preorder !seen)
+            then begin
+              seen := Int_set.add result.Tree.preorder !seen;
+              out := result :: !out
+            end)
+          (Tree_axes.nodes s.axis node))
+      acc;
+    List.sort (fun a b -> Stdlib.compare a.Tree.preorder b.Tree.preorder) !out
+  in
+  List.fold_left step [ context ] path
+
+let count context path = List.length (eval context path)

@@ -1,0 +1,17 @@
+(** Reference evaluator over in-memory trees.
+
+    Straightforward node-set semantics: each step maps the current
+    context set through its axis, filters by the node test, removes
+    duplicates and restores document order. This is the semantic oracle
+    every physical plan is validated against in the test suite.
+
+    The tree must have been indexed ({!Xnav_xml.Tree.index}) so that
+    preorder ranks identify nodes; {!eval} (re)indexes the root it is
+    given. *)
+
+val eval : Xnav_xml.Tree.t -> Path.t -> Xnav_xml.Tree.t list
+(** [eval context path] is the result node list, in document order,
+    without duplicates. [context] is the context node (step 0); it need
+    not be the document root. *)
+
+val count : Xnav_xml.Tree.t -> Path.t -> int

@@ -1,0 +1,42 @@
+module Axis = Xnav_xml.Axis
+module Tag = Xnav_xml.Tag
+
+type node_test = Name of Tag.t | Wildcard | Any_node
+type step = { axis : Axis.t; test : node_test }
+type t = step list
+
+let step axis test = { axis; test }
+let child name = { axis = Axis.Child; test = Name (Tag.of_string name) }
+let descendant name = { axis = Axis.Descendant; test = Name (Tag.of_string name) }
+let descendant_or_self_any = { axis = Axis.Descendant_or_self; test = Any_node }
+
+let matches test tag =
+  match test with
+  | Name expected -> Tag.equal expected tag
+  | Wildcard | Any_node -> true
+
+let length path = List.length path
+let is_downward path = List.for_all (fun s -> Axis.is_downward s.axis) path
+
+let from_root_element = function
+  | { axis = Axis.Child; test } :: rest -> { axis = Axis.Self; test } :: rest
+  | path -> path
+
+let starts_with_descendant_any = function
+  | { axis = Axis.Descendant_or_self; test = Any_node } :: _ -> true
+  | _ -> false
+
+let test_to_string = function
+  | Name tag -> Tag.to_string tag
+  | Wildcard -> "*"
+  | Any_node -> "node()"
+
+let pp_step ppf s = Format.fprintf ppf "%a::%s" Axis.pp s.axis (test_to_string s.test)
+
+let pp ppf path =
+  List.iter (fun s -> Format.fprintf ppf "/%a" pp_step s) path
+
+let to_string path = Format.asprintf "%a" pp path
+
+let equal_step a b = Axis.equal a.axis b.axis && a.test = b.test
+let equal a b = List.length a = List.length b && List.for_all2 equal_step a b

@@ -1,0 +1,51 @@
+(** Location-path ASTs: the query language fragment of the paper
+    (Sec. 4.1).
+
+    A location path is a sequence of steps, each an axis plus a node
+    test. Node tests are "a subset of the tag alphabet": a tag name, the
+    wildcard [*], or [node()]. Predicates are outside the model, exactly
+    as in the paper; the physical algebra is designed to slot into a
+    fuller algebra that provides them. *)
+
+type node_test =
+  | Name of Xnav_xml.Tag.t
+  | Wildcard  (** [*] — any element. *)
+  | Any_node  (** [node()] — any node (elements only in this model). *)
+
+type step = { axis : Xnav_xml.Axis.t; test : node_test }
+
+type t = step list
+(** Steps [pi_1 .. pi_n]; step 0 (the context) is implicit. *)
+
+val step : Xnav_xml.Axis.t -> node_test -> step
+val child : string -> step
+val descendant : string -> step
+val descendant_or_self_any : step
+(** The step inserted for the [//] abbreviation. *)
+
+val matches : node_test -> Xnav_xml.Tag.t -> bool
+
+val length : t -> int
+(** [|pi|], the number of location steps. *)
+
+val is_downward : t -> bool
+(** Whether every step uses a downward axis — the condition for the
+    reordering plans (XSchedule / XScan). *)
+
+val from_root_element : t -> t
+(** Adjusts an absolute path for evaluation from the {e root element}
+    rather than the standard XPath document node above it: a leading
+    [child::] step becomes [self::] (so [/site/...] evaluated from the
+    [site] element behaves as from the document node). Paths beginning
+    with [//] are returned unchanged — their result from the root element
+    differs from the document-node result only for the root element's
+    own tag. *)
+
+val starts_with_descendant_any : t -> bool
+(** Whether the path begins with [descendant-or-self::node()] — enables
+    the paper's [//] optimisation for scan plans (Sec. 5.4.5.4). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val pp_step : Format.formatter -> step -> unit
+val equal : t -> t -> bool

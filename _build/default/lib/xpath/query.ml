@@ -1,0 +1,58 @@
+type qstep = { step : Path.step; predicates : predicate list }
+
+and predicate =
+  | Exists of qstep list
+  | And of predicate * predicate
+  | Or of predicate * predicate
+  | Not of predicate
+
+type branch = qstep list
+type t = branch list
+
+let of_path path = [ List.map (fun step -> { step; predicates = [] }) path ]
+let trunk branch = List.map (fun q -> q.step) branch
+
+let has_predicates query =
+  List.exists (fun branch -> List.exists (fun q -> q.predicates <> []) branch) query
+
+let from_root_element query =
+  List.map
+    (fun branch ->
+      match branch with
+      | first :: rest -> begin
+        match Path.from_root_element [ first.step ] with
+        | [ adjusted ] -> { first with step = adjusted } :: rest
+        | _ -> branch
+      end
+      | [] -> [])
+    query
+
+let rec pp_predicate ppf = function
+  | Exists steps -> pp_branch_inner ppf steps
+  | And (a, b) -> Format.fprintf ppf "%a and %a" pp_predicate a pp_predicate b
+  | Or (a, b) -> Format.fprintf ppf "%a or %a" pp_predicate a pp_predicate b
+  | Not p -> Format.fprintf ppf "not(%a)" pp_predicate p
+
+and pp_qstep ppf q =
+  Path.pp_step ppf q.step;
+  List.iter (fun p -> Format.fprintf ppf "[%a]" pp_predicate p) q.predicates
+
+and pp_branch_inner ppf = function
+  | [] -> ()
+  | [ q ] -> pp_qstep ppf q
+  | q :: rest ->
+    pp_qstep ppf q;
+    Format.pp_print_char ppf '/';
+    pp_branch_inner ppf rest
+
+let pp_branch ppf branch =
+  List.iter (fun q -> Format.fprintf ppf "/%a" pp_qstep q) branch
+
+let pp ppf = function
+  | [] -> ()
+  | [ branch ] -> pp_branch ppf branch
+  | first :: rest ->
+    pp_branch ppf first;
+    List.iter (fun branch -> Format.fprintf ppf " | %a" pp_branch branch) rest
+
+let to_string query = Format.asprintf "%a" pp query

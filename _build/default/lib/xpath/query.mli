@@ -1,0 +1,41 @@
+(** Queries beyond plain location paths: per-step predicates and
+    top-level unions.
+
+    The paper's algebra covers predicate-free location paths and is
+    explicitly designed to be "part of a more expressive algebra capable
+    of representing access plans for larger subsets of XPath" (Sec. 5).
+    This module is that larger layer: a query is a union of branches,
+    each a chain of steps that may carry existential predicates
+    (relative sub-queries combined with [and]/[or]/[not]).
+
+    Physical evaluation ({!Xnav_core.Query_exec}) decomposes each branch
+    into predicate-free trunk segments — which run through the reordered
+    operator plans — interleaved with predicate filtering via the global
+    navigation primitives. *)
+
+type qstep = { step : Path.step; predicates : predicate list }
+
+and predicate =
+  | Exists of qstep list  (** A relative sub-query with at least one result. *)
+  | And of predicate * predicate
+  | Or of predicate * predicate
+  | Not of predicate
+
+type branch = qstep list
+
+type t = branch list
+(** Non-empty; a singleton is a plain (possibly predicated) path. *)
+
+val of_path : Path.t -> t
+(** A plain path as a one-branch, predicate-free query. *)
+
+val trunk : branch -> Path.t
+(** The branch's steps with predicates stripped. *)
+
+val has_predicates : t -> bool
+
+val from_root_element : t -> t
+(** {!Path.from_root_element} applied to every branch. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

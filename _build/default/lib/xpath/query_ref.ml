@@ -1,0 +1,51 @@
+module Tree = Xnav_xml.Tree
+module Tree_axes = Xnav_xml.Tree_axes
+
+let rec holds node = function
+  | Query.Exists steps -> eval_branch [ node ] steps <> []
+  | Query.And (a, b) -> holds node a && holds node b
+  | Query.Or (a, b) -> holds node a || holds node b
+  | Query.Not p -> not (holds node p)
+
+and eval_branch contexts branch =
+  let module Int_set = Set.Make (Int) in
+  let qstep acc (q : Query.qstep) =
+    let seen = ref Int_set.empty in
+    let out = ref [] in
+    List.iter
+      (fun node ->
+        List.iter
+          (fun result ->
+            if
+              Path.matches q.Query.step.Path.test result.Tree.tag
+              && (not (Int_set.mem result.Tree.preorder !seen))
+              && List.for_all (holds result) q.Query.predicates
+            then begin
+              seen := Int_set.add result.Tree.preorder !seen;
+              out := result :: !out
+            end)
+          (Tree_axes.nodes q.Query.step.Path.axis node))
+      acc;
+    List.sort (fun a b -> Stdlib.compare a.Tree.preorder b.Tree.preorder) !out
+  in
+  List.fold_left qstep contexts branch
+
+let eval context query =
+  ignore (Tree.index (Tree.root context));
+  let results = List.concat_map (eval_branch [ context ]) query in
+  let module Int_set = Set.Make (Int) in
+  let seen = ref Int_set.empty in
+  List.filter
+    (fun node ->
+      if Int_set.mem node.Tree.preorder !seen then false
+      else begin
+        seen := Int_set.add node.Tree.preorder !seen;
+        true
+      end)
+    (List.sort (fun a b -> Stdlib.compare a.Tree.preorder b.Tree.preorder) results)
+
+let count context query = List.length (eval context query)
+
+let holds context predicate =
+  ignore (Tree.index (Tree.root context));
+  holds context predicate

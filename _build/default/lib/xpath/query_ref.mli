@@ -1,0 +1,12 @@
+(** Reference evaluator for extended queries (predicates, unions) over
+    in-memory trees — the semantic oracle for the hybrid physical
+    executor ({!Xnav_core.Query_exec}). *)
+
+val eval : Xnav_xml.Tree.t -> Query.t -> Xnav_xml.Tree.t list
+(** Result nodes in document order, duplicate-free. The tree is
+    (re)indexed by the call. *)
+
+val count : Xnav_xml.Tree.t -> Query.t -> int
+
+val holds : Xnav_xml.Tree.t -> Query.predicate -> bool
+(** Whether the predicate holds at the given context node. *)

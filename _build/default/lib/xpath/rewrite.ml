@@ -1,0 +1,53 @@
+module Axis = Xnav_xml.Axis
+open Path
+
+let is_dos_any (s : step) = s.axis = Axis.Descendant_or_self && s.test = Any_node
+let is_desc_any (s : step) = s.axis = Axis.Descendant && s.test = Any_node
+
+(* descendant-or-self::node() followed by a downward step fuses. *)
+let fuse_pair a b =
+  if is_dos_any a then begin
+    match b.axis with
+    | Axis.Child -> Some { b with axis = Axis.Descendant }
+    | Axis.Descendant | Axis.Descendant_or_self -> Some b
+    | Axis.Self -> Some { b with axis = Axis.Descendant_or_self }
+    | Axis.Parent | Axis.Ancestor | Axis.Ancestor_or_self | Axis.Following_sibling
+    | Axis.Preceding_sibling ->
+      None
+  end
+  else if is_desc_any a then begin
+    (* descendant::node()/descendant-or-self::t == descendant::t, and
+       descendant::node()/self::t == descendant::t. Note that
+       descendant::node()/descendant::t is NOT descendant::t (it misses
+       depth-1 children) and must not fuse. *)
+    match b.axis with
+    | Axis.Descendant_or_self | Axis.Self -> Some { b with axis = Axis.Descendant }
+    | Axis.Descendant | Axis.Child | Axis.Parent | Axis.Ancestor | Axis.Ancestor_or_self
+    | Axis.Following_sibling | Axis.Preceding_sibling ->
+      None
+  end
+  else None
+
+let compress_descendant path =
+  let rec go = function
+    | a :: b :: rest -> begin
+      match fuse_pair a b with
+      | Some fused -> go (fused :: rest)
+      | None -> a :: go (b :: rest)
+    end
+    | short -> short
+  in
+  go path
+
+let is_trivial_self (s : step) = s.axis = Axis.Self && s.test = Any_node
+
+let drop_trivial_self path =
+  match List.filter (fun s -> not (is_trivial_self s)) path with
+  | [] -> (
+    (* A path of pure self::node() steps reduces to a single one. *)
+    match path with [] -> [] | s :: _ -> [ s ])
+  | reduced -> reduced
+
+let rec normalize path =
+  let next = compress_descendant (drop_trivial_self path) in
+  if Path.equal next path then path else normalize next

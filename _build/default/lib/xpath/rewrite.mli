@@ -1,0 +1,28 @@
+(** Logical path rewrites — the "orthogonal logical optimization
+    techniques" the paper's requirement 4 demands interoperability with
+    (citing Hidders/Michiels-style normalisation).
+
+    All rules preserve node-set semantics (property-tested against the
+    reference evaluator):
+
+    - [descendant-or-self::node()/child::t  ==>  descendant::t]
+      (the classic [//] compression — shortens the XStep chain and, for
+      reordered plans, reduces the number of speculative instances per
+      border, which are generated per step);
+    - [descendant-or-self::node()/descendant(-or-self)::t  ==>
+       descendant(-or-self)::t];
+    - [descendant(-or-self)::node()/descendant-or-self::n ==> fused]
+      symmetrically;
+    - [self::node()] steps are dropped (unless the path would become
+      empty);
+    - [child::node()] is left alone ([node()] matches only elements in
+      this model, but the step still moves). *)
+
+val normalize : Path.t -> Path.t
+(** Applies all rules to a fixpoint. *)
+
+val compress_descendant : Path.t -> Path.t
+(** Only the [//]-compression rule, once over the path. *)
+
+val drop_trivial_self : Path.t -> Path.t
+(** Only the [self::node()] elimination. *)

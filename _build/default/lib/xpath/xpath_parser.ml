@@ -1,0 +1,205 @@
+module Axis = Xnav_xml.Axis
+module Tag = Xnav_xml.Tag
+
+exception Parse_error of { position : int; message : string }
+
+type state = { input : string; mutable pos : int }
+
+let fail st message = raise (Parse_error { position = st.pos; message })
+let eof st = st.pos >= String.length st.input
+let peek st = if eof st then None else Some st.input.[st.pos]
+
+let skip_space st =
+  while (not (eof st)) && (st.input.[st.pos] = ' ' || st.input.[st.pos] = '\t') do
+    st.pos <- st.pos + 1
+  done
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = s
+
+let eat st s =
+  if looking_at st s then begin
+    st.pos <- st.pos + String.length s;
+    true
+  end
+  else false
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+(* Names may contain '-', so axis keywords are recognised by checking for
+   the '::' separator after a full name. A single ':' (namespace prefix)
+   is part of the name; '::' is the axis separator and stops it. *)
+let parse_name st =
+  let start = st.pos in
+  (match peek st with
+  | Some c when is_name_start c -> st.pos <- st.pos + 1
+  | _ -> fail st "expected a name");
+  let continues () =
+    (not (eof st))
+    &&
+    let c = st.input.[st.pos] in
+    is_name_char c
+    || (c = ':' && st.pos + 1 < String.length st.input && st.input.[st.pos + 1] <> ':'
+       && is_name_char st.input.[st.pos + 1])
+  in
+  while continues () do
+    st.pos <- st.pos + 1
+  done;
+  String.sub st.input start (st.pos - start)
+
+let parse_test st =
+  skip_space st;
+  if eat st "*" then Path.Wildcard
+  else begin
+    let name = parse_name st in
+    if String.equal name "node" && eat st "()" then Path.Any_node
+    else Path.Name (Tag.of_string name)
+  end
+
+let parse_step st =
+  skip_space st;
+  if eat st ".." then Path.step Axis.Parent Path.Any_node
+  else if eat st "." then Path.step Axis.Self Path.Any_node
+  else if eat st "*" then Path.step Axis.Child Path.Wildcard
+  else begin
+    let start = st.pos in
+    let name = parse_name st in
+    if eat st "::" then begin
+      match Axis.of_string name with
+      | Some axis -> Path.step axis (parse_test st)
+      | None ->
+        st.pos <- start;
+        fail st (Printf.sprintf "unknown axis %S" name)
+    end
+    else if String.equal name "node" && eat st "()" then Path.step Axis.Child Path.Any_node
+    else Path.step Axis.Child (Path.Name (Tag.of_string name))
+  end
+
+(* A keyword is only a keyword when not part of a longer name. *)
+let eat_keyword st kw =
+  skip_space st;
+  let start = st.pos in
+  if eat st kw then begin
+    if (not (eof st)) && is_name_char st.input.[st.pos] then begin
+      st.pos <- start;
+      false
+    end
+    else true
+  end
+  else false
+
+(* qstep := step predicate*  ;  predicate := '[' or_expr ']' *)
+let rec parse_qstep st =
+  let step = parse_step st in
+  let rec predicates acc =
+    skip_space st;
+    if eat st "[" then begin
+      let p = parse_or st in
+      skip_space st;
+      if not (eat st "]") then fail st "expected ']'";
+      predicates (p :: acc)
+    end
+    else List.rev acc
+  in
+  { Query.step; predicates = predicates [] }
+
+and parse_or st =
+  let left = parse_and st in
+  if eat_keyword st "or" then Query.Or (left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_unary st in
+  if eat_keyword st "and" then Query.And (left, parse_and st) else left
+
+and parse_unary st =
+  skip_space st;
+  if eat_keyword st "not" then begin
+    skip_space st;
+    if not (eat st "(") then fail st "expected '(' after not";
+    let inner = parse_or st in
+    skip_space st;
+    if not (eat st ")") then fail st "expected ')'";
+    Query.Not inner
+  end
+  else if eat st "(" then begin
+    let inner = parse_or st in
+    skip_space st;
+    if not (eat st ")") then fail st "expected ')'";
+    inner
+  end
+  else Query.Exists (parse_relative st)
+
+(* A relative sub-query inside a predicate: qsteps joined by / and //. *)
+and parse_relative st =
+  skip_space st;
+  let steps = ref [] in
+  let push q = steps := q :: !steps in
+  if eat st "//" then push { Query.step = Path.descendant_or_self_any; predicates = [] };
+  push (parse_qstep st);
+  let rec more () =
+    if eat st "//" then begin
+      push { Query.step = Path.descendant_or_self_any; predicates = [] };
+      push (parse_qstep st);
+      more ()
+    end
+    else if looking_at st "/" && not (looking_at st "//") then begin
+      ignore (eat st "/");
+      push (parse_qstep st);
+      more ()
+    end
+  in
+  more ();
+  List.rev !steps
+
+let parse_branch st =
+  skip_space st;
+  if eof st then fail st "empty path";
+  let steps = ref [] in
+  let push q = steps := q :: !steps in
+  if eat st "//" then push { Query.step = Path.descendant_or_self_any; predicates = [] }
+  else ignore (eat st "/");
+  skip_space st;
+  if eof st then fail st "path has no steps";
+  push (parse_qstep st);
+  let rec more () =
+    skip_space st;
+    if eat st "//" then begin
+      push { Query.step = Path.descendant_or_self_any; predicates = [] };
+      push (parse_qstep st);
+      more ()
+    end
+    else if looking_at st "/" && not (looking_at st "//") then begin
+      ignore (eat st "/");
+      push (parse_qstep st);
+      more ()
+    end
+  in
+  more ();
+  List.rev !steps
+
+let parse_query input =
+  let st = { input; pos = 0 } in
+  let branches = ref [ parse_branch st ] in
+  let rec unions () =
+    skip_space st;
+    if eat st "|" then begin
+      branches := parse_branch st :: !branches;
+      unions ()
+    end
+    else if not (eof st) then fail st "trailing characters after path"
+  in
+  unions ();
+  List.rev !branches
+
+let parse input =
+  match parse_query input with
+  | [ branch ] when List.for_all (fun q -> q.Query.predicates = []) branch ->
+    Query.trunk branch
+  | [ _ ] ->
+    raise
+      (Parse_error
+         { position = 0; message = "predicates require parse_query, not parse" })
+  | _ ->
+    raise (Parse_error { position = 0; message = "unions require parse_query, not parse" })

@@ -1,0 +1,33 @@
+(** Parser for the location-path fragment.
+
+    Grammar (whitespace-insensitive):
+    {v
+    path  ::= '/'? relstep ( '/' relstep | '//' step )*
+            | '//' step ( '/' relstep | '//' step )*
+    relstep ::= step
+    step  ::= ( axis '::' )? test  |  '.'  |  '..'
+    axis  ::= 'self' | 'child' | 'descendant' | 'descendant-or-self'
+            | 'parent' | 'ancestor' | 'ancestor-or-self'
+            | 'following-sibling' | 'preceding-sibling'
+    test  ::= NAME | '*' | 'node()'
+    v}
+
+    ['//'] abbreviates a [descendant-or-self::node()] step followed by
+    the next step; ['.'] is [self::node()]; ['..'] is [parent::node()].
+    The default axis is [child]. A leading ['/'] only marks the path as
+    starting at the document root — the produced step list is the same;
+    evaluation always starts from an explicit context node. *)
+
+exception Parse_error of { position : int; message : string }
+
+val parse : string -> Path.t
+(** Parses a plain location path.
+    @raise Parse_error on malformed input, or if the input uses
+    predicates or unions (use {!parse_query} for those). *)
+
+val parse_query : string -> Query.t
+(** Parses the extended syntax: per-step predicates
+    ([step\[rel-path and not(other)\]]) and top-level unions
+    ([p1 | p2]). Predicates contain relative sub-queries combined with
+    [and], [or] and [not(...)]; a bare relative sub-query is an
+    existence test. @raise Parse_error on malformed input. *)

@@ -1,0 +1,1 @@
+test/gen.ml: Array Format List QCheck2 QCheck_alcotest Xnav_storage Xnav_store Xnav_xml

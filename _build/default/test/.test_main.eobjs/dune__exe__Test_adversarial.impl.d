@@ -1,0 +1,1 @@
+test/test_adversarial.ml: Alcotest Array Gen List Printf QCheck2 String Xnav_core Xnav_storage Xnav_store Xnav_xml Xnav_xpath

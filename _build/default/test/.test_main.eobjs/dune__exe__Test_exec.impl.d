@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Format Gen List String Xnav_core Xnav_storage Xnav_store Xnav_xml Xnav_xpath

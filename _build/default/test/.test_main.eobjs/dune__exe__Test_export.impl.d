@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Array Gen Xnav_storage Xnav_store Xnav_xml

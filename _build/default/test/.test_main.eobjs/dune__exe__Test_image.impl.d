@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Array Filename Gen List Xnav_core Xnav_storage Xnav_store Xnav_xml Xnav_xpath

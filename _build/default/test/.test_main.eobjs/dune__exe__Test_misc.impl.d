@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Buffer Gen List Xnav_core Xnav_storage Xnav_store Xnav_xml Xnav_xpath

@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Array Fun Gen List Printf QCheck2 Xnav_core Xnav_storage Xnav_store Xnav_xml Xnav_xpath

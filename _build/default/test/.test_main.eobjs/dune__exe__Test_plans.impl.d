@@ -1,0 +1,1 @@
+test/test_plans.ml: Alcotest Array Dump Fmt Format Gen List Printf QCheck2 Stdlib Xnav_core Xnav_storage Xnav_store Xnav_xml Xnav_xpath

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Gen List Printf QCheck2 Xnav_xml Xnav_xpath

@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest List Xnav_core Xnav_storage Xnav_store Xnav_xmark

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Buffer Filename Gen List Printf QCheck2 Sys Xnav_core Xnav_store Xnav_xmark Xnav_xml Xnav_xpath

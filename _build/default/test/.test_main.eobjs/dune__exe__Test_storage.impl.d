@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Char Fmt Gen Hashtbl List Option QCheck2 Stdlib String Test Xnav_storage

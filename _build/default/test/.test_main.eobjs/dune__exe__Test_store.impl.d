@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Format Gen List Option Printf QCheck2 String Xnav_storage Xnav_store Xnav_xml

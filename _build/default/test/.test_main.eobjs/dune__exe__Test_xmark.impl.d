@@ -1,0 +1,1 @@
+test/test_xmark.ml: Alcotest Array Gen List Printf Xnav_core Xnav_xmark Xnav_xml Xnav_xpath

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Array Buffer Fun Gen Hashtbl List Printf QCheck2 String Xnav_xml

@@ -1,0 +1,88 @@
+(* Shared generators and helpers for the test suite. *)
+
+module Tree = Xnav_xml.Tree
+module Tag = Xnav_xml.Tag
+
+let tag_pool = [| "a"; "b"; "c"; "d"; "e" |]
+
+(* A random labeled ordered tree of at most [size] nodes. *)
+let tree_gen ?(tags = tag_pool) ~size () : Tree.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let tag = oneofa tags >|= Tag.of_string in
+  let rec build budget =
+    if budget <= 1 then tag >|= fun t -> (Tree.leaf t, 1)
+    else begin
+      int_range 0 (min 5 (budget - 1)) >>= fun arity ->
+      tag >>= fun t ->
+      let rec children budget_left acc used = function
+        | 0 -> return (List.rev acc, used)
+        | k ->
+          build (max 1 (budget_left / k)) >>= fun (child, n) ->
+          children (budget_left - n) (child :: acc) (used + n) (k - 1)
+      in
+      children (budget - 1) [] 0 arity >|= fun (kids, used) -> (Tree.make t kids, used + 1)
+    end
+  in
+  int_range 1 size >>= fun budget ->
+  build budget >|= fst
+
+let tree_print tree = Format.asprintf "%a" Tree.pp tree
+
+(* A wide tree: a root with many children, some of which have small
+   subtrees — exercises sibling-run splitting across clusters. *)
+let wide_tree ~children () =
+  let kid i =
+    let t = Tag.of_string tag_pool.(i mod Array.length tag_pool) in
+    if i mod 3 = 0 then Tree.make t [ Tree.leaf (Tag.of_string "x"); Tree.leaf (Tag.of_string "y") ]
+    else Tree.leaf t
+  in
+  Tree.make (Tag.of_string "root") (List.init children kid)
+
+(* A deep path-shaped tree. *)
+let deep_tree ~depth () =
+  let rec go d =
+    let t = Tag.of_string tag_pool.(d mod Array.length tag_pool) in
+    if d = 0 then Tree.leaf t else Tree.make t [ go (d - 1) ]
+  in
+  go depth
+
+(* The running example document used across tests: shaped after the
+   paper's Fig. 2 (tags A, B, C under a root), sized so that small
+   payloads split it into several clusters. *)
+let sample_doc () =
+  let e = Tree.elt in
+  e "R"
+    [
+      e "A" [ e "B" [ e "C" [] ]; e "C" [ e "B" [] ] ];
+      e "C" [ e "A" [ e "B" [] ]; e "B" [] ];
+      e "A" [ e "A" [ e "C" [ e "B" [] ] ] ];
+    ]
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+(* Fresh disk with small pages (forces clustering on small documents). *)
+let small_disk ?(page_size = 512) () =
+  let config = { Xnav_storage.Disk.default_config with page_size } in
+  Xnav_storage.Disk.create ~config ()
+
+let import_store ?strategy ?payload ?(page_size = 512) ?(capacity = 64) tree =
+  let disk = small_disk ~page_size () in
+  let import = Xnav_store.Import.run ?strategy ?payload disk tree in
+  let buffer = Xnav_storage.Buffer_manager.create ~capacity disk in
+  (Xnav_store.Store.attach buffer import, import)
+
+(* Rebuild a Tree.t from the store by walking the global child axis —
+   the canonical structure check used by import and update tests. *)
+let reconstruct store =
+  let module Store = Xnav_store.Store in
+  let rec build (id : Xnav_store.Node_id.t) =
+    let inf = Store.info store id in
+    let next = Store.global_axis store Xnav_xml.Axis.Child id in
+    let rec kids acc =
+      match next () with
+      | None -> List.rev acc
+      | Some (child : Store.info) -> kids (build child.Store.id :: acc)
+    in
+    Xnav_xml.Tree.make inf.Store.tag (kids [])
+  in
+  build (Store.root store)

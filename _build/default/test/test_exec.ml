@@ -1,0 +1,108 @@
+(* Executor-level behaviours: streams, metrics invariants, the async
+   dispatch overhead, plan explain, and compile plan_for. *)
+
+module Tree = Xnav_xml.Tree
+module Disk = Xnav_storage.Disk
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Import = Xnav_store.Import
+module Store = Xnav_store.Store
+module Path = Xnav_xpath.Path
+module Xpath_parser = Xnav_xpath.Xpath_parser
+module Eval_ref = Xnav_xpath.Eval_ref
+module Plan = Xnav_core.Plan
+module Exec = Xnav_core.Exec
+module Compile = Xnav_core.Compile
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let tests =
+  [
+    Alcotest.test_case "stream pulls lazily and ends with None" `Quick (fun () ->
+        let doc = Gen.wide_tree ~children:40 () in
+        let store, _ = Gen.import_store ~payload:220 doc in
+        let path = Xpath_parser.parse "//b" in
+        let stream = Exec.prepare store path (Plan.xscan ()) in
+        let rec drain n =
+          match Exec.stream_next stream with None -> n | Some _ -> drain (n + 1)
+        in
+        let n = drain 0 in
+        check int "all results" (Eval_ref.count doc path) n;
+        check bool "None is final" true (Exec.stream_next stream = None);
+        check bool "no fallback" false (Exec.stream_fell_back stream));
+    Alcotest.test_case "abandoned stream leaves pins only until released" `Quick (fun () ->
+        (* XSchedule holds its current cluster pinned between pulls — an
+           abandoned stream may keep one pin (documented behaviour); a
+           drained one must not. *)
+        let doc = Gen.wide_tree ~children:40 () in
+        let store, _ = Gen.import_store ~payload:220 doc in
+        let stream = Exec.prepare store (Xpath_parser.parse "//b") (Plan.xschedule ()) in
+        let rec drain () = match Exec.stream_next stream with None -> () | Some _ -> drain () in
+        drain ();
+        check int "pins" 0 (Buffer_manager.pinned_count (Store.buffer store)));
+    Alcotest.test_case "metrics: total = io + cpu; reads split cleanly" `Quick (fun () ->
+        let doc = Gen.wide_tree ~children:80 () in
+        let store, _ = Gen.import_store ~payload:220 ~capacity:8 doc in
+        List.iter
+          (fun plan ->
+            let m = (Exec.cold_run ~ordered:false store (Xpath_parser.parse "//x") plan).Exec.metrics in
+            check bool "total" true
+              (abs_float (m.Exec.total_time -. (m.Exec.io_time +. m.Exec.cpu_time)) < 1e-9);
+            check int "split" m.Exec.page_reads (m.Exec.sequential_reads + m.Exec.random_reads);
+            check bool "io nonneg" true (m.Exec.io_time >= 0.))
+          [ Plan.simple; Plan.xschedule (); Plan.xscan () ]);
+    Alcotest.test_case "async requests pay the dispatch overhead" `Quick (fun () ->
+        let d = Disk.create () in
+        for _ = 1 to 10 do
+          ignore (Disk.alloc d)
+        done;
+        Disk.reset_clock d;
+        let sched = Xnav_storage.Io_scheduler.create d in
+        Xnav_storage.Io_scheduler.submit sched 5;
+        (match Xnav_storage.Io_scheduler.complete_one sched with
+        | Some _ -> ()
+        | None -> Alcotest.fail "expected completion");
+        let direct = Disk.read_cost d 5 in
+        check bool "overhead charged" true
+          (Disk.elapsed d > direct -. 1e-12));
+    Alcotest.test_case "Disk.charge advances the clock verbatim" `Quick (fun () ->
+        let d = Disk.create () in
+        Disk.charge d 0.125;
+        check bool "charged" true (abs_float (Disk.elapsed d -. 0.125) < 1e-12));
+    Alcotest.test_case "ordered=false skips sorting but not dedup" `Quick (fun () ->
+        let doc = Gen.sample_doc () in
+        let store, _ = Gen.import_store ~payload:200 doc in
+        let path = Xpath_parser.parse "//A//B" in
+        let r = Exec.cold_run ~ordered:false store path (Plan.Simple { dedup_intermediate = false }) in
+        check int "dedup still applies" (Eval_ref.count doc path) r.Exec.count);
+    Alcotest.test_case "plan explain renders all shapes" `Quick (fun () ->
+        let path = Xpath_parser.parse "/a//b" in
+        List.iter
+          (fun plan ->
+            let rendered = Format.asprintf "%a" Plan.explain (path, plan) in
+            check bool (Plan.name plan) true (String.length rendered > 10))
+          [ Plan.simple; Plan.xschedule (); Plan.xscan ~dslash:true (); Plan.xscan () ]);
+    Alcotest.test_case "plan_for rewrites when asked" `Quick (fun () ->
+        let store, _ = Gen.import_store (Gen.sample_doc ()) in
+        let raw = Xpath_parser.parse "/A//B" in
+        let rewritten, _ = Compile.plan_for ~rewrite:true store raw in
+        let untouched, _ = Compile.plan_for store raw in
+        check int "shorter" (Path.length raw - 1) (Path.length rewritten);
+        check bool "same without flag" true (Path.equal raw untouched));
+    Alcotest.test_case "trace hook fires for reordered plans" `Quick (fun () ->
+        let doc = Gen.wide_tree ~children:50 () in
+        let store, _ = Gen.import_store ~payload:220 doc in
+        let events = ref 0 in
+        ignore
+          (Exec.cold_run ~trace:(fun _ -> incr events) ~ordered:false store
+             (Xpath_parser.parse "//b") (Plan.xscan ()));
+        check bool "events seen" true (!events > 0));
+    Alcotest.test_case "empty path is rejected" `Quick (fun () ->
+        let store, _ = Gen.import_store (Gen.sample_doc ()) in
+        match Exec.cold_run store [] Plan.simple with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+  ]
+
+let suite = [ ("exec", tests) ]

@@ -1,0 +1,67 @@
+(* Document export: both strategies must reproduce the original tree
+   exactly, with the expected I/O profiles. *)
+
+module Tree = Xnav_xml.Tree
+module Import = Xnav_store.Import
+module Store = Xnav_store.Store
+module Export = Xnav_store.Export
+module Update = Xnav_store.Update
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Disk = Xnav_storage.Disk
+module Xml_parser = Xnav_xml.Xml_parser
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let tests =
+  [
+    Alcotest.test_case "navigational export reproduces the document" `Quick (fun () ->
+        let doc = Gen.sample_doc () in
+        let store, _ = Gen.import_store ~payload:200 doc in
+        check bool "equal" true (Tree.equal doc (Export.document ~scan:false store)));
+    Alcotest.test_case "scan export reproduces the document" `Quick (fun () ->
+        let doc = Gen.wide_tree ~children:60 () in
+        let store, _ = Gen.import_store ~payload:220 doc in
+        check bool "equal" true (Tree.equal doc (Export.document ~scan:true store)));
+    Alcotest.test_case "subtree export" `Quick (fun () ->
+        let doc = Gen.sample_doc () in
+        ignore (Tree.index doc);
+        let store, import = Gen.import_store ~payload:200 doc in
+        let child = doc.Tree.children.(1) in
+        let id = import.Import.node_ids.(child.Tree.preorder) in
+        check bool "nav" true (Tree.equal child (Export.subtree store id));
+        check bool "scan" true (Tree.equal child (Export.subtree_scanned store id)));
+    Alcotest.test_case "to_xml parses back to the same tree" `Quick (fun () ->
+        let doc = Gen.sample_doc () in
+        let store, _ = Gen.import_store ~payload:200 doc in
+        let xml = Export.to_xml store (Store.root store) in
+        check bool "roundtrip" true (Tree.equal doc (Xml_parser.parse_string xml)));
+    Alcotest.test_case "scan export is sequential; nav export is not" `Quick (fun () ->
+        let doc = Gen.wide_tree ~children:150 () in
+        let store, import =
+          Gen.import_store ~strategy:(Import.Scattered 17) ~payload:220 ~capacity:16 doc
+        in
+        let disk = Buffer_manager.disk (Store.buffer store) in
+        Buffer_manager.reset (Store.buffer store);
+        Disk.reset_clock disk;
+        ignore (Export.document ~scan:true store);
+        let scan_stats = Disk.stats disk in
+        check int "one pass" import.Import.page_count scan_stats.Disk.reads;
+        check int "no random reads" 0 scan_stats.Disk.random_reads;
+        Buffer_manager.reset (Store.buffer store);
+        Disk.reset_clock disk;
+        ignore (Export.document ~scan:false store);
+        check bool "nav is seeky" true ((Disk.stats disk).Disk.random_reads > 0));
+    Alcotest.test_case "export after updates includes the changes" `Quick (fun () ->
+        let doc = Gen.sample_doc () in
+        let store, _ = Gen.import_store ~payload:200 doc in
+        ignore
+          (Update.insert_tree store ~parent:(Store.root store)
+             (Tree.elt "appendix" [ Tree.elt "note" [] ]));
+        let exported = Export.document store in
+        check int "one more child" (Array.length doc.Tree.children + 1)
+          (Array.length exported.Tree.children));
+  ]
+
+let suite = [ ("export", tests) ]

@@ -1,0 +1,98 @@
+(* Disk-image persistence: save/load must round-trip documents,
+   queries and catalog metadata exactly. *)
+
+module Tree = Xnav_xml.Tree
+module Import = Xnav_store.Import
+module Store = Xnav_store.Store
+module Image = Xnav_store.Image
+module Export = Xnav_store.Export
+module Update = Xnav_store.Update
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Xpath_parser = Xnav_xpath.Xpath_parser
+module Eval_ref = Xnav_xpath.Eval_ref
+module Plan = Xnav_core.Plan
+module Exec = Xnav_core.Exec
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let temp_path = Filename.temp_file "xnav_image" ".xnav"
+
+let tests =
+  [
+    Alcotest.test_case "round-trips a document" `Quick (fun () ->
+        let doc = Gen.sample_doc () in
+        let store, _ = Gen.import_store ~payload:200 doc in
+        Image.save temp_path [ store ];
+        (match Image.load ~capacity:16 temp_path with
+        | [ loaded ] ->
+          check bool "tree equal" true (Tree.equal doc (Export.document loaded));
+          check int "node count" (Store.node_count store) (Store.node_count loaded);
+          check int "pages" (Store.page_count store) (Store.page_count loaded);
+          check bool "tags kept" true (Store.tag_counts loaded = Store.tag_counts store)
+        | _ -> Alcotest.fail "expected one store"));
+    Alcotest.test_case "queries agree before and after persistence" `Quick (fun () ->
+        let doc = Gen.wide_tree ~children:60 () in
+        let store, _ = Gen.import_store ~payload:220 doc in
+        Image.save temp_path [ store ];
+        let loaded = List.hd (Image.load ~capacity:32 temp_path) in
+        let path = Xpath_parser.parse "//b/x" in
+        List.iter
+          (fun plan ->
+            check int (Plan.name plan) (Eval_ref.count doc path)
+              (Exec.cold_run ~ordered:false loaded path plan).Exec.count)
+          [ Plan.simple; Plan.xschedule (); Plan.xscan () ]);
+    Alcotest.test_case "multiple documents share one image" `Quick (fun () ->
+        let disk = Gen.small_disk ~page_size:512 () in
+        let i1 = Import.run disk (Gen.sample_doc ()) in
+        let i2 = Import.run disk (Gen.deep_tree ~depth:20 ()) in
+        let buffer = Buffer_manager.create ~capacity:16 disk in
+        let s1 = Store.attach buffer i1 and s2 = Store.attach buffer i2 in
+        Image.save temp_path [ s1; s2 ];
+        (match Image.load ~capacity:16 temp_path with
+        | [ l1; l2 ] ->
+          check bool "doc1" true (Tree.equal (Gen.sample_doc ()) (Export.document l1));
+          check bool "doc2" true (Tree.equal (Gen.deep_tree ~depth:20 ()) (Export.document l2))
+        | _ -> Alcotest.fail "expected two stores"));
+    Alcotest.test_case "updates made before save survive" `Quick (fun () ->
+        let doc = Gen.sample_doc () in
+        let store, _ = Gen.import_store ~payload:200 doc in
+        ignore
+          (Update.insert_tree store ~parent:(Store.root store)
+             (Tree.elt "patch" [ Tree.elt "leaf" [] ]));
+        Image.save temp_path [ store ];
+        let loaded = List.hd (Image.load temp_path) in
+        let exported = Export.document loaded in
+        check int "children" (Array.length doc.Tree.children + 1)
+          (Array.length exported.Tree.children);
+        check int "node count" (Tree.size doc + 2) (Store.node_count loaded));
+    Alcotest.test_case "a loaded store accepts further updates" `Quick (fun () ->
+        let doc = Gen.sample_doc () in
+        let store, _ = Gen.import_store ~payload:200 doc in
+        Image.save temp_path [ store ];
+        let loaded = List.hd (Image.load temp_path) in
+        ignore (Update.insert_element loaded ~parent:(Store.root loaded) (Xnav_xml.Tag.of_string "late"));
+        check int "grown" (Tree.size doc + 1) (Store.node_count loaded));
+    Alcotest.test_case "corrupt images are rejected" `Quick (fun () ->
+        let oc = open_out_bin temp_path in
+        output_string oc "NOTANIMAGE-----";
+        close_out oc;
+        (match Image.load temp_path with
+        | exception Image.Corrupt _ -> ()
+        | _ -> Alcotest.fail "expected Corrupt");
+        let oc = open_out_bin temp_path in
+        output_string oc "XNAVIMG1";
+        close_out oc;
+        match Image.load temp_path with
+        | exception Image.Corrupt _ -> ()
+        | _ -> Alcotest.fail "expected Corrupt on truncation");
+    Alcotest.test_case "save requires a shared disk" `Quick (fun () ->
+        let s1, _ = Gen.import_store (Gen.sample_doc ()) in
+        let s2, _ = Gen.import_store (Gen.sample_doc ()) in
+        match Image.save temp_path [ s1; s2 ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+  ]
+
+let suite = [ ("image", tests) ]

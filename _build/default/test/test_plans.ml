@@ -1,0 +1,335 @@
+(* End-to-end correctness of the physical algebra: every plan shape must
+   produce exactly the reference evaluator's node set, in document
+   order, under every clustering strategy, buffer size, queue minimum and
+   memory budget — including runs that fall back mid-flight. *)
+
+module Tree = Xnav_xml.Tree
+module Axis = Xnav_xml.Axis
+module Node_id = Xnav_store.Node_id
+module Import = Xnav_store.Import
+module Store = Xnav_store.Store
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Path = Xnav_xpath.Path
+module Xpath_parser = Xnav_xpath.Xpath_parser
+module Eval_ref = Xnav_xpath.Eval_ref
+module Eval_store = Xnav_core.Eval_store
+module Plan = Xnav_core.Plan
+module Compile = Xnav_core.Compile
+module Exec = Xnav_core.Exec
+module Context = Xnav_core.Context
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let all_plans =
+  [
+    Plan.simple;
+    Plan.Simple { dedup_intermediate = false };
+    Plan.xschedule ();
+    Plan.xschedule ~speculative:false ();
+    Plan.xscan ();
+  ]
+
+(* Expected result as preorder ranks, via the reference evaluator. *)
+let expected_preorders doc path =
+  List.map (fun n -> n.Tree.preorder) (Eval_ref.eval doc path)
+
+let preorders_of (import : Import.result) infos =
+  let index = Node_id.Tbl.create 256 in
+  Array.iteri (fun pre id -> Node_id.Tbl.replace index id pre) import.Import.node_ids;
+  List.map (fun (i : Store.info) -> Node_id.Tbl.find index i.Store.id) infos
+
+let run_one ?config ?contexts store plan path = Exec.cold_run ?config ?contexts store path plan
+
+(* Check all plans against the oracle on [doc] for [path]. *)
+let agree ?config ?(strategy = Import.Dfs) ?(payload = 200) ?(capacity = 16) doc path =
+  let store, import = Gen.import_store ~strategy ~payload ~capacity doc in
+  let expected = expected_preorders doc path in
+  List.for_all
+    (fun plan ->
+      let result = run_one ?config store plan path in
+      let got = preorders_of import result.Exec.nodes in
+      let ok = got = expected in
+      if not ok then
+        Format.eprintf "MISMATCH plan=%s path=%s@.expected %a@.got %a@."
+          (Plan.name plan) (Path.to_string path)
+          Fmt.(Dump.list int) expected
+          Fmt.(Dump.list int) got;
+      ok && Buffer_manager.pinned_count (Store.buffer store) = 0)
+    all_plans
+
+let paths =
+  [
+    "/R";
+    "/A";
+    "//B";
+    "//*";
+    "/A/B";
+    "/A//B";
+    "//A//B";
+    "//A/B/C";
+    "/self::R/A/C";
+    "//node()";
+    "/descendant::B";
+    "/descendant-or-self::node()/C";
+    "//C//B";
+    "/A/A/C/B";
+  ]
+
+let fixed_tests =
+  List.map
+    (fun path_str ->
+      Alcotest.test_case path_str `Quick (fun () ->
+          let path = Xpath_parser.parse path_str in
+          check bool "all plans agree" true (agree (Gen.sample_doc ()) path)))
+    paths
+
+let strategy_tests =
+  List.concat_map
+    (fun strategy ->
+      List.map
+        (fun (label, doc) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s on %s doc" (Import.strategy_to_string strategy) label)
+            `Quick
+            (fun () ->
+              let path = Xpath_parser.parse "//b//x" in
+              check bool "agree" true (agree ~strategy (doc ()) path)))
+        [
+          ("wide", fun () -> Gen.wide_tree ~children:70 ());
+          ("deep", fun () -> Gen.deep_tree ~depth:50 ());
+        ])
+    [ Import.Dfs; Import.Bfs; Import.Scattered 7 ]
+
+(* Tiny buffers force evictions mid-run; tiny k starves the scheduler of
+   alternatives; tiny memory budgets force fallback. All must stay
+   correct. *)
+let stress_tests =
+  [
+    Alcotest.test_case "tiny buffer capacity" `Quick (fun () ->
+        let path = Xpath_parser.parse "//b" in
+        check bool "agree" true (agree ~capacity:3 (Gen.wide_tree ~children:60 ()) path));
+    Alcotest.test_case "k = 1" `Quick (fun () ->
+        let path = Xpath_parser.parse "//c" in
+        let config = { Context.default_config with Context.k = 1 } in
+        check bool "agree" true (agree ~config (Gen.wide_tree ~children:60 ()) path));
+    Alcotest.test_case "fallback: zero memory budget" `Quick (fun () ->
+        let path = Xpath_parser.parse "//b//x" in
+        let config = { Context.default_config with Context.memory_budget = 0 } in
+        check bool "agree" true (agree ~config (Gen.wide_tree ~children:60 ()) path));
+    Alcotest.test_case "fallback: small budget actually triggers" `Quick (fun () ->
+        (* Scattered clustering makes speculations arrive long before
+           their anchors are reachable, growing S past the budget; under
+           DFS the scan resolves them almost immediately. *)
+        let doc = Gen.wide_tree ~children:80 () in
+        let store, _ = Gen.import_store ~strategy:(Import.Scattered 5) ~payload:200 ~capacity:16 doc in
+        let path = Xpath_parser.parse "//b" in
+        let config = { Context.default_config with Context.memory_budget = 3 } in
+        let result = run_one ~config store (Plan.xscan ()) path in
+        check bool "fell back" true result.Exec.metrics.Exec.fell_back;
+        check bool "still correct" true
+          (result.Exec.count = Eval_ref.count doc path));
+    Alcotest.test_case "huge budget does not fall back" `Quick (fun () ->
+        let doc = Gen.wide_tree ~children:40 () in
+        let store, _ = Gen.import_store ~payload:200 doc in
+        let result = run_one store (Plan.xscan ()) (Xpath_parser.parse "//b") in
+        check bool "no fallback" false result.Exec.metrics.Exec.fell_back);
+  ]
+
+(* The // optimisation: same results with dslash on and off. *)
+let dslash_tests =
+  [
+    Alcotest.test_case "//-optimised scan agrees" `Quick (fun () ->
+        let doc = Gen.wide_tree ~children:60 () in
+        let store, import = Gen.import_store ~payload:200 doc in
+        List.iter
+          (fun path_str ->
+            let path = Xpath_parser.parse path_str in
+            check bool "starts with //" true (Path.starts_with_descendant_any path);
+            let plain = run_one store (Plan.xscan ()) path in
+            let opt = run_one store (Plan.xscan ~dslash:true ()) path in
+            check bool "same results"
+              true
+              (preorders_of import plain.Exec.nodes = preorders_of import opt.Exec.nodes);
+            check int "oracle count" (Eval_ref.count doc path) opt.Exec.count)
+          [ "//b"; "//x"; "//b/x"; "//node()" ]);
+  ]
+
+(* Multiple context nodes, including duplicates-producing overlaps. *)
+let context_tests =
+  [
+    Alcotest.test_case "multiple contexts, overlapping subtrees" `Quick (fun () ->
+        let doc = Gen.sample_doc () in
+        let store, import = Gen.import_store ~payload:200 doc in
+        ignore (Tree.index doc);
+        (* Contexts: all A nodes (computed via the reference). *)
+        let contexts_ref = Eval_ref.eval doc (Xpath_parser.parse "//A") in
+        let contexts =
+          List.map (fun n -> import.Import.node_ids.(n.Tree.preorder)) contexts_ref
+        in
+        let path = Xpath_parser.parse "descendant-or-self::node()/B" in
+        let expected =
+          List.sort_uniq Stdlib.compare
+            (List.concat_map
+               (fun c -> List.map (fun n -> n.Tree.preorder) (Eval_ref.eval c path))
+               contexts_ref)
+        in
+        List.iter
+          (fun plan ->
+            let result = run_one ~contexts store plan path in
+            check (Alcotest.list int) (Plan.name plan) expected
+              (preorders_of import result.Exec.nodes))
+          all_plans);
+    Alcotest.test_case "empty context list yields empty result" `Quick (fun () ->
+        let store, _ = Gen.import_store (Gen.sample_doc ()) in
+        List.iter
+          (fun plan ->
+            let r = run_one ~contexts:[] store plan (Xpath_parser.parse "//B") in
+            check int (Plan.name plan) 0 r.Exec.count)
+          all_plans);
+  ]
+
+(* Non-downward paths must work via Simple and be rejected by reordered
+   plans. *)
+let axis_guard_tests =
+  [
+    Alcotest.test_case "upward path on simple plan matches oracle" `Quick (fun () ->
+        let doc = Gen.sample_doc () in
+        let store, import = Gen.import_store ~payload:200 doc in
+        let path = Xpath_parser.parse "//B/ancestor::A/following-sibling::*" in
+        let result = run_one store Plan.simple path in
+        check (Alcotest.list int) "oracle" (expected_preorders doc path)
+          (preorders_of import result.Exec.nodes));
+    Alcotest.test_case "reordered plan rejects upward axes" `Quick (fun () ->
+        let store, _ = Gen.import_store (Gen.sample_doc ()) in
+        (match run_one store (Plan.xscan ()) (Xpath_parser.parse "//B/..") with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument"));
+    Alcotest.test_case "compile falls back to simple for upward axes" `Quick (fun () ->
+        let store, _ = Gen.import_store (Gen.sample_doc ()) in
+        match Compile.compile store (Xpath_parser.parse "//B/..") with
+        | Plan.Simple _ -> ()
+        | Plan.Reordered _ -> Alcotest.fail "expected a simple plan");
+  ]
+
+(* Eval_store (logical evaluation over physical storage) agrees too. *)
+let eval_store_tests =
+  [
+    Alcotest.test_case "eval_store agrees with eval_ref" `Quick (fun () ->
+        let doc = Gen.sample_doc () in
+        let store, import = Gen.import_store ~payload:200 doc in
+        List.iter
+          (fun path_str ->
+            let path = Xpath_parser.parse path_str in
+            let got =
+              preorders_of import (Eval_store.eval store (Store.root store) path)
+            in
+            check (Alcotest.list int) path_str (expected_preorders doc path) got)
+          (paths @ [ "//B/ancestor::*"; "//C/preceding-sibling::node()" ]));
+  ]
+
+(* Randomised: every plan = oracle on arbitrary trees, strategies and
+   downward paths. *)
+let random_path_gen =
+  let open QCheck2.Gen in
+  let axis = oneofl [ Axis.Child; Axis.Descendant; Axis.Descendant_or_self; Axis.Self ] in
+  let test =
+    oneof
+      [
+        (oneofa Gen.tag_pool >|= fun name -> Path.Name (Xnav_xml.Tag.of_string name));
+        return Path.Wildcard;
+        return Path.Any_node;
+      ]
+  in
+  list_size (int_range 1 4) (pair axis test)
+  >|= List.map (fun (axis, test) -> Path.step axis test)
+
+let plan_props =
+  [
+    QCheck2.Test.make ~name:"plans: all plans match the oracle on random inputs" ~count:120
+      QCheck2.Gen.(
+        triple (Gen.tree_gen ~size:45 ()) random_path_gen
+          (oneofl [ Import.Dfs; Import.Bfs; Import.Scattered 3 ]))
+      ~print:(fun (tree, path, strategy) ->
+        Printf.sprintf "%s | %s | %s" (Gen.tree_print tree) (Path.to_string path)
+          (Import.strategy_to_string strategy))
+      (fun (tree, path, strategy) -> agree ~strategy tree path);
+    QCheck2.Test.make ~name:"plans: correct under fallback pressure on random inputs" ~count:60
+      QCheck2.Gen.(pair (Gen.tree_gen ~size:45 ()) random_path_gen)
+      ~print:(fun (tree, path) ->
+        Printf.sprintf "%s | %s" (Gen.tree_print tree) (Path.to_string path))
+      (fun (tree, path) ->
+        let config = { Context.default_config with Context.memory_budget = 1 } in
+        agree ~config tree path);
+  ]
+
+(* Metric sanity: scan is sequential, schedule beats simple on I/O. *)
+let metric_tests =
+  [
+    Alcotest.test_case "xscan reads every page exactly once, sequentially" `Quick (fun () ->
+        let doc = Gen.wide_tree ~children:120 () in
+        let store, import = Gen.import_store ~payload:220 ~capacity:8 doc in
+        let r = run_one store (Plan.xscan ()) (Xpath_parser.parse "//b") in
+        check int "page reads" import.Import.page_count r.Exec.metrics.Exec.page_reads;
+        check int "all sequential" r.Exec.metrics.Exec.page_reads
+          r.Exec.metrics.Exec.sequential_reads);
+    Alcotest.test_case "xschedule does not visit more clusters than simple touches" `Quick
+      (fun () ->
+        let doc = Gen.wide_tree ~children:120 () in
+        let store, _ = Gen.import_store ~payload:220 ~capacity:8 doc in
+        let path = Xpath_parser.parse "//b/x" in
+        let sched = run_one store (Plan.xschedule ()) path in
+        let simple = run_one store Plan.simple path in
+        check bool "io_time not worse" true
+          (sched.Exec.metrics.Exec.io_time <= simple.Exec.metrics.Exec.io_time +. 1e-9));
+    Alcotest.test_case "speculation avoids revisits" `Quick (fun () ->
+        (* With speculation, each cluster is visited at most once. *)
+        let doc = Gen.wide_tree ~children:120 () in
+        let store, import = Gen.import_store ~payload:220 ~capacity:32 doc in
+        let r = run_one store (Plan.xschedule ()) (Xpath_parser.parse "//b/x") in
+        check bool "visits <= pages" true
+          (r.Exec.metrics.Exec.clusters_visited <= import.Import.page_count));
+  ]
+
+let compile_tests =
+  [
+    Alcotest.test_case "estimate separates regimes" `Quick (fun () ->
+        let doc = Gen.wide_tree ~children:200 () in
+        let store, _ = Gen.import_store ~payload:220 doc in
+        (* Low selectivity: // touches everything -> scan. *)
+        let broad = Compile.estimate store (Xpath_parser.parse "//node()") in
+        check bool "scan wins broad" true (broad.Compile.cost_scan < broad.Compile.cost_schedule);
+        (* A tag that appears nowhere -> schedule. *)
+        let narrow = Compile.estimate store (Xpath_parser.parse "/zzz-missing/zzz-missing") in
+        check bool "schedule wins narrow" true
+          (narrow.Compile.cost_schedule < narrow.Compile.cost_scan));
+    Alcotest.test_case "compile honours force choices" `Quick (fun () ->
+        let store, _ = Gen.import_store (Gen.sample_doc ()) in
+        let path = Xpath_parser.parse "//B" in
+        (match Compile.compile ~choice:Compile.Force_scan store path with
+        | Plan.Reordered { io = Plan.Io_scan; dslash = true } -> ()
+        | plan -> Alcotest.failf "expected dslash scan, got %s" (Plan.name plan));
+        match Compile.compile ~choice:Compile.Force_schedule store path with
+        | Plan.Reordered { io = Plan.Io_schedule _; _ } -> ()
+        | plan -> Alcotest.failf "expected schedule, got %s" (Plan.name plan));
+    Alcotest.test_case "force reordered on upward axes rejected" `Quick (fun () ->
+        let store, _ = Gen.import_store (Gen.sample_doc ()) in
+        (match Compile.compile ~choice:Compile.Force_scan store (Xpath_parser.parse "//B/..") with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument"));
+  ]
+
+let suite =
+  [
+    ("plans.fixed-paths", fixed_tests);
+    ("plans.strategies", strategy_tests);
+    ("plans.stress", stress_tests);
+    ("plans.dslash", dslash_tests);
+    ("plans.contexts", context_tests);
+    ("plans.axis-guards", axis_guard_tests);
+    ("plans.eval-store", eval_store_tests);
+    Gen.qsuite "plans.props" plan_props;
+    ("plans.metrics", metric_tests);
+    ("plans.compile", compile_tests);
+  ]

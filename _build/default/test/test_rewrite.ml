@@ -1,0 +1,83 @@
+(* Logical path rewrites must preserve node-set semantics exactly. *)
+
+module Tree = Xnav_xml.Tree
+module Axis = Xnav_xml.Axis
+module Path = Xnav_xpath.Path
+module Xpath_parser = Xnav_xpath.Xpath_parser
+module Rewrite = Xnav_xpath.Rewrite
+module Eval_ref = Xnav_xpath.Eval_ref
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let tests =
+  [
+    Alcotest.test_case "// compresses to descendant" `Quick (fun () ->
+        let path = Xpath_parser.parse "/a//b" in
+        let normalized = Rewrite.normalize path in
+        check int "shorter" (Path.length path - 1) (Path.length normalized);
+        check bool "descendant step" true
+          (List.exists (fun (s : Path.step) -> s.Path.axis = Axis.Descendant) normalized));
+    Alcotest.test_case "stacked // collapses" `Quick (fun () ->
+        let path =
+          Xpath_parser.parse "descendant-or-self::node()/descendant-or-self::node()/b"
+        in
+        check int "one step left" 1 (Path.length (Rewrite.normalize path)));
+    Alcotest.test_case "self::node() is dropped" `Quick (fun () ->
+        let path = Xpath_parser.parse "./a/./b" in
+        check int "two steps" 2 (Path.length (Rewrite.normalize path)));
+    Alcotest.test_case "a lone self step survives" `Quick (fun () ->
+        check int "one step" 1 (Path.length (Rewrite.normalize (Xpath_parser.parse "."))));
+    Alcotest.test_case "descendant::node()/descendant::t must NOT fuse" `Quick (fun () ->
+        (* /a/a: descendant::node()/descendant::a excludes depth-1 a's. *)
+        let doc = Tree.elt "r" [ Tree.elt "a" [ Tree.elt "a" [] ] ] in
+        let path = Xpath_parser.parse "/descendant::node()/descendant::a" in
+        let normalized = Rewrite.normalize path in
+        check int "semantics kept" (Eval_ref.count doc path) (Eval_ref.count doc normalized);
+        check int "only the deep a" 1 (Eval_ref.count doc path));
+    Alcotest.test_case "upward steps block fusion" `Quick (fun () ->
+        let path = Xpath_parser.parse "//a/ancestor::b" in
+        let normalized = Rewrite.normalize path in
+        check bool "ancestor kept" true
+          (List.exists (fun (s : Path.step) -> s.Path.axis = Axis.Ancestor) normalized));
+  ]
+
+let props =
+  let random_path_gen =
+    let open QCheck2.Gen in
+    let axis =
+      oneofl
+        [ Axis.Child; Axis.Descendant; Axis.Descendant_or_self; Axis.Self; Axis.Parent ]
+    in
+    let test =
+      oneof
+        [
+          (oneofa Gen.tag_pool >|= fun name -> Path.Name (Xnav_xml.Tag.of_string name));
+          return Path.Wildcard;
+          return Path.Any_node;
+        ]
+    in
+    list_size (int_range 1 5) (pair axis test)
+    >|= List.map (fun (axis, test) -> Path.step axis test)
+  in
+  [
+    QCheck2.Test.make ~name:"rewrite: normalize preserves semantics" ~count:300
+      QCheck2.Gen.(pair (Gen.tree_gen ~size:40 ()) random_path_gen)
+      ~print:(fun (tree, path) ->
+        Printf.sprintf "%s | %s" (Gen.tree_print tree) (Path.to_string path))
+      (fun (tree, path) ->
+        let normalized = Rewrite.normalize path in
+        let pre n = List.map (fun (x : Tree.t) -> x.Tree.preorder) n in
+        pre (Eval_ref.eval tree path) = pre (Eval_ref.eval tree normalized));
+    QCheck2.Test.make ~name:"rewrite: normalize is idempotent" ~count:200 random_path_gen
+      ~print:Path.to_string
+      (fun path ->
+        let once = Rewrite.normalize path in
+        Path.equal once (Rewrite.normalize once));
+    QCheck2.Test.make ~name:"rewrite: normalize never lengthens a path" ~count:200
+      random_path_gen ~print:Path.to_string
+      (fun path -> Path.length (Rewrite.normalize path) <= Path.length path);
+  ]
+
+let suite = [ ("rewrite", tests); Gen.qsuite "rewrite.props" props ]

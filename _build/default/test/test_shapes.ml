@@ -1,0 +1,86 @@
+(* Reproduction guards: the paper's qualitative results must keep
+   holding. These are the assertions behind EXPERIMENTS.md, runnable in
+   CI at reduced fidelity. *)
+
+module Disk = Xnav_storage.Disk
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Import = Xnav_store.Import
+module Store = Xnav_store.Store
+module Queries = Xnav_xmark.Queries
+module Gen_x = Xnav_xmark.Gen
+module Plan = Xnav_core.Plan
+module Exec = Xnav_core.Exec
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+(* The benchmark setup at reduced fidelity: enough pages to exceed the
+   buffer, deterministic documents. *)
+let bench_store ?(strategy = Import.Dfs) ~scale () =
+  let doc = Gen_x.generate ~config:{ Gen_x.default_config with Gen_x.scale; fidelity = 0.02 } () in
+  let disk = Disk.create ~config:{ Disk.default_config with Disk.page_size = 4096 } () in
+  let import = Import.run ~strategy disk doc in
+  let buffer = Buffer_manager.create ~capacity:256 disk in
+  Store.attach buffer import
+
+let time store plan (q : Queries.t) =
+  List.fold_left
+    (fun acc path ->
+      acc +. (Exec.cold_run ~ordered:false store path plan).Exec.metrics.Exec.total_time)
+    0.0 q.Queries.paths
+
+let simple = Plan.simple
+let xschedule = Plan.xschedule ~speculative:false ()
+let xscan = Plan.xscan ()
+
+let tests =
+  [
+    Alcotest.test_case "fig 9/10: XSchedule beats Simple on every query at sf=1" `Slow
+      (fun () ->
+        let store = bench_store ~scale:1.0 () in
+        List.iter
+          (fun q ->
+            check bool q.Queries.name true (time store xschedule q < time store simple q))
+          [ Queries.q6'; Queries.q7 ]);
+    Alcotest.test_case "fig 10: XScan wins Q7 by a large factor" `Slow (fun () ->
+        let store = bench_store ~scale:1.0 () in
+        let scan = time store xscan Queries.q7 in
+        check bool "vs simple >= 2.5x" true (time store simple Queries.q7 > 2.5 *. scan);
+        check bool "vs schedule" true (time store xschedule Queries.q7 > scan));
+    Alcotest.test_case "fig 11: XScan collapses on selective Q15" `Slow (fun () ->
+        let store = bench_store ~scale:1.0 () in
+        check bool "scan much worse" true
+          (time store xscan Queries.q15 > 2.0 *. time store simple Queries.q15));
+    Alcotest.test_case "fig 9-11: costs grow with the scaling factor" `Slow (fun () ->
+        let small = bench_store ~scale:0.25 () in
+        let large = bench_store ~scale:1.0 () in
+        List.iter
+          (fun (q : Queries.t) ->
+            List.iter
+              (fun plan -> check bool q.Queries.name true (time large plan q > time small plan q))
+              [ simple; xschedule; xscan ])
+          Queries.all);
+    Alcotest.test_case "tab 3: XScan has the highest CPU share" `Slow (fun () ->
+        let store = bench_store ~scale:1.0 () in
+        let cpu_share plan =
+          let total, cpu =
+            List.fold_left
+              (fun (t, c) path ->
+                let m = (Exec.cold_run ~ordered:false store path plan).Exec.metrics in
+                (t +. m.Exec.total_time, c +. m.Exec.cpu_time))
+              (0., 0.) Queries.q7.Queries.paths
+          in
+          cpu /. total
+        in
+        check bool "scan > simple" true (cpu_share xscan > cpu_share simple);
+        check bool "scan > schedule" true (cpu_share xscan > cpu_share xschedule));
+    Alcotest.test_case "sec 2/3: XScan is robust to layout decay, Simple is not" `Slow
+      (fun () ->
+        let fresh = bench_store ~scale:0.5 () in
+        let decayed = bench_store ~strategy:(Import.Scattered 11) ~scale:0.5 () in
+        let ratio plan = time decayed plan Queries.q6' /. time fresh plan Queries.q6' in
+        check bool "simple degrades badly" true (ratio simple > 10.0);
+        check bool "scan barely moves" true (ratio xscan < 3.0));
+  ]
+
+let suite = [ ("shapes", tests) ]

@@ -1,0 +1,278 @@
+(* In-place updates: inserts and deletes must keep the clustered
+   representation exactly equivalent to a mirrored in-memory tree —
+   structure, document order (via ordpaths), navigation, and plan
+   results. *)
+
+module Tree = Xnav_xml.Tree
+module Tag = Xnav_xml.Tag
+module Ordpath = Xnav_xml.Ordpath
+module Node_id = Xnav_store.Node_id
+module Import = Xnav_store.Import
+module Store = Xnav_store.Store
+module Update = Xnav_store.Update
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Xpath_parser = Xnav_xpath.Xpath_parser
+module Eval_ref = Xnav_xpath.Eval_ref
+module Plan = Xnav_core.Plan
+module Exec = Xnav_core.Exec
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* --- mirror operations on the in-memory tree ------------------------------ *)
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  Array.init (n + 1) (fun j -> if j < i then arr.(j) else if j = i then x else arr.(j - 1))
+
+let mirror_insert (parent : Tree.t) index tag =
+  let fresh = Tree.leaf tag in
+  fresh.Tree.parent <- Some parent;
+  parent.Tree.children <- array_insert parent.Tree.children index fresh;
+  fresh
+
+let mirror_delete (node : Tree.t) =
+  match node.Tree.parent with
+  | None -> invalid_arg "mirror_delete: root"
+  | Some parent ->
+    parent.Tree.children <-
+      Array.of_list (List.filter (fun c -> c != node) (Array.to_list parent.Tree.children))
+
+let index_of (parent : Tree.t) (child : Tree.t) =
+  let found = ref (-1) in
+  Array.iteri (fun i c -> if c == child then found := i) parent.Tree.children;
+  !found
+
+(* --- checks ------------------------------------------------------------------ *)
+
+let doc_order_ok store =
+  (* Collect all cores via descendant-or-self from the root; the walk is
+     in document order, so ordpaths must be strictly increasing. *)
+  let next = Store.global_axis store Xnav_xml.Axis.Descendant_or_self (Store.root store) in
+  let rec go prev =
+    match next () with
+    | None -> true
+    | Some (info : Store.info) ->
+      (match prev with
+      | Some p when Ordpath.compare p info.Store.ordpath >= 0 -> false
+      | _ -> go (Some info.Store.ordpath))
+  in
+  go None
+
+let store_matches store mirror =
+  Tree.equal mirror (Gen.reconstruct store)
+  && doc_order_ok store
+  && Buffer_manager.pinned_count (Store.buffer store) = 0
+
+(* --- unit tests ---------------------------------------------------------------- *)
+
+let fresh_setup ?(payload = 200) () =
+  let doc = Gen.sample_doc () in
+  let store, import = Gen.import_store ~payload doc in
+  (doc, store, import)
+
+let unit_tests =
+  [
+    Alcotest.test_case "append a last child" `Quick (fun () ->
+        let doc, store, import = fresh_setup () in
+        ignore (Tree.index doc);
+        let id = Update.insert_element store ~parent:import.Import.node_ids.(0) (Tag.of_string "new") in
+        let _ = mirror_insert doc (Array.length doc.Tree.children) (Tag.of_string "new") in
+        check bool "structure" true (store_matches store doc);
+        check bool "readable" true (Tag.equal (Store.info store id).Store.tag (Tag.of_string "new")));
+    Alcotest.test_case "insert a first child" `Quick (fun () ->
+        let doc, store, import = fresh_setup () in
+        ignore (Tree.index doc);
+        ignore
+          (Update.insert_element store ~parent:import.Import.node_ids.(0) ~position:Update.First
+             (Tag.of_string "front"));
+        let _ = mirror_insert doc 0 (Tag.of_string "front") in
+        check bool "structure" true (store_matches store doc));
+    Alcotest.test_case "insert after a middle sibling" `Quick (fun () ->
+        let doc, store, import = fresh_setup () in
+        ignore (Tree.index doc);
+        let second_child = doc.Tree.children.(1) in
+        let sid = import.Import.node_ids.(second_child.Tree.preorder) in
+        ignore
+          (Update.insert_element store ~parent:import.Import.node_ids.(0)
+             ~position:(Update.After sid) (Tag.of_string "mid"));
+        let _ = mirror_insert doc 2 (Tag.of_string "mid") in
+        check bool "structure" true (store_matches store doc));
+    Alcotest.test_case "insert under an empty leaf" `Quick (fun () ->
+        let doc, store, import = fresh_setup () in
+        ignore (Tree.index doc);
+        (* The deepest B of the sample doc is a leaf. *)
+        let leaf = List.find (fun n -> Array.length n.Tree.children = 0) (Tree.nodes doc) in
+        let lid = import.Import.node_ids.(leaf.Tree.preorder) in
+        ignore (Update.insert_element store ~parent:lid (Tag.of_string "baby"));
+        let _ = mirror_insert leaf 0 (Tag.of_string "baby") in
+        check bool "structure" true (store_matches store doc));
+    Alcotest.test_case "many inserts overflow into new pages" `Quick (fun () ->
+        let doc, store, import = fresh_setup ~payload:150 () in
+        ignore (Tree.index doc);
+        let before_pages = Store.page_count store in
+        for i = 1 to 60 do
+          ignore
+            (Update.insert_element store ~parent:import.Import.node_ids.(0)
+               (Tag.of_string (Printf.sprintf "n%d" (i mod 7))));
+          ignore (mirror_insert doc (Array.length doc.Tree.children)
+                    (Tag.of_string (Printf.sprintf "n%d" (i mod 7))))
+        done;
+        check bool "grew" true (Store.page_count store > before_pages);
+        check bool "structure" true (store_matches store doc);
+        check int "node count tracked" (Tree.size doc) (Store.node_count store));
+    Alcotest.test_case "insert_tree grafts a whole subtree" `Quick (fun () ->
+        let doc, store, import = fresh_setup () in
+        ignore (Tree.index doc);
+        let subtree () = Tree.elt "g" [ Tree.elt "h" [ Tree.elt "i" [] ]; Tree.elt "h" [] ] in
+        ignore (Update.insert_tree store ~parent:import.Import.node_ids.(0) (subtree ()));
+        let graft = subtree () in
+        graft.Tree.parent <- Some doc;
+        doc.Tree.children <- array_insert doc.Tree.children (Array.length doc.Tree.children) graft;
+        check bool "structure" true (store_matches store doc));
+    Alcotest.test_case "delete a leaf" `Quick (fun () ->
+        let doc, store, import = fresh_setup () in
+        ignore (Tree.index doc);
+        let leaf = List.find (fun n -> Array.length n.Tree.children = 0) (Tree.nodes doc) in
+        let removed = Update.delete_subtree store import.Import.node_ids.(leaf.Tree.preorder) in
+        check int "one node" 1 removed;
+        mirror_delete leaf;
+        check bool "structure" true (store_matches store doc));
+    Alcotest.test_case "delete a subtree spanning clusters" `Quick (fun () ->
+        let doc, store, import = fresh_setup ~payload:150 () in
+        ignore (Tree.index doc);
+        let victim = doc.Tree.children.(0) in
+        let removed = Update.delete_subtree store import.Import.node_ids.(victim.Tree.preorder) in
+        check int "whole subtree" (Tree.size victim) removed;
+        mirror_delete victim;
+        check bool "structure" true (store_matches store doc);
+        check int "node count tracked" (Tree.size doc) (Store.node_count store));
+    Alcotest.test_case "deleting the root is rejected" `Quick (fun () ->
+        let _, store, import = fresh_setup () in
+        match Update.delete_subtree store import.Import.node_ids.(0) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "After sibling under a different parent is rejected" `Quick (fun () ->
+        let doc, store, import = fresh_setup () in
+        ignore (Tree.index doc);
+        let parent = import.Import.node_ids.(0) in
+        (* A grandchild is not a child of the root. *)
+        let grandchild = doc.Tree.children.(0).Tree.children.(0) in
+        let gid = import.Import.node_ids.(grandchild.Tree.preorder) in
+        match Update.insert_element store ~parent ~position:(Update.After gid) (Tag.of_string "z") with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "queries stay correct after updates" `Quick (fun () ->
+        let doc, store, import = fresh_setup ~payload:180 () in
+        ignore (Tree.index doc);
+        let parent = import.Import.node_ids.(0) in
+        for _ = 1 to 25 do
+          ignore (Update.insert_element store ~parent (Tag.of_string "B"));
+          ignore (mirror_insert doc (Array.length doc.Tree.children) (Tag.of_string "B"))
+        done;
+        let path = Xpath_parser.parse "//B" in
+        List.iter
+          (fun plan ->
+            let r = Exec.cold_run ~ordered:false store path plan in
+            check int (Plan.name plan) (Eval_ref.count doc path) r.Exec.count)
+          [ Plan.simple; Plan.xschedule (); Plan.xscan () ]);
+  ]
+
+(* --- randomised mirror workout -------------------------------------------------- *)
+
+type op = Op_insert of int * int * string | Op_delete of int
+(* insert: (parent pick, position pick, tag); delete: victim pick. The
+   int picks are reduced modulo the live node count at application time. *)
+
+let op_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      ( int_range 0 1000 >>= fun parent ->
+        int_range 0 1000 >>= fun pos ->
+        oneofa Gen.tag_pool >|= fun tag -> Op_insert (parent, pos, tag) );
+      (int_range 0 1000 >|= fun victim -> Op_delete victim);
+    ]
+
+let apply_ops doc store import ops =
+  ignore (Tree.index doc);
+  (* id <-> tree-node correspondence, maintained across updates. *)
+  let by_id = Node_id.Tbl.create 64 in
+  Array.iteri
+    (fun pre id ->
+      let node = List.nth (Tree.nodes doc) pre in
+      Node_id.Tbl.replace by_id id node)
+    import.Xnav_store.Import.node_ids;
+  let live () =
+    (* Document-order list of (id, tree node). *)
+    let next = Store.global_axis store Xnav_xml.Axis.Descendant_or_self (Store.root store) in
+    let rec go acc =
+      match next () with
+      | None -> List.rev acc
+      | Some (info : Store.info) -> go ((info.Store.id, Node_id.Tbl.find by_id info.Store.id) :: acc)
+    in
+    go []
+  in
+  List.iter
+    (fun op ->
+      let nodes = live () in
+      let n = List.length nodes in
+      match op with
+      | Op_insert (ppick, pos_pick, tag_name) ->
+        let pid, pnode = List.nth nodes (ppick mod n) in
+        let tag = Tag.of_string tag_name in
+        let arity = Array.length pnode.Tree.children in
+        let position, index =
+          match pos_pick mod 3 with
+          | 0 -> (Update.First, 0)
+          | 1 -> (Update.Last, arity)
+          | _ ->
+            if arity = 0 then (Update.Last, 0)
+            else begin
+              let k = pos_pick mod arity in
+              let sibling = pnode.Tree.children.(k) in
+              (* Find the sibling's id through the correspondence. *)
+              let sid =
+                List.find (fun (_, node) -> node == sibling) nodes |> fst
+              in
+              (Update.After sid, k + 1)
+            end
+        in
+        let new_id = Update.insert_element store ~parent:pid ~position tag in
+        let fresh = mirror_insert pnode index tag in
+        Node_id.Tbl.replace by_id new_id fresh
+      | Op_delete vpick ->
+        if n > 1 then begin
+          (* Skip index 0: the root. *)
+          let vid, vnode = List.nth nodes (1 + (vpick mod (n - 1))) in
+          ignore (Update.delete_subtree store vid);
+          mirror_delete vnode
+        end)
+    ops
+
+let props =
+  [
+    QCheck2.Test.make ~name:"update: random op sequences keep store == mirror" ~count:40
+      QCheck2.Gen.(
+        triple (Gen.tree_gen ~size:25 ())
+          (list_size (int_range 1 25) op_gen)
+          (oneofl [ Import.Dfs; Import.Scattered 13 ]))
+      ~print:(fun (tree, ops, strategy) ->
+        Printf.sprintf "%s | %d ops | %s" (Gen.tree_print tree) (List.length ops)
+          (Import.strategy_to_string strategy))
+      (fun (tree, ops, strategy) ->
+        let store, import = Gen.import_store ~strategy ~payload:170 tree in
+        apply_ops tree store import ops;
+        store_matches store tree
+        && Store.node_count store = Tree.size tree
+        &&
+        (* Plans agree with the oracle on the mutated document. *)
+        let path = Xpath_parser.parse "//b//c" in
+        let expected = Eval_ref.count tree path in
+        List.for_all
+          (fun plan -> (Exec.cold_run ~ordered:false store path plan).Exec.count = expected)
+          [ Plan.simple; Plan.xschedule (); Plan.xscan () ]);
+  ]
+
+let suite = [ ("update", unit_tests); Gen.qsuite "update.props" props ]

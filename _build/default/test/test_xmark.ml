@@ -1,0 +1,158 @@
+(* Tests for the XMark generator and benchmark queries. *)
+
+module Tree = Xnav_xml.Tree
+module Tag = Xnav_xml.Tag
+module Gen_x = Xnav_xmark.Gen
+module Rng = Xnav_xmark.Rng
+module Queries = Xnav_xmark.Queries
+module Eval_ref = Xnav_xpath.Eval_ref
+module Path = Xnav_xpath.Path
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let small = { Gen_x.default_config with Gen_x.fidelity = 0.01 }
+
+let rng_tests =
+  [
+    Alcotest.test_case "determinism" `Quick (fun () ->
+        let a = Rng.create 7 and b = Rng.create 7 in
+        for _ = 1 to 100 do
+          check int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+        done);
+    Alcotest.test_case "int respects bounds" `Quick (fun () ->
+        let r = Rng.create 1 in
+        for _ = 1 to 1000 do
+          let v = Rng.int r 10 in
+          check bool "in range" true (v >= 0 && v < 10)
+        done);
+    Alcotest.test_case "range inclusive" `Quick (fun () ->
+        let r = Rng.create 2 in
+        let seen = Array.make 3 false in
+        for _ = 1 to 200 do
+          seen.(Rng.range r 0 2) <- true
+        done;
+        Array.iter (fun s -> check bool "hit" true s) seen);
+    Alcotest.test_case "bool probabilities are sane" `Quick (fun () ->
+        let r = Rng.create 3 in
+        let hits = ref 0 in
+        for _ = 1 to 10_000 do
+          if Rng.bool r 0.3 then incr hits
+        done;
+        check bool "rough fraction" true (!hits > 2500 && !hits < 3500));
+    Alcotest.test_case "split decorrelates" `Quick (fun () ->
+        let a = Rng.create 7 in
+        let b = Rng.split a in
+        let same = ref 0 in
+        for _ = 1 to 100 do
+          if Rng.int a 1000 = Rng.int b 1000 then incr same
+        done;
+        check bool "mostly different" true (!same < 10));
+  ]
+
+let gen_tests =
+  [
+    Alcotest.test_case "deterministic generation" `Quick (fun () ->
+        let a = Gen_x.generate ~config:small () in
+        let b = Gen_x.generate ~config:small () in
+        check bool "equal" true (Tree.equal a b));
+    Alcotest.test_case "root structure follows the XMark schema" `Quick (fun () ->
+        let doc = Gen_x.generate ~config:small () in
+        check Alcotest.string "root" "site" (Tag.to_string doc.Tree.tag);
+        let section i = Tag.to_string doc.Tree.children.(i).Tree.tag in
+        check Alcotest.string "regions" "regions" (section 0);
+        check Alcotest.string "categories" "categories" (section 1);
+        check Alcotest.string "catgraph" "catgraph" (section 2);
+        check Alcotest.string "people" "people" (section 3);
+        check Alcotest.string "open_auctions" "open_auctions" (section 4);
+        check Alcotest.string "closed_auctions" "closed_auctions" (section 5));
+    Alcotest.test_case "entity counts scale with the scaling factor" `Quick (fun () ->
+        let count scale =
+          let config = { small with Gen_x.scale } in
+          let items, persons, opens, closeds = Gen_x.entity_counts config in
+          items + persons + opens + closeds
+        in
+        check bool "monotone" true (count 0.5 < count 1.0 && count 1.0 < count 2.0));
+    Alcotest.test_case "document size grows roughly linearly" `Quick (fun () ->
+        let size scale =
+          Tree.size (Gen_x.generate ~config:{ small with Gen_x.scale } ())
+        in
+        let s1 = size 1.0 and s2 = size 2.0 in
+        check bool "about double" true
+          (float_of_int s2 > 1.6 *. float_of_int s1 && float_of_int s2 < 2.4 *. float_of_int s1));
+    Alcotest.test_case "different seeds give different documents" `Quick (fun () ->
+        let a = Gen_x.generate ~config:small () in
+        let b = Gen_x.generate ~config:{ small with Gen_x.seed = 1 } () in
+        check bool "different" false (Tree.equal a b));
+  ]
+
+let query_tests =
+  [
+    Alcotest.test_case "all three queries yield nonempty results" `Quick (fun () ->
+        let config = { Gen_x.default_config with Gen_x.fidelity = 0.02 } in
+        let doc = Gen_x.generate ~config () in
+        List.iter
+          (fun (q : Queries.t) ->
+            let total =
+              List.fold_left (fun acc path -> acc + Eval_ref.count doc path) 0 q.Queries.paths
+            in
+            if total = 0 then Alcotest.failf "%s returned nothing" q.Queries.name)
+          Queries.all);
+    Alcotest.test_case "q15 is much more selective than q7" `Quick (fun () ->
+        let config = { Gen_x.default_config with Gen_x.fidelity = 0.02 } in
+        let doc = Gen_x.generate ~config () in
+        let total q =
+          List.fold_left (fun acc path -> acc + Eval_ref.count doc path) 0 q.Queries.paths
+        in
+        check bool "selectivity" true (10 * total Queries.q15 < total Queries.q7));
+    Alcotest.test_case "queries are downward-only (reorderable)" `Quick (fun () ->
+        List.iter
+          (fun (q : Queries.t) ->
+            List.iter
+              (fun path -> check bool q.Queries.name true (Path.is_downward path))
+              q.Queries.paths)
+          Queries.all);
+    Alcotest.test_case "find is case-insensitive" `Quick (fun () ->
+        check bool "q7" true (Queries.find "Q7" <> None);
+        check bool "missing" true (Queries.find "q99" = None));
+    Alcotest.test_case "q15 starts at the root element" `Quick (fun () ->
+        match Queries.q15.Queries.paths with
+        | [ { Path.axis = Xnav_xml.Axis.Self; _ } :: _ ] -> ()
+        | _ -> Alcotest.fail "expected a self::site first step");
+  ]
+
+let plan_agreement_tests =
+  [
+    Alcotest.test_case "all plans agree on all queries (small doc)" `Slow (fun () ->
+        let config = { Gen_x.default_config with Gen_x.fidelity = 0.005 } in
+        let doc = Gen_x.generate ~config () in
+        let store, _ = Gen.import_store ~page_size:1024 ~capacity:32 doc in
+        List.iter
+          (fun (q : Queries.t) ->
+            List.iter
+              (fun path ->
+                let expected = Eval_ref.count doc path in
+                List.iter
+                  (fun plan ->
+                    let r = Xnav_core.Exec.cold_run ~ordered:false store path plan in
+                    check int
+                      (Printf.sprintf "%s/%s" q.Queries.name (Xnav_core.Plan.name plan))
+                      expected r.Xnav_core.Exec.count)
+                  [
+                    Xnav_core.Plan.simple;
+                    Xnav_core.Plan.xschedule ();
+                    Xnav_core.Plan.xschedule ~speculative:false ();
+                    Xnav_core.Plan.xscan ();
+                  ])
+              q.Queries.paths)
+          Queries.all);
+  ]
+
+let suite =
+  [
+    ("xmark.rng", rng_tests);
+    ("xmark.gen", gen_tests);
+    ("xmark.queries", query_tests);
+    ("xmark.plans", plan_agreement_tests);
+  ]
