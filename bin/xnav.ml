@@ -273,6 +273,119 @@ let query_cmd =
       const run $ path_arg $ plan_choice $ rewrite_flag $ k_arg $ budget $ verbose
       $ common_store_term)
 
+(* --- check ------------------------------------------------------------------------ *)
+
+let check_cmd =
+  let module D = Xnav_check.Differential in
+  let cases =
+    Arg.(
+      value & opt int 200 & info [ "cases" ] ~docv:"N" ~doc:"Number of sampled cases to check.")
+  in
+  let check_seed =
+    Arg.(
+      value
+      & opt int D.default_seed
+      & info [ "seed" ] ~docv:"N" ~doc:"Sampling seed (a given seed replays the same cases).")
+  in
+  let doc_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "doc-seed" ] ~docv:"N"
+          ~doc:"Replay one case against the XMark document with this generator seed.")
+  in
+  let check_fidelity =
+    Arg.(
+      value
+      & opt float 0.002
+      & info [ "fidelity" ] ~docv:"F" ~doc:"XMark fidelity of the replayed document.")
+  in
+  let payload =
+    Arg.(
+      value & opt int 220 & info [ "payload" ] ~docv:"BYTES" ~doc:"Per-node payload at import.")
+  in
+  let replacement =
+    let parse s =
+      match Buffer_manager.replacement_of_string s with
+      | Some r -> Ok r
+      | None -> Error (`Msg (Printf.sprintf "unknown replacement %S" s))
+    in
+    let print ppf r = Fmt.string ppf (Buffer_manager.replacement_to_string r) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Buffer_manager.Lru
+      & info [ "replacement" ] ~docv:"POLICY" ~doc:"Buffer replacement: lru, mru, fifo, clock.")
+  in
+  let k_arg =
+    Arg.(value & opt int 100 & info [ "k" ] ~docv:"N" ~doc:"XSchedule queue minimum.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int 1_000_000
+      & info [ "memory-budget" ] ~docv:"N" ~doc:"Max speculative instances before fallback.")
+  in
+  let no_speculation =
+    Arg.(value & flag & info [ "no-speculation" ] ~doc:"Disable speculative evaluation.")
+  in
+  let path_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "path" ] ~docv:"PATH" ~doc:"Location path of the replayed case.")
+  in
+  let run cases seed doc_seed fidelity strategy page_size payload capacity policy replacement k
+      budget no_speculation path_str =
+    match (path_str : string option) with
+    | None ->
+      (* Sampling mode. *)
+      let report = D.run ~seed ~cases ~log:print_endline () in
+      Printf.printf "checked %d cases (%d plan executions) against the reference evaluator\n"
+        report.D.cases_run report.D.plan_runs;
+      if report.D.failures = [] then print_endline "all plans agree; all invariants hold"
+      else begin
+        Printf.printf "%d FAILING case(s); minimal reproducers:\n"
+          (List.length report.D.failures);
+        List.iter
+          (fun f ->
+            Format.printf "@.%a@." D.pp_case f.D.shrunk;
+            List.iter (fun m -> Printf.printf "  [%s] %s\n" m.D.plan m.D.detail) f.D.mismatches;
+            Printf.printf "  %s\n" (D.reproducer f.D.shrunk))
+          report.D.failures;
+        exit 1
+      end
+    | Some path_str ->
+      (* Reproducer mode: one fully specified case. *)
+      let doc_seed = Option.value ~default:20050614 doc_seed in
+      let case =
+        {
+          D.doc_seed;
+          fidelity;
+          physical =
+            { D.strategy; page_size; payload; capacity; policy; replacement };
+          k;
+          speculative = not no_speculation;
+          memory_budget = budget;
+          path = Xpath_parser.parse path_str;
+        }
+      in
+      Format.printf "%a@." D.pp_case case;
+      (match D.check_case case with
+      | [] -> print_endline "case passes: all plans agree; all invariants hold"
+      | mismatches ->
+        List.iter (fun m -> Printf.printf "[%s] %s\n" m.D.plan m.D.detail) mismatches;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differential correctness check: run every physical plan over sampled (document, path, \
+          configuration) cases — or one case given via --path — and compare against the \
+          reference evaluator.")
+    Term.(
+      const run $ cases $ check_seed $ doc_seed $ check_fidelity $ strategy $ page_size $ payload
+      $ capacity $ policy $ replacement $ k_arg $ budget $ no_speculation $ path_opt)
+
 (* --- export ----------------------------------------------------------------------- *)
 
 let export_cmd =
@@ -299,4 +412,6 @@ let () =
       ~doc:"Cost-sensitive reordering of navigational primitives for XPath."
   in
   exit
-    (Cmd.eval (Cmd.group info [ gen_cmd; import_cmd; stats_cmd; explain_cmd; query_cmd; export_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; import_cmd; stats_cmd; explain_cmd; query_cmd; check_cmd; export_cmd ]))

@@ -1,0 +1,354 @@
+module Tree = Xnav_xml.Tree
+module Axis = Xnav_xml.Axis
+module Tag = Xnav_xml.Tag
+module Disk = Xnav_storage.Disk
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Io_scheduler = Xnav_storage.Io_scheduler
+module Import = Xnav_store.Import
+module Store = Xnav_store.Store
+module Node_id = Xnav_store.Node_id
+module Path = Xnav_xpath.Path
+module Eval_ref = Xnav_xpath.Eval_ref
+module Plan = Xnav_core.Plan
+module Exec = Xnav_core.Exec
+module Multi = Xnav_core.Multi
+module Interleave = Xnav_core.Interleave
+module Context = Xnav_core.Context
+module Xmark_gen = Xnav_xmark.Gen
+
+(* --- deterministic sampling ---------------------------------------------- *)
+
+(* Self-contained splitmix64: the sample must be reproducible across OCaml
+   releases, which Stdlib.Random does not promise. *)
+module Prng = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.logxor (Int64.of_int seed) 0x5DEECE66DL }
+
+  let next64 t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Prng.int";
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (next64 t) 1) (Int64.of_int bound))
+
+  let pick t arr = arr.(int t (Array.length arr))
+  let bool t = int t 2 = 0
+end
+
+(* --- the sampled space ---------------------------------------------------- *)
+
+type physical = {
+  strategy : Import.strategy;
+  page_size : int;
+  payload : int;
+  capacity : int;
+  policy : Io_scheduler.policy;
+  replacement : Buffer_manager.replacement;
+}
+
+type case = {
+  doc_seed : int;
+  fidelity : float;
+  physical : physical;
+  k : int;
+  speculative : bool;
+  memory_budget : int;
+  path : Path.t;
+}
+
+let default_physical =
+  {
+    strategy = Import.Dfs;
+    page_size = 512;
+    payload = 220;
+    capacity = 16;
+    policy = Io_scheduler.Elevator;
+    replacement = Buffer_manager.Lru;
+  }
+
+let fidelities = [| 0.001; 0.002; 0.003 |]
+
+let sample_physical prng =
+  {
+    strategy =
+      (match Prng.int prng 4 with
+      | 0 -> Import.Dfs
+      | 1 -> Import.Bfs
+      | _ -> Import.Scattered (1 + Prng.int prng 97));
+    page_size = Prng.pick prng [| 512; 1024 |];
+    payload = 160 + (20 * Prng.int prng 12);
+    capacity = Prng.pick prng [| 1; 2; 2; 3; 4; 8; 32 |];
+    policy = Prng.pick prng (Array.of_list Io_scheduler.all_policies);
+    replacement = Prng.pick prng (Array.of_list Buffer_manager.all_replacements);
+  }
+
+let sample_path prng tags =
+  let len = 1 + Prng.int prng 3 in
+  List.init len (fun _ ->
+      let axis =
+        Prng.pick prng [| Axis.Child; Axis.Child; Axis.Descendant; Axis.Descendant_or_self; Axis.Self |]
+      in
+      let test =
+        match Prng.int prng 5 with
+        | 0 -> Path.Wildcard
+        | 1 -> Path.Any_node
+        | _ -> Path.Name (Prng.pick prng tags)
+      in
+      Path.step axis test)
+
+let sample_case prng ~doc_seed ~fidelity ~physical ~tags =
+  {
+    doc_seed;
+    fidelity;
+    physical;
+    k = Prng.pick prng [| 1; 2; 8; 100 |];
+    speculative = Prng.bool prng;
+    memory_budget = Prng.pick prng [| 0; 16; 1_000_000; 1_000_000 |];
+    path = sample_path prng tags;
+  }
+
+(* --- building the physical document -------------------------------------- *)
+
+let document ~doc_seed ~fidelity =
+  Xmark_gen.generate ~config:{ Xmark_gen.scale = 1.0; fidelity; seed = doc_seed } ()
+
+(* Documents are pure functions of (seed, fidelity); generation dominates
+   the harness runtime, so memoise them. *)
+let doc_cache : (int * float, Tree.t) Hashtbl.t = Hashtbl.create 16
+
+let cached_document ~doc_seed ~fidelity =
+  match Hashtbl.find_opt doc_cache (doc_seed, fidelity) with
+  | Some doc -> doc
+  | None ->
+    let doc = document ~doc_seed ~fidelity in
+    Hashtbl.replace doc_cache (doc_seed, fidelity) doc;
+    doc
+
+let build_store ~doc (p : physical) =
+  let config = { Disk.default_config with Disk.page_size = p.page_size } in
+  let disk = Disk.create ~config () in
+  let import = Import.run ~strategy:p.strategy ~payload:p.payload disk doc in
+  let buffer =
+    Buffer_manager.create ~capacity:p.capacity ~policy:p.policy ~replacement:p.replacement disk
+  in
+  (Store.attach buffer import, import)
+
+(* --- one case: every plan against the reference evaluator ----------------- *)
+
+type mismatch = { plan : string; detail : string }
+
+let context_config case =
+  {
+    Context.default_config with
+    Context.k = case.k;
+    speculative = case.speculative;
+    memory_budget = case.memory_budget;
+    validate = true;
+  }
+
+let expected_ids doc (import : Import.result) path =
+  Eval_ref.eval doc path
+  |> List.map (fun n -> import.Import.node_ids.(n.Tree.preorder))
+  |> List.sort Node_id.compare
+
+let ids_of infos = List.map (fun (i : Store.info) -> i.Store.id) infos |> List.sort Node_id.compare
+
+let pp_ids ppf ids = Fmt.(Dump.list (fun ppf id -> Node_id.pp ppf id)) ppf ids
+
+let plans_for case =
+  [
+    ("simple", Plan.simple);
+    ("simple-nodedup", Plan.Simple { dedup_intermediate = false });
+    ("xschedule", Plan.xschedule ~speculative:case.speculative ());
+    ("xscan", Plan.xscan ());
+  ]
+  @
+  if Path.starts_with_descendant_any case.path then [ ("xscan-dslash", Plan.xscan ~dslash:true ()) ]
+  else []
+
+(* Post-run storage sweep for the execution paths that do not go through
+   [Exec.run]'s invariant hook (Multi, Interleave). *)
+let storage_clean store =
+  let buffer = Store.buffer store in
+  let pinned = Buffer_manager.pinned_count buffer in
+  if pinned <> 0 then Some (Printf.sprintf "%d frames left pinned" pinned)
+  else begin
+    let sched = Buffer_manager.scheduler buffer in
+    let pending = Io_scheduler.pending_count sched in
+    if pending <> 0 then Some (Printf.sprintf "%d I/O requests left pending" pending)
+    else Io_scheduler.consistency_error sched
+  end
+
+let check_built ~doc ~store ~import case =
+  let config = context_config case in
+  let expected = expected_ids doc import case.path in
+  let mismatches = ref [] in
+  let record plan detail = mismatches := { plan; detail } :: !mismatches in
+  let compare_ids plan got =
+    if got <> expected then
+      record plan
+        (Format.asprintf "expected %d nodes %a, got %d nodes %a" (List.length expected) pp_ids
+           expected (List.length got) pp_ids got)
+  in
+  let guarded plan f =
+    match f () with
+    | got ->
+      compare_ids plan got;
+      (match storage_clean store with
+      | None -> ()
+      | Some msg -> record plan msg)
+    | exception e -> record plan (Printf.sprintf "raised %s" (Printexc.to_string e))
+  in
+  List.iter
+    (fun (name, plan) ->
+      guarded name (fun () -> (Exec.cold_run ~config store case.path plan).Exec.nodes |> ids_of))
+    (plans_for case);
+  guarded "multi" (fun () ->
+      let r = Multi.run ~config ~cold:true store [ case.path ] in
+      ids_of r.Multi.per_path.(0));
+  guarded "interleave" (fun () ->
+      let r =
+        Interleave.run ~config ~cold:true store
+          [ (case.path, Plan.xschedule ~speculative:case.speculative ()) ]
+      in
+      ids_of r.Interleave.queries.(0).Interleave.nodes);
+  List.rev !mismatches
+
+let check_case case =
+  let doc = cached_document ~doc_seed:case.doc_seed ~fidelity:case.fidelity in
+  let store, import = build_store ~doc case.physical in
+  check_built ~doc ~store ~import case
+
+(* --- shrinking ------------------------------------------------------------ *)
+
+(* Move one dimension of the case toward the default / a smaller input.
+   Any candidate that still fails replaces the case; iterate to a
+   fixpoint under a global evaluation budget. *)
+let shrink_candidates case =
+  let with_path path = { case with path } in
+  let drop_step i = List.filteri (fun j _ -> j <> i) case.path in
+  let n = List.length case.path in
+  let path_shrinks =
+    if n <= 1 then [] else List.init n (fun i -> with_path (drop_step i))
+  in
+  let fidelity_shrinks =
+    List.filter_map
+      (fun f -> if f < case.fidelity then Some { case with fidelity = f } else None)
+      [ 0.001; 0.002 ]
+  in
+  let p = case.physical in
+  let d = default_physical in
+  let phys_shrinks =
+    List.filter_map
+      (fun (differs, simplified) -> if differs then Some { case with physical = simplified } else None)
+      [
+        (p.strategy <> d.strategy, { p with strategy = d.strategy });
+        (p.policy <> d.policy, { p with policy = d.policy });
+        (p.replacement <> d.replacement, { p with replacement = d.replacement });
+        (p.capacity < d.capacity, { p with capacity = d.capacity });
+        (p.page_size <> d.page_size, { p with page_size = d.page_size });
+        (p.payload <> d.payload, { p with payload = d.payload });
+      ]
+  in
+  let cfg_shrinks =
+    List.filter_map
+      (fun (differs, simplified) -> if differs then Some simplified else None)
+      [
+        (case.k <> 100, { case with k = 100 });
+        ((not case.speculative), { case with speculative = true });
+        (case.memory_budget <> 1_000_000, { case with memory_budget = 1_000_000 });
+      ]
+  in
+  path_shrinks @ fidelity_shrinks @ phys_shrinks @ cfg_shrinks
+
+let shrink ?(budget = 120) case =
+  let budget = ref budget in
+  let still_fails c =
+    !budget > 0
+    &&
+    (decr budget;
+     match check_case c with _ :: _ -> true | [] | (exception _) -> false)
+  in
+  let rec improve case =
+    match List.find_opt still_fails (shrink_candidates case) with
+    | Some simpler -> improve simpler
+    | None -> case
+  in
+  improve case
+
+(* --- reporting ------------------------------------------------------------ *)
+
+let reproducer case =
+  let p = case.physical in
+  Printf.sprintf
+    "xnav check --doc-seed %d --fidelity %g --clustering %s --page-size %d --payload %d \
+     --buffer %d --io-policy %s --replacement %s -k %d --memory-budget %d%s --path '%s'"
+    case.doc_seed case.fidelity
+    (Import.strategy_to_string p.strategy)
+    p.page_size p.payload p.capacity
+    (Io_scheduler.policy_to_string p.policy)
+    (Buffer_manager.replacement_to_string p.replacement)
+    case.k case.memory_budget
+    (if case.speculative then "" else " --no-speculation")
+    (Path.to_string case.path)
+
+let pp_case ppf case =
+  let p = case.physical in
+  Format.fprintf ppf
+    "@[<v>path:       %s@,\
+     document:   XMark seed=%d fidelity=%g@,\
+     clustering: %s, page %dB, payload %dB@,\
+     buffer:     %d frames, %s replacement, %s I/O policy@,\
+     run:        k=%d%s, memory budget %d@]"
+    (Path.to_string case.path) case.doc_seed case.fidelity
+    (Import.strategy_to_string p.strategy)
+    p.page_size p.payload p.capacity
+    (Buffer_manager.replacement_to_string p.replacement)
+    (Io_scheduler.policy_to_string p.policy)
+    case.k
+    (if case.speculative then ", speculative" else "")
+    case.memory_budget
+
+type failure = { case : case; shrunk : case; mismatches : mismatch list }
+
+type report = { cases_run : int; plan_runs : int; failures : failure list }
+
+let default_seed = 20050614
+
+let run ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(log = ignore) () =
+  let prng = Prng.create seed in
+  let cases_run = ref 0 in
+  let plan_runs = ref 0 in
+  let failures = ref [] in
+  while !cases_run < cases do
+    let doc_seed = Prng.int prng 1_000_000 in
+    let fidelity = Prng.pick prng fidelities in
+    let physical = sample_physical prng in
+    let doc = cached_document ~doc_seed ~fidelity in
+    let store, import = build_store ~doc physical in
+    let tags = Array.of_list (List.map fst (Store.tag_counts store)) in
+    let batch = min paths_per_store (cases - !cases_run) in
+    for _ = 1 to batch do
+      let case = sample_case prng ~doc_seed ~fidelity ~physical ~tags in
+      incr cases_run;
+      plan_runs := !plan_runs + List.length (plans_for case) + 2;
+      match check_built ~doc ~store ~import case with
+      | [] -> ()
+      | mismatches ->
+        log
+          (Format.asprintf "MISMATCH (%s): %s" (List.hd mismatches).plan
+             (reproducer case));
+        let shrunk = shrink case in
+        log (Printf.sprintf "shrunk reproducer: %s" (reproducer shrunk));
+        failures := { case; shrunk; mismatches } :: !failures
+    done;
+    if !cases_run mod 40 = 0 then
+      log (Printf.sprintf "%d/%d cases checked, %d failures" !cases_run cases
+             (List.length !failures))
+  done;
+  { cases_run = !cases_run; plan_runs = !plan_runs; failures = List.rev !failures }

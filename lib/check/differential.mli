@@ -1,0 +1,76 @@
+(** Differential correctness harness.
+
+    Samples random (document, location path, physical configuration)
+    triples, runs every physical plan — Simple (with and without
+    intermediate duplicate elimination), XSchedule, XScan (plus the
+    //-scan variant when applicable), and the Multi / Interleave
+    drivers — and compares the result node-id multiset of each against
+    the tree-walking reference evaluator {!Xnav_xpath.Eval_ref}. Each
+    run also executes with {!Xnav_core.Context.config.validate} set, so
+    post-run invariants (no pinned frames, no dangling I/O, balanced
+    counters) are enforced on every sampled case.
+
+    Sampling is driven by a self-contained splitmix64 generator: a given
+    [seed] always reproduces the same cases, independent of the OCaml
+    release. On a mismatch the harness shrinks the case toward a minimal
+    failing triple and prints an [xnav check ...] reproducer command. *)
+
+(** Storage-level layout and buffer configuration of a sampled case. *)
+type physical = {
+  strategy : Xnav_store.Import.strategy;
+  page_size : int;
+  payload : int;
+  capacity : int;  (** Buffer frames; sampled down to 1. *)
+  policy : Xnav_storage.Io_scheduler.policy;
+  replacement : Xnav_storage.Buffer_manager.replacement;
+}
+
+(** One sampled differential test case. *)
+type case = {
+  doc_seed : int;  (** XMark generator seed. *)
+  fidelity : float;  (** XMark fidelity (document size knob). *)
+  physical : physical;
+  k : int;  (** XSchedule agenda bound. *)
+  speculative : bool;
+  memory_budget : int;  (** Small values force the fallback path. *)
+  path : Xnav_xpath.Path.t;
+}
+
+val default_physical : physical
+
+type mismatch = { plan : string; detail : string }
+
+val check_case : case -> mismatch list
+(** Build the case's store, run every plan and compare against the
+    reference evaluator. Returns one entry per disagreeing (or raising)
+    plan; [[]] means the case passes. *)
+
+val shrink : ?budget:int -> case -> case
+(** Greedily simplify a failing case — drop path steps, lower fidelity,
+    move the physical configuration and run parameters toward defaults —
+    keeping each change only if the case still fails. [budget] bounds
+    the number of candidate re-executions (default 120). *)
+
+val reproducer : case -> string
+(** The [xnav check ...] command line that replays exactly this case. *)
+
+val pp_case : Format.formatter -> case -> unit
+
+type failure = { case : case; shrunk : case; mismatches : mismatch list }
+
+type report = { cases_run : int; plan_runs : int; failures : failure list }
+
+val default_seed : int
+(** Seed used by [dune runtest] and [xnav check] when none is given. *)
+
+val run :
+  ?seed:int ->
+  ?cases:int ->
+  ?paths_per_store:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  report
+(** [run ()] samples and checks [cases] cases (default 200). Documents
+    and stores are shared across [paths_per_store] consecutive cases
+    (default 8) to keep generation cost bounded; plans always run cold.
+    [log] receives progress lines and reproducers for any failures. *)

@@ -3,10 +3,17 @@ type config = {
   speculative : bool;
   memory_budget : int;
   dedup_intermediate : bool;
+  validate : bool;
 }
 
 let default_config =
-  { k = 100; speculative = true; memory_budget = 1_000_000; dedup_intermediate = true }
+  {
+    k = 100;
+    speculative = true;
+    memory_budget = 1_000_000;
+    dedup_intermediate = true;
+    validate = false;
+  }
 
 type mode = Normal | Fallback
 
@@ -14,11 +21,18 @@ type counters = {
   mutable instances : int;
   mutable crossings : int;
   mutable specs_created : int;
+  mutable specs_stored : int;
   mutable specs_resolved : int;
   mutable s_peak : int;
   mutable q_peak : int;
   mutable clusters_visited : int;
   mutable fallbacks : int;
+  mutable q_enqueued : int;
+  mutable q_served : int;
+  mutable q_dropped : int;
+  mutable results_emitted : int;
+  mutable dedup_hits : int;
+  mutable prefetch_refusals : int;
 }
 
 type t = {
@@ -40,11 +54,18 @@ let create ?(config = default_config) store =
         instances = 0;
         crossings = 0;
         specs_created = 0;
+        specs_stored = 0;
         specs_resolved = 0;
         s_peak = 0;
         q_peak = 0;
         clusters_visited = 0;
         fallbacks = 0;
+        q_enqueued = 0;
+        q_served = 0;
+        q_dropped = 0;
+        results_emitted = 0;
+        dedup_hits = 0;
+        prefetch_refusals = 0;
       };
   }
 

@@ -24,6 +24,12 @@ type config = {
       (** Simple plans only: eliminate duplicates after every step rather
           than only at the end (the [14]-style refinement the paper
           cites). *)
+  validate : bool;
+      (** Run the {!Invariant} post-run checks after every plan
+          execution: no pinned frames, empty scheduler queues, consistent
+          I/O scheduler structures, counter conservation. Off by default
+          (it adds bookkeeping passes); the differential harness and the
+          test suite switch it on. *)
 }
 
 val default_config : config
@@ -35,12 +41,26 @@ type mode = Normal | Fallback
 type counters = {
   mutable instances : int;  (** Path instances created. *)
   mutable crossings : int;  (** Inter-cluster edges encountered by XStep. *)
-  mutable specs_created : int;  (** Left-incomplete instances generated. *)
+  mutable specs_created : int;
+      (** Speculative seed instances generated at Up borders (one per
+          border slot and step). Each seed can fan out into several
+          stored speculations through the XStep chain. *)
+  mutable specs_stored : int;  (** Speculations that entered XAssembly's store [S]. *)
   mutable specs_resolved : int;  (** Speculations whose left end became reachable. *)
   mutable s_peak : int;  (** High-water mark of |S|. *)
   mutable q_peak : int;  (** High-water mark of |Q|. *)
   mutable clusters_visited : int;  (** Clusters made current by an I/O operator. *)
   mutable fallbacks : int;
+  mutable q_enqueued : int;  (** Items that entered XSchedule's queue [Q]. *)
+  mutable q_served : int;  (** Items drained from [Q] into an agenda. *)
+  mutable q_dropped : int;
+      (** Items discarded when a pipeline was abandoned for a full
+          restart with the simple method (see {!Xschedule.abandon}). *)
+  mutable results_emitted : int;  (** Distinct result nodes emitted by XAssembly. *)
+  mutable dedup_hits : int;  (** Duplicate emissions suppressed (XAssembly + UnnestMap). *)
+  mutable prefetch_refusals : int;
+      (** Cluster prefetches the buffer refused (every frame pinned);
+          retried by XSchedule's dispatch loop. *)
 }
 
 type t = {

@@ -20,6 +20,7 @@ type metrics = {
   instances : int;
   crossings : int;
   specs_created : int;
+  specs_stored : int;
   specs_resolved : int;
   s_peak : int;
   q_peak : int;
@@ -38,7 +39,9 @@ let of_list items =
       remaining := rest;
       Some x
 
-(* Build the result iterator for [plan]. *)
+(* Build the result iterator for [plan]; also hand back the I/O operator
+   (if the plan has one) so post-run invariants can inspect it and a
+   stuck post-fallback pipeline can be torn down. *)
 let pipeline ctx store path plan contexts =
   let path_len = Path.length path in
   match (plan : Plan.t) with
@@ -49,7 +52,7 @@ let pipeline ctx store path plan contexts =
         (fun producer step -> Unnest_map.create ctx ~step ~dedup:dedup_intermediate producer)
         (of_list infos) path
     in
-    producer
+    (producer, None, None)
   | Plan.Reordered { io; dslash } ->
     if not (Path.is_downward path) then
       invalid_arg "Exec.run: reordered plans require downward axes only";
@@ -63,12 +66,12 @@ let pipeline ctx store path plan contexts =
     | Plan.Io_schedule _ ->
       let sched = Xschedule.create ctx ~path_len ~contexts:(of_list contexts) in
       let top = chain (fun () -> Xschedule.next sched) in
-      Xassembly.create ctx ~path_len ~xschedule:(Some sched) ~dslash:false top
+      (Xassembly.create ctx ~path_len ~xschedule:(Some sched) ~dslash:false top, Some sched, None)
     | Plan.Io_scan ->
       let sorted = List.sort Node_id.compare contexts in
       let scan = Xscan.create ctx ~path_len ~contexts:(fun () -> of_list sorted) in
       let top = chain (fun () -> Xscan.next scan) in
-      Xassembly.create ctx ~path_len ~xschedule:None ~dslash top)
+      (Xassembly.create ctx ~path_len ~xschedule:None ~dslash top, None, Some scan))
 
 let run ?config ?contexts ?trace ?(ordered = true) store path plan =
   if path = [] then invalid_arg "Exec.run: empty path";
@@ -89,9 +92,24 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
   let buf_before = Buffer_manager.stats buffer in
   let cpu_before = Sys.time () in
 
-  let next = pipeline ctx store path plan contexts in
-  let rec drain acc = match next () with None -> List.rev acc | Some info -> drain (info :: acc) in
-  let nodes = drain [] in
+  let next, xschedule, xscan = pipeline ctx store path plan contexts in
+  let drain next =
+    let rec go acc = match next () with None -> List.rev acc | Some info -> go (info :: acc) in
+    go []
+  in
+  let nodes, restarted =
+    try (drain next, false)
+    with Buffer_manager.Buffer_full when Context.fallback ctx ->
+      (* After a fallback the XSteps re-navigate globally, which needs a
+         free buffer frame — but the I/O operator still pins its current
+         cluster, so a near-minimal buffer can wedge. Tear the pipeline
+         down (releasing that pin and cancelling its I/O) and recompute
+         the whole query with the simple method, as the paper's fallback
+         prescribes. *)
+      Option.iter Xschedule.abandon xschedule;
+      Option.iter Xscan.abandon xscan;
+      (drain (let p, _, _ = pipeline ctx store path Plan.simple contexts in p), true)
+  in
 
   let cpu_time = Sys.time () -. cpu_before in
   let io_time = Disk.elapsed disk -. io_before in
@@ -119,6 +137,17 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
       List.sort (fun (a : Store.info) b -> Ordpath.compare a.ordpath b.ordpath) nodes
     else nodes
   in
+  if config.Context.validate then begin
+    (* Result conservation only applies when XAssembly produced the
+       final answer — not after a restart, which leaves its counters at
+       the aborted attempt's values. *)
+    let results =
+      match (plan, restarted) with
+      | Plan.Reordered _, false -> Some (List.length nodes)
+      | _ -> None
+    in
+    Invariant.enforce ?xschedule ?results ctx
+  end;
   let c = ctx.Context.counters in
   {
     nodes;
@@ -139,6 +168,7 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
         instances = c.Context.instances;
         crossings = c.Context.crossings;
         specs_created = c.Context.specs_created;
+        specs_stored = c.Context.specs_stored;
         specs_resolved = c.Context.specs_resolved;
         s_peak = c.Context.s_peak;
         q_peak = c.Context.q_peak;
@@ -147,7 +177,11 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
       };
   }
 
-type stream = { next : unit -> Store.info option; stream_ctx : Context.t }
+type stream = {
+  next : unit -> Store.info option;
+  stream_ctx : Context.t;
+  stream_abandon : unit -> unit;
+}
 
 let prepare ?config ?contexts ?trace store path plan =
   if path = [] then invalid_arg "Exec.prepare: empty path";
@@ -161,10 +195,19 @@ let prepare ?config ?contexts ?trace store path plan =
   in
   let ctx = Context.create ~config store in
   ctx.Context.trace <- trace;
-  { next = pipeline ctx store path plan contexts; stream_ctx = ctx }
+  let next, xschedule, xscan = pipeline ctx store path plan contexts in
+  {
+    next;
+    stream_ctx = ctx;
+    stream_abandon =
+      (fun () ->
+        Option.iter Xschedule.abandon xschedule;
+        Option.iter Xscan.abandon xscan);
+  }
 
 let stream_next stream = stream.next ()
 let stream_fell_back stream = Context.fallback stream.stream_ctx
+let stream_abandon stream = stream.stream_abandon ()
 
 let cold_run ?config ?contexts ?trace ?ordered store path plan =
   let buffer = Store.buffer store in
@@ -177,9 +220,10 @@ let pp_metrics ppf m =
     "@[<v>total %.4fs (io %.4fs, cpu %.4fs)@,\
      reads %d (seq %d, rnd %d, seek-dist %d), async %d@,\
      buffer: lookups %d hits %d misses %d@,\
-     instances %d crossings %d specs %d/%d (S peak %d, Q peak %d)@,\
+     instances %d crossings %d specs %d/%d/%d (S peak %d, Q peak %d)@,\
      clusters visited %d%s@]"
     m.total_time m.io_time m.cpu_time m.page_reads m.sequential_reads m.random_reads
     m.seek_distance m.async_reads m.buffer_lookups m.buffer_hits m.buffer_misses m.instances
-    m.crossings m.specs_created m.specs_resolved m.s_peak m.q_peak m.clusters_visited
+    m.crossings m.specs_created m.specs_stored m.specs_resolved m.s_peak m.q_peak
+    m.clusters_visited
     (if m.fell_back then " [fell back]" else "")

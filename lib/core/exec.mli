@@ -23,6 +23,7 @@ type metrics = {
   instances : int;
   crossings : int;
   specs_created : int;
+  specs_stored : int;
   specs_resolved : int;
   s_peak : int;
   q_peak : int;
@@ -83,6 +84,12 @@ val stream_next : stream -> Xnav_store.Store.info option
     deduplicates at the end). [None] is final. *)
 
 val stream_fell_back : stream -> bool
+
+val stream_abandon : stream -> unit
+(** Tear the stream's I/O operator down (release its cluster pin,
+    cancel its outstanding I/O, drop queued work). Use when a
+    post-fallback stream raised {!Xnav_storage.Buffer_manager.Buffer_full}
+    — its results must then be recomputed with the simple method. *)
 
 val cold_run :
   ?config:Context.config ->

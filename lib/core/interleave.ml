@@ -16,10 +16,12 @@ type result = {
 }
 
 type lane = {
+  path : Xnav_xpath.Path.t;
   stream : Exec.stream;
   seen : unit Node_id.Tbl.t;
   mutable nodes : Store.info list;  (* reversed *)
   mutable live : bool;
+  mutable recompute : bool;  (* stream wedged post-fallback; redo with Simple *)
 }
 
 let run ?config ?contexts ?(ordered = true) ~cold store queries =
@@ -38,10 +40,12 @@ let run ?config ?contexts ?(ordered = true) ~cold store queries =
       (List.map
          (fun (path, plan) ->
            {
+             path;
              stream = Exec.prepare ?config ?contexts store path plan;
              seen = Node_id.Tbl.create 64;
              nodes = [];
              live = true;
+             recompute = false;
            })
          queries)
   in
@@ -59,9 +63,25 @@ let run ?config ?contexts ?(ordered = true) ~cold store queries =
               Node_id.Tbl.replace lane.seen info.Store.id ();
               lane.nodes <- info :: lane.nodes
             end
+          | exception Buffer_manager.Buffer_full when Exec.stream_fell_back lane.stream ->
+            (* Post-fallback the lane navigates globally while its I/O
+               operator (and the other lanes') pin clusters; a
+               near-minimal buffer can wedge. Drop the lane's pipeline
+               and recompute it with the Simple method below. *)
+            Exec.stream_abandon lane.stream;
+            lane.recompute <- true;
+            lane.live <- false;
+            decr live
         end)
       lanes
   done;
+  Array.iter
+    (fun lane ->
+      if lane.recompute then begin
+        let r = Exec.run ?config ?contexts ~ordered:false store lane.path Plan.simple in
+        lane.nodes <- List.rev r.Exec.nodes
+      end)
+    lanes;
   let cpu_time = Sys.time () -. cpu_before in
   let io_time = Disk.elapsed disk -. io_before in
   let disk_after = Disk.stats disk in

@@ -1,0 +1,85 @@
+module Store = Xnav_store.Store
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Io_scheduler = Xnav_storage.Io_scheduler
+
+let post_run ?xschedule ?results ctx =
+  let violations = ref [] in
+  let fail fmt = Printf.ksprintf (fun msg -> violations := msg :: !violations) fmt in
+  let buffer = Store.buffer ctx.Context.store in
+  let sched = Buffer_manager.scheduler buffer in
+  let c = ctx.Context.counters in
+
+  (* Storage layer: no pins survive a completed run, no I/O request
+     dangles, and the scheduler's internal structures agree. *)
+  let pinned = Buffer_manager.pinned_count buffer in
+  if pinned <> 0 then fail "buffer: %d frames still pinned after the run" pinned;
+  let pending = Io_scheduler.pending_count sched in
+  if pending <> 0 then fail "io-scheduler: %d requests still pending after the run" pending;
+  (match Io_scheduler.consistency_error sched with
+  | None -> ()
+  | Some msg -> fail "io-scheduler: %s" msg);
+
+  (* XSchedule: the queue must have drained and every refused prefetch
+     must have been retried and served. *)
+  (match xschedule with
+  | None -> ()
+  | Some sched ->
+    let q = Xschedule.queue_size sched in
+    if q <> 0 then fail "xschedule: %d items still queued after the run" q;
+    let r = Xschedule.refused_count sched in
+    if r <> 0 then fail "xschedule: %d refused prefetches never retried" r);
+
+  (* Counter conservation. *)
+  let non_negative =
+    [
+      ("instances", c.Context.instances);
+      ("crossings", c.Context.crossings);
+      ("specs_created", c.Context.specs_created);
+      ("specs_stored", c.Context.specs_stored);
+      ("specs_resolved", c.Context.specs_resolved);
+      ("s_peak", c.Context.s_peak);
+      ("q_peak", c.Context.q_peak);
+      ("clusters_visited", c.Context.clusters_visited);
+      ("fallbacks", c.Context.fallbacks);
+      ("q_enqueued", c.Context.q_enqueued);
+      ("q_served", c.Context.q_served);
+      ("q_dropped", c.Context.q_dropped);
+      ("results_emitted", c.Context.results_emitted);
+      ("dedup_hits", c.Context.dedup_hits);
+      ("prefetch_refusals", c.Context.prefetch_refusals);
+    ]
+  in
+  List.iter (fun (name, v) -> if v < 0 then fail "counter %s is negative (%d)" name v) non_negative;
+  (* Speculations are discharged from S, so each resolution must have a
+     matching store. (specs_created counts seeds, which fan out through
+     the XStep chain — it bounds neither stored nor resolved.) *)
+  if c.Context.specs_resolved > c.Context.specs_stored then
+    fail "speculation: %d resolved but only %d stored" c.Context.specs_resolved
+      c.Context.specs_stored;
+  if c.Context.s_peak > c.Context.specs_stored then
+    fail "speculation: s_peak %d exceeds total stored %d" c.Context.s_peak
+      c.Context.specs_stored;
+  if xschedule <> None && c.Context.q_served + c.Context.q_dropped <> c.Context.q_enqueued then
+    fail "xschedule: %d items enqueued but %d served + %d dropped" c.Context.q_enqueued
+      c.Context.q_served c.Context.q_dropped;
+  if c.Context.q_peak > c.Context.q_enqueued then
+    fail "xschedule: q_peak %d exceeds total enqueued %d" c.Context.q_peak c.Context.q_enqueued;
+
+  (* Result conservation (reordered plans): XAssembly's result set is
+     duplicate-free, so the plan's final answer must have exactly
+     [results_emitted] nodes — the top-level duplicate elimination must
+     find nothing to remove. *)
+  (match results with
+  | None -> ()
+  | Some n ->
+    if n <> c.Context.results_emitted then
+      fail "xassembly: emitted %d distinct results but the plan returned %d"
+        c.Context.results_emitted n);
+
+  List.rev !violations
+
+let enforce ?xschedule ?results ctx =
+  match post_run ?xschedule ?results ctx with
+  | [] -> ()
+  | violations ->
+    failwith (Printf.sprintf "invariant violation: %s" (String.concat "; " violations))

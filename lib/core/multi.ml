@@ -81,6 +81,7 @@ let run ?config ?contexts ?(ordered = true) ~cold store paths =
   let remaining_contexts = ref contexts in
   for pid = first to last do
     let view = Store.view store pid in
+    Fun.protect ~finally:(fun () -> Store.release store view) @@ fun () ->
     (* Contexts located in this cluster (the list is sorted). *)
     let here = ref [] in
     let rec take () =
@@ -96,6 +97,12 @@ let run ?config ?contexts ?(ordered = true) ~cold store paths =
     let ups = Store.up_slots view in
     Array.iter
       (fun lane ->
+        (* A lane that fell back is recomputed with the Simple method
+           after the scan; feeding it further instances is wasted work,
+           and its XSteps now enumerate globally — which can exhaust a
+           tiny buffer while the scan view is pinned. *)
+        if Context.fallback lane.ctx then ()
+        else begin
         List.iter
           (fun (id : Node_id.t) ->
             match Store.get view id.Node_id.slot with
@@ -129,9 +136,13 @@ let run ?config ?contexts ?(ordered = true) ~cold store paths =
                 lane.feed
             done)
           ups;
-        drain lane)
-      lanes;
-    Store.release store view
+        (* The lane can enter fallback mid-drain (memory budget hit);
+           its global enumeration may then find every frame pinned.
+           Abandon the drain — the Simple recomputation below replaces
+           the lane's nodes wholesale. *)
+        (try drain lane with Buffer_manager.Buffer_full -> Queue.clear lane.feed)
+        end)
+      lanes
   done;
 
   (* A lane that fell back lost speculative state the shared scan cannot

@@ -14,13 +14,16 @@ let create ctx ~step ~dedup producer =
         current := None;
         next ()
       | Some (info : Store.info) ->
-        if
-          Path.matches step.Path.test info.tag
-          && not (dedup && Node_id.Tbl.mem seen info.id)
-        then begin
-          if dedup then Node_id.Tbl.replace seen info.id ();
-          counters.Context.instances <- counters.Context.instances + 1;
-          Some info
+        if Path.matches step.Path.test info.tag then begin
+          if dedup && Node_id.Tbl.mem seen info.id then begin
+            counters.Context.dedup_hits <- counters.Context.dedup_hits + 1;
+            next ()
+          end
+          else begin
+            if dedup then Node_id.Tbl.replace seen info.id ();
+            counters.Context.instances <- counters.Context.instances + 1;
+            Some info
+          end
         end
         else next ()
     end

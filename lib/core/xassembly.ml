@@ -24,10 +24,12 @@ let create ctx ~path_len ~xschedule ~dslash producer =
   let emit_result info =
     if not (Node_id.Tbl.mem r_result info.Store.id) then begin
       Node_id.Tbl.replace r_result info.Store.id ();
+      counters.Context.results_emitted <- counters.Context.results_emitted + 1;
       Context.emit ctx (fun () ->
           Printf.sprintf "XAssembly: full path -> result %s" (Node_id.to_string info.Store.id));
       Queue.add info resolved
     end
+    else counters.Context.dedup_hits <- counters.Context.dedup_hits + 1
   in
 
   let clear_s () =
@@ -43,6 +45,7 @@ let create ctx ~path_len ~xschedule ~dslash producer =
             (Node_id.to_string spec.sp_n) spec.sp_l);
       let bucket = Option.value ~default:[] (Node_id.Tbl.find_opt s_store.(spec.sp_l) spec.sp_n) in
       Node_id.Tbl.replace s_store.(spec.sp_l) spec.sp_n (spec :: bucket);
+      counters.Context.specs_stored <- counters.Context.specs_stored + 1;
       incr s_count;
       if !s_count > counters.Context.s_peak then counters.Context.s_peak <- !s_count;
       if !s_count > ctx.Context.config.Context.memory_budget then begin

@@ -85,6 +85,15 @@ let load_agenda t pid view =
       done)
     (Store.up_slots view)
 
+(* Tear the operator down mid-run; see {!Xschedule.abandon}. The scan
+   holds at most its current view and schedules no asynchronous I/O. *)
+let abandon t =
+  release_view t;
+  Queue.clear t.agenda;
+  t.peeked <- None;
+  t.restarted <- true;
+  t.contexts <- (fun () -> None)
+
 let rec next t =
   if Context.fallback t.ctx && not t.restarted then begin
     (* Fallback: drop the scan, restart the producer, act as identity. *)

@@ -31,3 +31,9 @@ val create :
 val next : t -> Path_instance.t option
 
 val clusters_scanned : t -> int
+
+val abandon : t -> unit
+(** Tear the operator down mid-run: release the current view and
+    discard all buffered instances; subsequent [next] calls return
+    [None]. Called by {!Exec.run} when a post-fallback pipeline cannot
+    make progress and the plan restarts with the simple method. *)

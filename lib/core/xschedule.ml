@@ -14,6 +14,7 @@ type t = {
   mutable qsize : int;
   visited : (int, unit) Hashtbl.t;
   mutable ready : int list;  (* resident clusters with queued items *)
+  mutable refused : int list;  (* clusters whose prefetch the buffer refused *)
   mutable current : (int * Store.view) option;
   agenda : Path_instance.t Queue.t;  (* instances for the current cluster *)
   mutable exhausted : bool;
@@ -28,16 +29,21 @@ let create ctx ~path_len ~contexts =
     qsize = 0;
     visited = Hashtbl.create 64;
     ready = [];
+    refused = [];
     current = None;
     agenda = Queue.create ();
     exhausted = false;
   }
 
 let queue_size t = t.qsize
+let refused_count t = List.length t.refused
 
 let buffer t = Store.buffer t.ctx.Context.store
 
-(* Queue an item and make sure its cluster's I/O has been requested. *)
+(* Queue an item and make sure its cluster's I/O has been requested. A
+   refused prefetch (every frame pinned) is remembered in [refused] and
+   retried by the dispatch loop once pins are released — dropping it here
+   would strand the queued items forever. *)
 let enqueue t item =
   let cluster = Node_id.cluster item.target in
   let fresh = not (Hashtbl.mem t.queue cluster) in
@@ -52,13 +58,39 @@ let enqueue t item =
   Queue.add item q;
   t.qsize <- t.qsize + 1;
   let c = t.ctx.Context.counters in
+  c.Context.q_enqueued <- c.Context.q_enqueued + 1;
   if t.qsize > c.Context.q_peak then c.Context.q_peak <- t.qsize;
   if fresh then begin
     Context.emit t.ctx (fun () -> Printf.sprintf "XSchedule: async request for cluster %d" cluster);
     let is_current = match t.current with Some (pid, _) -> pid = cluster | None -> false in
-    if is_current || Buffer_manager.prefetch (buffer t) cluster then
-      (if not (is_current || List.mem cluster t.ready) then t.ready <- cluster :: t.ready)
+    if not is_current then begin
+      match Buffer_manager.prefetch (buffer t) cluster with
+      | Buffer_manager.Resident ->
+        if not (List.mem cluster t.ready) then t.ready <- cluster :: t.ready
+      | Buffer_manager.Scheduled -> ()
+      | Buffer_manager.Refused ->
+        c.Context.prefetch_refusals <- c.Context.prefetch_refusals + 1;
+        if not (List.mem cluster t.refused) then t.refused <- cluster :: t.refused
+    end
   end
+
+(* Re-submit refused prefetches (clusters may have become loadable since
+   pins were released, or even resident through another path). *)
+let retry_refused t =
+  match t.refused with
+  | [] -> ()
+  | refused ->
+    t.refused <- [];
+    List.iter
+      (fun cluster ->
+        if Hashtbl.mem t.queue cluster then begin
+          match Buffer_manager.prefetch (buffer t) cluster with
+          | Buffer_manager.Resident ->
+            if not (List.mem cluster t.ready) then t.ready <- cluster :: t.ready
+          | Buffer_manager.Scheduled -> ()
+          | Buffer_manager.Refused -> t.refused <- cluster :: t.refused
+        end)
+      refused
 
 let push t ~s_l ~n_l ~s_r ~target =
   let cluster = Node_id.cluster target in
@@ -69,7 +101,10 @@ let push t ~s_l ~n_l ~s_r ~target =
   else enqueue t { s_l; n_l; s_r; target }
 
 let replenish t =
-  while (not t.exhausted) && t.qsize < t.ctx.Context.config.Context.k do
+  (* At least one queued item per round even for a degenerate k <= 0,
+     otherwise the producer is never drained and contexts are lost. *)
+  let target = max 1 t.ctx.Context.config.Context.k in
+  while (not t.exhausted) && t.qsize < target do
     match t.contexts () with
     | None -> t.exhausted <- true
     | Some id -> enqueue t { s_l = 0; n_l = id; s_r = 0; target = id }
@@ -114,6 +149,8 @@ let load_agenda t pid view =
   | Some q ->
     Queue.iter (fun item -> Queue.add (instantiate view item) t.agenda) q;
     t.qsize <- t.qsize - Queue.length q;
+    t.ctx.Context.counters.Context.q_served <-
+      t.ctx.Context.counters.Context.q_served + Queue.length q;
     Hashtbl.remove t.queue pid);
   if
     first_visit
@@ -134,6 +171,23 @@ let make_current t pid view =
   t.current <- Some (pid, view);
   load_agenda t pid view
 
+(* Tear the operator down mid-run: release the current pin, cancel
+   outstanding prefetches and drop all queued work (accounted in
+   [q_dropped] so conservation checks still balance). Used by [Exec]
+   when the in-place fallback cannot proceed and the whole plan is
+   recomputed with the simple method. *)
+let abandon t =
+  release_current t;
+  Queue.clear t.agenda;
+  t.ready <- [];
+  t.refused <- [];
+  t.ctx.Context.counters.Context.q_dropped <-
+    t.ctx.Context.counters.Context.q_dropped + t.qsize;
+  Hashtbl.reset t.queue;
+  t.qsize <- 0;
+  t.exhausted <- true;
+  Xnav_storage.Io_scheduler.drain (Buffer_manager.scheduler (buffer t))
+
 let rec next t =
   match Queue.take_opt t.agenda with
   | Some instance -> Some instance
@@ -144,45 +198,62 @@ let rec next t =
     | Some (pid, view) when Hashtbl.mem t.queue pid ->
       load_agenda t pid view;
       next t
-    | _ -> begin
-      match t.ready with
-      | pid :: rest ->
-        t.ready <- rest;
-        if Hashtbl.mem t.queue pid then begin
-          make_current t pid (Store.view t.ctx.Context.store pid);
-          next t
-        end
-        else next t
-      | [] -> begin
-        match Buffer_manager.await_one (buffer t) with
-        | Some (pid, frame) ->
-          let view = Store.view_of_frame t.ctx.Context.store frame in
+    | _ ->
+      (* The current cluster is done: release its pin *before* acquiring
+         the next view, so even a one-frame buffer makes progress, then
+         give refused prefetches another chance now that the pin is
+         gone. *)
+      release_current t;
+      retry_refused t;
+      begin
+        match t.ready with
+        | pid :: rest ->
+          t.ready <- rest;
           if Hashtbl.mem t.queue pid then begin
-            make_current t pid view;
+            make_current t pid (Store.view t.ctx.Context.store pid);
             next t
           end
-          else begin
-            (* A stale request (its items were served through another
-               path); drop the pin and keep going. *)
-            Store.release t.ctx.Context.store view;
-            next t
-          end
-        | None ->
-          if t.qsize = 0 && t.exhausted then begin
-            release_current t;
-            None
-          end
-          else begin
-            (* Items remain but have no pending I/O: their clusters are
-               resident (or were evicted meanwhile); serve them directly. *)
-            match Hashtbl.fold (fun pid _ _ -> Some pid) t.queue None with
-            | Some pid ->
-              make_current t pid (Store.view t.ctx.Context.store pid);
+          else next t
+        | [] -> begin
+          match Buffer_manager.await_one (buffer t) with
+          | Some (pid, frame) ->
+            let view = Store.view_of_frame t.ctx.Context.store frame in
+            if Hashtbl.mem t.queue pid then begin
+              make_current t pid view;
               next t
-            | None ->
-              release_current t;
-              None
-          end
+            end
+            else begin
+              (* A stale request (its items were served through another
+                 path); drop the pin and keep going. *)
+              Store.release t.ctx.Context.store view;
+              next t
+            end
+          | None ->
+            if t.qsize = 0 then None (* replenish guarantees exhaustion here *)
+            else begin
+              (* Items remain but have no pending I/O: their clusters are
+                 resident (or were evicted meanwhile, or their prefetch
+                 was refused); serve one directly. *)
+              match Hashtbl.fold (fun pid _ _ -> Some pid) t.queue None with
+              | Some pid -> begin
+                match Store.view t.ctx.Context.store pid with
+                | view ->
+                  make_current t pid view;
+                  next t
+                | exception Buffer_manager.Buffer_full ->
+                  failwith
+                    (Printf.sprintf
+                       "Xschedule: no forward progress: %d items queued but cluster %d cannot \
+                        be loaded (all %d buffer frames are pinned)"
+                       t.qsize pid
+                       (Buffer_manager.capacity (buffer t)))
+              end
+              | None ->
+                failwith
+                  (Printf.sprintf
+                     "Xschedule: queue accounting broken: qsize=%d with no queued cluster"
+                     t.qsize)
+            end
+        end
       end
-    end
   end

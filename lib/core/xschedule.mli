@@ -42,3 +42,18 @@ val next : t -> Path_instance.t option
 (** The iterator [next] method. *)
 
 val queue_size : t -> int
+(** |Q|: items queued but not yet served. Zero once [next] has returned
+    [None]. *)
+
+val refused_count : t -> int
+(** Clusters whose prefetch the buffer refused (every frame pinned) and
+    that await a retry by the dispatch loop. Zero once [next] has
+    returned [None]. *)
+
+val abandon : t -> unit
+(** Tear the operator down mid-run: release the current cluster pin,
+    cancel outstanding prefetches and discard all queued work (counted
+    in {!Context.counters.q_dropped}). Called by {!Exec.run} when a
+    post-fallback pipeline cannot make progress (the global
+    re-navigation needs a buffer frame but this operator pins the
+    current cluster) and the plan restarts with the simple method. *)

@@ -153,12 +153,22 @@ let frame_pid frame = frame.pid
 
 let resident t pid = lookup t pid <> None
 
+let pinned_count t = Hashtbl.fold (fun _ frame n -> if frame.pins > 0 then n + 1 else n) t.table 0
+
+(* Whether another page could be installed right now: either a frame is
+   free or some resident page is unpinned (evictable). *)
+let can_admit t =
+  Hashtbl.length t.table < t.capacity || pinned_count t < Hashtbl.length t.table
+
+type admission = Resident | Scheduled | Refused
+
 let prefetch t pid =
-  if resident t pid then true
-  else begin
+  if resident t pid then Resident
+  else if can_admit t then begin
     Io_scheduler.submit t.sched pid;
-    false
+    Scheduled
   end
+  else Refused
 
 let await_one t =
   match Io_scheduler.complete_one t.sched with
@@ -175,7 +185,7 @@ let await_one t =
     in
     Some (pid, frame)
 
-let pinned_count t = Hashtbl.fold (fun _ frame n -> if frame.pins > 0 then n + 1 else n) t.table 0
+let resident_count t = Hashtbl.length t.table
 
 let stats t = t.stats
 

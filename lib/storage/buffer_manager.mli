@@ -65,10 +65,21 @@ val frame_pid : frame -> int
 val resident : t -> int -> bool
 (** Whether the page is currently buffered (counts as a lookup). *)
 
-val prefetch : t -> int -> bool
-(** Ask for page [pid] asynchronously. Returns [true] if the page is
-    already resident (no request submitted — the caller can treat it as
-    instantly complete), [false] if a request is now pending. *)
+type admission =
+  | Resident  (** Already buffered; no request submitted. *)
+  | Scheduled  (** A request is now pending in the {!Io_scheduler}. *)
+  | Refused
+      (** The buffer could not accept another page: every frame is
+          pinned and no slot is free. The caller must retry later (after
+          releasing pins) — submitting anyway would make {!await_one}
+          raise {!Buffer_full} mid-run. *)
+
+val prefetch : t -> int -> admission
+(** Ask for page [pid] asynchronously. *)
+
+val can_admit : t -> bool
+(** Whether another page could be installed right now: a frame is free
+    or some resident page is unpinned. *)
 
 val await_one : t -> (int * frame) option
 (** Let the scheduler service one pending request, install the page and
@@ -77,6 +88,9 @@ val await_one : t -> (int * frame) option
 
 val pinned_count : t -> int
 (** Number of frames with a non-zero pin count (for leak tests). *)
+
+val resident_count : t -> int
+(** Number of occupied frames (for the invariant layer). *)
 
 val stats : t -> stats
 

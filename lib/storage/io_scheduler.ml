@@ -53,12 +53,14 @@ let pick t =
     let head = max 0 (Disk.head t.disk) in
     match t.policy with
     | Fifo ->
+      (* [order] is newest first and holds exactly the pending pids
+         (see [remove]); the oldest submission is its last element. *)
       let rec last_submitted = function
         | [] -> None
         | [ p ] -> Some p
         | _ :: rest -> last_submitted rest
       in
-      last_submitted (List.filter (fun p -> Int_set.mem p t.pending) t.order)
+      last_submitted t.order
     | Sstf -> nearest t head
     | Elevator -> begin
       let in_direction =
@@ -79,21 +81,44 @@ let pick t =
     end
   end
 
+(* Every removal from [pending] must also prune [order]: a stale entry
+   would make Fifo re-filter an ever-growing list and, worse, mistake a
+   cancelled-then-resubmitted page's original position for its current
+   one. *)
+let remove t pid =
+  t.pending <- Int_set.remove pid t.pending;
+  t.order <- List.filter (fun p -> p <> pid) t.order
+
 let complete_one t =
   match pick t with
   | None -> None
   | Some pid ->
-    t.pending <- Int_set.remove pid t.pending;
-    if Int_set.is_empty t.pending then t.order <- [];
+    remove t pid;
     let bytes = Disk.read t.disk pid in
     Disk.charge t.disk (Disk.config t.disk).Disk.async_overhead;
     Some (pid, bytes)
 
 let cancel t pid =
   let was = Int_set.mem pid t.pending in
-  if was then t.pending <- Int_set.remove pid t.pending;
+  if was then remove t pid;
   was
 
 let drain t =
   t.pending <- Int_set.empty;
   t.order <- []
+
+let order_length t = List.length t.order
+
+let consistency_error t =
+  let n_pending = Int_set.cardinal t.pending in
+  let n_order = List.length t.order in
+  if n_order <> n_pending then
+    Some (Printf.sprintf "order holds %d entries but %d requests are pending" n_order n_pending)
+  else begin
+    let dead = List.filter (fun p -> not (Int_set.mem p t.pending)) t.order in
+    match dead with
+    | p :: _ -> Some (Printf.sprintf "order holds dead entry for page %d" p)
+    | [] ->
+      let sorted = List.sort_uniq compare t.order in
+      if List.length sorted <> n_order then Some "order holds duplicate entries" else None
+  end

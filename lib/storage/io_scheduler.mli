@@ -47,3 +47,12 @@ val cancel : t -> int -> bool
 
 val drain : t -> unit
 (** Drop all pending requests. *)
+
+val order_length : t -> int
+(** Length of the internal submission-order list. Always equals
+    {!pending_count}; exposed for the invariant layer. *)
+
+val consistency_error : t -> string option
+(** [None] iff the internal structures agree: the submission-order list
+    holds exactly the pending pages, once each. A [Some] description
+    indicates a scheduler bug (e.g. dead entries left by a removal). *)

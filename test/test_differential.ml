@@ -1,0 +1,267 @@
+(* The differential correctness tier: a deterministic sample of random
+   (document, path, configuration) cases checked against the reference
+   evaluator, plus focused regression tests for the I/O-scheduler
+   stale-order bug, the refused-prefetch stall and pin leaks under
+   near-minimal buffers. *)
+
+module Differential = Xnav_check.Differential
+module Tree = Xnav_xml.Tree
+module Disk = Xnav_storage.Disk
+module Io_scheduler = Xnav_storage.Io_scheduler
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Import = Xnav_store.Import
+module Store = Xnav_store.Store
+module Node_id = Xnav_store.Node_id
+module Path = Xnav_xpath.Path
+module Eval_ref = Xnav_xpath.Eval_ref
+module Xpath_parser = Xnav_xpath.Xpath_parser
+module Plan = Xnav_core.Plan
+module Exec = Xnav_core.Exec
+module Context = Xnav_core.Context
+
+let check = Alcotest.check
+
+(* --- the sampled differential run ---------------------------------------- *)
+
+let differential_sample () =
+  let r = Differential.run ~cases:200 () in
+  check Alcotest.int "cases run" 200 r.Differential.cases_run;
+  let reproducers =
+    List.map (fun f -> Differential.reproducer f.Differential.shrunk) r.Differential.failures
+  in
+  check Alcotest.(list string) "no plan disagrees with the reference evaluator" [] reproducers
+
+let shrink_is_stable () =
+  (* Shrinking a passing case is the identity (nothing to chase). *)
+  let case =
+    {
+      Differential.doc_seed = 7;
+      fidelity = 0.001;
+      physical = Differential.default_physical;
+      k = 100;
+      speculative = true;
+      memory_budget = 1_000_000;
+      path = Xpath_parser.parse "/child::site";
+    }
+  in
+  check Alcotest.(list string) "case passes" []
+    (List.map (fun m -> m.Differential.detail) (Differential.check_case case));
+  check Alcotest.bool "shrink keeps a passing case intact" true (Differential.shrink case = case)
+
+let reproducer_round_trips () =
+  (* Paths printed by the reproducer re-parse to the same path. *)
+  let paths = [ "/child::a"; "/descendant::b/child::*"; "/descendant-or-self::node()/self::c" ] in
+  List.iter
+    (fun s ->
+      let path = Xpath_parser.parse s in
+      check Alcotest.string "to_string round-trips through the parser" (Path.to_string path)
+        (Path.to_string (Xpath_parser.parse (Path.to_string path))))
+    paths
+
+(* --- Io_scheduler: removals must prune the order list --------------------- *)
+
+let scheduler ?(pages = 50) policy =
+  let d = Gen.small_disk () in
+  for _ = 1 to pages do
+    ignore (Disk.alloc d)
+  done;
+  Io_scheduler.create ~policy d
+
+let assert_consistent s =
+  check Alcotest.(option string) "scheduler structures agree" None
+    (Io_scheduler.consistency_error s);
+  check Alcotest.int "order list matches pending set" (Io_scheduler.pending_count s)
+    (Io_scheduler.order_length s)
+
+let fifo_ignores_cancelled_submission () =
+  (* With C pending throughout: submit A, cancel A, submit B, re-submit
+     A. FIFO order is now C, B, A — the cancelled submission of A must
+     not count. (The stale-order bug kept A's dead entry, so A's
+     original position made it jump the queue ahead of B.) *)
+  let s = scheduler Io_scheduler.Fifo in
+  Io_scheduler.submit s 30;
+  Io_scheduler.submit s 10;
+  check Alcotest.bool "cancel pending" true (Io_scheduler.cancel s 10);
+  Io_scheduler.submit s 20;
+  Io_scheduler.submit s 10;
+  assert_consistent s;
+  let complete expect label =
+    match Io_scheduler.complete_one s with
+    | Some (pid, _) -> check Alcotest.int label expect pid
+    | None -> Alcotest.fail "nothing pending"
+  in
+  complete 30 "oldest live submission first";
+  complete 20 "B precedes the re-submitted A";
+  complete 10 "the re-submission comes last";
+  assert_consistent s
+
+let complete_one_prunes_order () =
+  List.iter
+    (fun policy ->
+      let s = scheduler policy in
+      List.iter (Io_scheduler.submit s) [ 30; 5; 42 ];
+      ignore (Io_scheduler.complete_one s);
+      (* Pre-fix, the served page's entry stayed in the order list until
+         the pending set emptied. *)
+      assert_consistent s;
+      ignore (Io_scheduler.complete_one s);
+      ignore (Io_scheduler.complete_one s);
+      assert_consistent s;
+      check Alcotest.int "drained" 0 (Io_scheduler.pending_count s))
+    Io_scheduler.all_policies
+
+let cancel_prunes_order () =
+  List.iter
+    (fun policy ->
+      let s = scheduler policy in
+      List.iter (Io_scheduler.submit s) [ 1; 2; 3 ];
+      check Alcotest.bool "cancel" true (Io_scheduler.cancel s 2);
+      assert_consistent s;
+      check Alcotest.bool "cancel again is a no-op" false (Io_scheduler.cancel s 2);
+      assert_consistent s)
+    Io_scheduler.all_policies
+
+(* --- plans under near-minimal buffers ------------------------------------- *)
+
+(* A document big enough to split into many clusters at a tiny payload. *)
+let doc () = Gen.wide_tree ~children:40 ()
+
+let build ~capacity ~policy ~replacement tree =
+  let d = Gen.small_disk ~page_size:256 () in
+  let import = Import.run ~payload:96 d tree in
+  let buffer = Buffer_manager.create ~capacity ~policy ~replacement d in
+  (Store.attach buffer import, import)
+
+let expected_ids tree (import : Import.result) path =
+  Eval_ref.eval tree path
+  |> List.map (fun (n : Tree.t) -> import.Import.node_ids.(n.Tree.preorder))
+  |> List.sort Node_id.compare
+
+let got_ids (r : Exec.result) =
+  List.map (fun (i : Store.info) -> i.Store.id) r.Exec.nodes |> List.sort Node_id.compare
+
+let id_list = Alcotest.testable (Fmt.Dump.list Node_id.pp) (List.equal Node_id.equal)
+
+let validating = { Context.default_config with Context.validate = true }
+
+let plans = [ ("simple", Plan.simple); ("xschedule", Plan.xschedule ()); ("xscan", Plan.xscan ()) ]
+
+(* Every plan, every replacement x I/O-policy combination, two frames:
+   correct answers and (via [validate]) no pin leaks, no dangling I/O.
+   Pre-fix, XSchedule leaked its current pin or wedged under these
+   capacities. *)
+let no_pin_leaks_capacity_two () =
+  let tree = doc () in
+  let path = Xpath_parser.parse "/child::*/child::x" in
+  List.iter
+    (fun replacement ->
+      List.iter
+        (fun policy ->
+          let store, import = build ~capacity:2 ~policy ~replacement tree in
+          check Alcotest.bool "document spans multiple clusters" true (Store.page_count store > 2);
+          let expected = expected_ids tree import path in
+          List.iter
+            (fun (name, plan) ->
+              let r = Exec.cold_run ~config:validating store path plan in
+              let label =
+                Printf.sprintf "%s / %s / %s" name
+                  (Buffer_manager.replacement_to_string replacement)
+                  (Io_scheduler.policy_to_string policy)
+              in
+              check id_list label expected (got_ids r);
+              check Alcotest.int (label ^ ": no pinned frames") 0
+                (Buffer_manager.pinned_count (Store.buffer store)))
+            plans)
+        Io_scheduler.all_policies)
+    Buffer_manager.all_replacements
+
+(* Pre-fix, XSchedule raised Buffer_full on a one-frame buffer: the
+   current cluster's pin was never released before acquiring the next
+   view, and a refused prefetch was never retried. *)
+let xschedule_single_frame () =
+  let tree = doc () in
+  List.iter
+    (fun path_str ->
+      let path = Xpath_parser.parse path_str in
+      let store, import =
+        build ~capacity:1 ~policy:Io_scheduler.Elevator ~replacement:Buffer_manager.Lru tree
+      in
+      let expected = expected_ids tree import path in
+      List.iter
+        (fun (name, plan) ->
+          let r = Exec.cold_run ~config:validating store path plan in
+          check id_list (name ^ " on one frame: " ^ path_str) expected (got_ids r))
+        plans)
+    [ "/child::*"; "/child::*/child::y"; "/descendant::b" ]
+
+(* The refusal path: with every frame pinned by the current cluster, a
+   prefetch must be refused (not raise), and the dispatch loop must
+   retry it once the pin is gone. *)
+let prefetch_refusal_is_retried () =
+  let tree = doc () in
+  let store, _ =
+    build ~capacity:1 ~policy:Io_scheduler.Fifo ~replacement:Buffer_manager.Fifo tree
+  in
+  let buffer = Store.buffer store in
+  Buffer_manager.reset buffer;
+  let first = Store.first_page store in
+  let frame = Buffer_manager.fix buffer first in
+  (* One frame, and it is pinned: a prefetch of another page must be
+     refused rather than evict or raise. *)
+  (match Buffer_manager.prefetch buffer (first + 1) with
+  | Buffer_manager.Refused -> ()
+  | Buffer_manager.Resident | Buffer_manager.Scheduled ->
+    Alcotest.fail "prefetch with all frames pinned was not refused");
+  Buffer_manager.unfix buffer frame;
+  check Alcotest.bool "admission possible once unpinned" true (Buffer_manager.can_admit buffer);
+  (* End-to-end: a multi-cluster XSchedule run on the same store still
+     terminates with the right answer (its dispatch loop retries the
+     refusals it accumulates). *)
+  let path = Xpath_parser.parse "/child::*/child::x" in
+  let r = Exec.cold_run ~config:validating store path (Plan.xschedule ()) in
+  check Alcotest.bool "run terminates with results" true (r.Exec.count > 0)
+
+(* Fallback pressure at one frame: the post-fallback pipeline must
+   restart with the simple method instead of wedging on Buffer_full. *)
+let fallback_single_frame () =
+  let tree = doc () in
+  let cfg = { validating with Context.memory_budget = 0 } in
+  List.iter
+    (fun (name, plan) ->
+      let store, import =
+        build ~capacity:1 ~policy:Io_scheduler.Cscan ~replacement:Buffer_manager.Clock tree
+      in
+      let path = Xpath_parser.parse "/descendant::b/child::x" in
+      let expected = expected_ids tree import path in
+      let r = Exec.cold_run ~config:cfg store path plan in
+      check id_list (name ^ " under fallback on one frame") expected (got_ids r);
+      check Alcotest.bool (name ^ " fell back") true r.Exec.metrics.Exec.fell_back)
+    [ ("xschedule", Plan.xschedule ()); ("xscan", Plan.xscan ()) ]
+
+let suite =
+  [
+    ( "differential",
+      [
+        Alcotest.test_case "200 sampled cases agree with the reference evaluator" `Slow
+          differential_sample;
+        Alcotest.test_case "shrinking a passing case is the identity" `Quick shrink_is_stable;
+        Alcotest.test_case "reproducer paths round-trip through the parser" `Quick
+          reproducer_round_trips;
+      ] );
+    ( "scheduler regressions",
+      [
+        Alcotest.test_case "fifo ignores cancelled submissions" `Quick
+          fifo_ignores_cancelled_submission;
+        Alcotest.test_case "complete_one prunes the order list" `Quick complete_one_prunes_order;
+        Alcotest.test_case "cancel prunes the order list" `Quick cancel_prunes_order;
+      ] );
+    ( "buffer regressions",
+      [
+        Alcotest.test_case "no pin leaks: plans x replacements x policies at 2 frames" `Quick
+          no_pin_leaks_capacity_two;
+        Alcotest.test_case "xschedule completes on a single frame" `Quick xschedule_single_frame;
+        Alcotest.test_case "refused prefetches are retried" `Quick prefetch_refusal_is_retried;
+        Alcotest.test_case "fallback on a single frame restarts simple" `Quick
+          fallback_single_frame;
+      ] );
+  ]

@@ -314,8 +314,8 @@ let buffer_tests =
     Alcotest.test_case "prefetch + await_one installs pages" `Quick (fun () ->
         with_disk 6 (fun d ->
             let b = Buffer_manager.create ~capacity:4 d in
-            check bool "not resident" false (Buffer_manager.prefetch b 3);
-            check bool "not resident" false (Buffer_manager.prefetch b 5);
+            check bool "scheduled" true (Buffer_manager.prefetch b 3 = Buffer_manager.Scheduled);
+            check bool "scheduled" true (Buffer_manager.prefetch b 5 = Buffer_manager.Scheduled);
             let served = ref [] in
             let rec drain () =
               match Buffer_manager.await_one b with
@@ -333,7 +333,7 @@ let buffer_tests =
         with_disk 2 (fun d ->
             let b = Buffer_manager.create ~capacity:2 d in
             Buffer_manager.unfix b (Buffer_manager.fix b 1);
-            check bool "instant" true (Buffer_manager.prefetch b 1);
+            check bool "instant" true (Buffer_manager.prefetch b 1 = Buffer_manager.Resident);
             check bool "nothing pending" true (Buffer_manager.await_one b = None)));
     Alcotest.test_case "reset complains about pinned frames" `Quick (fun () ->
         with_disk 2 (fun d ->
