@@ -44,6 +44,10 @@ let full_config =
 let quick_config =
   { full_config with fidelity = 0.02; scale_factors = [ 0.1; 0.5; 1.0; 2.0 ] }
 
+(* Tiny profile for the @bench-smoke gate: small documents, two scale
+   factors — enough to exercise every plan end to end in seconds. *)
+let smoke_config = { full_config with fidelity = 0.005; scale_factors = [ 0.25; 1.0 ] }
+
 let section_header title =
   Printf.printf "\n== %s ==\n" title
 
@@ -73,6 +77,71 @@ let run_query ?config store plan (q : Queries.t) =
         cpu +. r.Exec.metrics.Exec.cpu_time,
         io +. r.Exec.metrics.Exec.io_time ))
     (0, 0., 0., 0.) q.Queries.paths
+
+(* Aggregation of full metric records across a query's paths: times and
+   event counters add, peaks take the maximum, [fell_back] is sticky. *)
+let zero_metrics =
+  {
+    Exec.io_time = 0.;
+    cpu_time = 0.;
+    total_time = 0.;
+    page_reads = 0;
+    sequential_reads = 0;
+    random_reads = 0;
+    seek_distance = 0;
+    buffer_lookups = 0;
+    buffer_hits = 0;
+    buffer_misses = 0;
+    async_reads = 0;
+    instances = 0;
+    crossings = 0;
+    specs_created = 0;
+    specs_stored = 0;
+    specs_resolved = 0;
+    s_peak = 0;
+    q_peak = 0;
+    q_enqueued = 0;
+    q_served = 0;
+    clusters_visited = 0;
+    swizzle_hits = 0;
+    swizzle_misses = 0;
+    fell_back = false;
+  }
+
+let add_metrics (a : Exec.metrics) (b : Exec.metrics) =
+  {
+    Exec.io_time = a.Exec.io_time +. b.Exec.io_time;
+    cpu_time = a.Exec.cpu_time +. b.Exec.cpu_time;
+    total_time = a.Exec.total_time +. b.Exec.total_time;
+    page_reads = a.Exec.page_reads + b.Exec.page_reads;
+    sequential_reads = a.Exec.sequential_reads + b.Exec.sequential_reads;
+    random_reads = a.Exec.random_reads + b.Exec.random_reads;
+    seek_distance = a.Exec.seek_distance + b.Exec.seek_distance;
+    buffer_lookups = a.Exec.buffer_lookups + b.Exec.buffer_lookups;
+    buffer_hits = a.Exec.buffer_hits + b.Exec.buffer_hits;
+    buffer_misses = a.Exec.buffer_misses + b.Exec.buffer_misses;
+    async_reads = a.Exec.async_reads + b.Exec.async_reads;
+    instances = a.Exec.instances + b.Exec.instances;
+    crossings = a.Exec.crossings + b.Exec.crossings;
+    specs_created = a.Exec.specs_created + b.Exec.specs_created;
+    specs_stored = a.Exec.specs_stored + b.Exec.specs_stored;
+    specs_resolved = a.Exec.specs_resolved + b.Exec.specs_resolved;
+    s_peak = max a.Exec.s_peak b.Exec.s_peak;
+    q_peak = max a.Exec.q_peak b.Exec.q_peak;
+    q_enqueued = a.Exec.q_enqueued + b.Exec.q_enqueued;
+    q_served = a.Exec.q_served + b.Exec.q_served;
+    clusters_visited = a.Exec.clusters_visited + b.Exec.clusters_visited;
+    swizzle_hits = a.Exec.swizzle_hits + b.Exec.swizzle_hits;
+    swizzle_misses = a.Exec.swizzle_misses + b.Exec.swizzle_misses;
+    fell_back = a.Exec.fell_back || b.Exec.fell_back;
+  }
+
+let run_query_full ?config store plan (q : Queries.t) =
+  List.fold_left
+    (fun (count, m) path ->
+      let r = Exec.cold_run ?config ~ordered:false store path plan in
+      (count + r.Exec.count, add_metrics m r.Exec.metrics))
+    (0, zero_metrics) q.Queries.paths
 
 (* --- figures 9, 10, 11 and table 3 ------------------------------------------ *)
 
@@ -576,6 +645,228 @@ let ablation_estimate cfg =
     "(v1 sums per-tag totals over the steps — a wild over-estimate; the v2\n\
      synopsis propagates parent/child pair statistics down the path)"
 
+(* --- swizzled vs unswizzled navigation fixtures ----------------------------- *)
+
+(* [reps] cursor walks over one pinned view: the access pattern of an
+   XStep chain re-walking its cluster once per path instance. With the
+   decode cache on, only the first walk pays the record codec. *)
+let cursor_walk store ~reps axis =
+  let root = Store.root store in
+  let v = Store.view store root.Node_id.pid in
+  let total = ref 0 in
+  for _ = 1 to reps do
+    let c = Store.start v axis root.Node_id.slot in
+    let rec go () =
+      match Store.next_emission c with
+      | None -> ()
+      | Some _ ->
+        incr total;
+        go ()
+    in
+    go ()
+  done;
+  Store.release store v;
+  !total
+
+(* One single-page document and one spanning ~100 pages (only the root
+   cluster is walked; the many-page layout gives it border records). *)
+let swizzle_fixtures () =
+  let one_page =
+    Tree.elt "root" (List.init 40 (fun i -> Tree.elt (Printf.sprintf "c%d" (i mod 7)) []))
+  in
+  let hundred_pages =
+    Tree.elt "root"
+      (List.init 850 (fun _ ->
+           Tree.elt "item"
+             [ Tree.elt "name" []; Tree.elt "description" [ Tree.elt "text" [] ] ]))
+  in
+  List.map
+    (fun (label, doc, payload) ->
+      let disk = Disk.create ~config:{ Disk.default_config with Disk.page_size = 4096 } () in
+      let import = Import.run ~payload disk doc in
+      let buffer = Buffer_manager.create ~capacity:256 disk in
+      (label, Store.attach buffer import, import.Import.page_count))
+    [ ("1page", one_page, 3800); ("100page", hundred_pages, 3400) ]
+
+let swizzle_axes = [ ("child", Xnav_xml.Axis.Child); ("descendant", Xnav_xml.Axis.Descendant) ]
+
+(* --- machine-readable output (--json) --------------------------------------- *)
+
+exception Malformed of string
+
+let jfloat v =
+  if not (Float.is_finite v) then raise (Malformed (Printf.sprintf "non-finite float %h" v));
+  Printf.sprintf "%.6f" v
+
+let jstring s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let jobj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstring k ^ ":" ^ v) fields) ^ "}"
+
+let jarr items = "[" ^ String.concat "," items ^ "]"
+
+(* Structural self-check on the emitted text: the file is written by
+   string concatenation, so guard against an unbalanced or truncated
+   document before it lands on disk. *)
+let check_json_shape s =
+  let depth = ref 0 and in_str = ref false and escaped = ref false in
+  String.iter
+    (fun c ->
+      if !in_str then begin
+        if !escaped then escaped := false
+        else if c = '\\' then escaped := true
+        else if c = '"' then in_str := false
+      end
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+          decr depth;
+          if !depth < 0 then raise (Malformed "closing bracket without opener")
+        | _ -> ())
+    s;
+  if String.length s = 0 || !depth <> 0 || !in_str then
+    raise (Malformed "unbalanced braces or unterminated string")
+
+let metrics_fields count (m : Exec.metrics) =
+  [
+    ("count", string_of_int count);
+    ("io_time", jfloat m.Exec.io_time);
+    ("cpu_time", jfloat m.Exec.cpu_time);
+    ("total_time", jfloat m.Exec.total_time);
+    ("page_reads", string_of_int m.Exec.page_reads);
+    ("sequential_reads", string_of_int m.Exec.sequential_reads);
+    ("random_reads", string_of_int m.Exec.random_reads);
+    ("seek_distance", string_of_int m.Exec.seek_distance);
+    ("buffer_lookups", string_of_int m.Exec.buffer_lookups);
+    ("buffer_hits", string_of_int m.Exec.buffer_hits);
+    ("buffer_misses", string_of_int m.Exec.buffer_misses);
+    ("async_reads", string_of_int m.Exec.async_reads);
+    ("instances", string_of_int m.Exec.instances);
+    ("crossings", string_of_int m.Exec.crossings);
+    ("specs_created", string_of_int m.Exec.specs_created);
+    ("specs_stored", string_of_int m.Exec.specs_stored);
+    ("specs_resolved", string_of_int m.Exec.specs_resolved);
+    ("s_peak", string_of_int m.Exec.s_peak);
+    ("q_peak", string_of_int m.Exec.q_peak);
+    ("q_enqueued", string_of_int m.Exec.q_enqueued);
+    ("q_served", string_of_int m.Exec.q_served);
+    ("clusters_visited", string_of_int m.Exec.clusters_visited);
+    ("swizzle_hits", string_of_int m.Exec.swizzle_hits);
+    ("swizzle_misses", string_of_int m.Exec.swizzle_misses);
+    ("swizzle_hit_rate", jfloat (Exec.swizzle_hit_rate m));
+    ("fell_back", if m.Exec.fell_back then "true" else "false");
+  ]
+
+(* CPU-time a thunk, growing the iteration count until the sample is
+   long enough to trust; returns nanoseconds per call. *)
+let time_ns f =
+  ignore (f ());
+  let rec measure iters =
+    let t0 = Sys.time () in
+    for _ = 1 to iters do
+      ignore (f ())
+    done;
+    let dt = Sys.time () -. t0 in
+    if dt < 0.02 && iters < 1_000_000 then measure (iters * 4)
+    else dt *. 1e9 /. float_of_int iters
+  in
+  measure 1
+
+let swizzle_micro_rows () =
+  List.concat_map
+    (fun (label, store, pages) ->
+      List.map
+        (fun (aname, axis) ->
+          let timed on =
+            Store.set_swizzling store on;
+            time_ns (fun () -> cursor_walk store ~reps:8 axis)
+          in
+          let on = timed true in
+          let off = timed false in
+          jobj
+            [
+              ("name", jstring (Printf.sprintf "%s-step-%s" aname label));
+              ("pages", string_of_int pages);
+              ("swizzled_ns", jfloat on);
+              ("unswizzled_ns", jfloat off);
+              ("speedup", jfloat (off /. Float.max 1.0 on));
+            ])
+        swizzle_axes)
+    (swizzle_fixtures ())
+
+let json_mode ~profile cfg out_file =
+  let rows = ref [] in
+  List.iter
+    (fun scale ->
+      let doc =
+        Xmark.generate ~config:{ Xmark.default_config with Xmark.scale; fidelity = cfg.fidelity } ()
+      in
+      let store, import = make_store cfg doc in
+      List.iter
+        (fun (q : Queries.t) ->
+          List.iter
+            (fun (pname, plan) ->
+              match run_query_full store plan q with
+              | count, m ->
+                rows :=
+                  jobj
+                    ([
+                       ("query", jstring q.Queries.name);
+                       ("plan", jstring pname);
+                       ("scale", jfloat scale);
+                       ("nodes", string_of_int import.Import.node_count);
+                       ("pages", string_of_int import.Import.page_count);
+                     ]
+                    @ metrics_fields count m)
+                  :: !rows
+              | exception e ->
+                Printf.eprintf "bench --json: plan %s on %s at sf %.2f raised %s\n" pname
+                  q.Queries.name scale (Printexc.to_string e);
+                exit 1)
+            paper_plans)
+        Queries.all)
+    cfg.scale_factors;
+  let micro_rows = swizzle_micro_rows () in
+  let out =
+    jobj
+      [
+        ("schema", jstring "xnav-bench/1");
+        ("profile", jstring profile);
+        ( "config",
+          jobj
+            [
+              ("fidelity", jfloat cfg.fidelity);
+              ("page_size", string_of_int cfg.page_size);
+              ("buffer", string_of_int cfg.buffer);
+              ("scale_factors", jarr (List.map jfloat cfg.scale_factors));
+            ] );
+        ("rows", jarr (List.rev !rows));
+        ("micro", jarr micro_rows);
+      ]
+  in
+  check_json_shape out;
+  let oc = open_out out_file in
+  output_string oc out;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %d benchmark rows and %d micro rows to %s\n" (List.length !rows)
+    (List.length micro_rows) out_file
+
 (* --- Bechamel microbenches ------------------------------------------------------ *)
 
 let micro () =
@@ -623,7 +914,27 @@ let micro () =
         (Staged.stage (fun () -> ignore (Xnav_store.Node_record.encode record)));
     ]
   in
-  let tests = Test.make_grouped ~name:"xnav" ~fmt:"%s/%s" (fig_tests @ kernel_tests) in
+  (* Swizzled vs unswizzled intra-cluster step throughput (child and
+     descendant cursors over one pinned view, 8 re-walks per run). *)
+  let swizzle_tests =
+    List.concat_map
+      (fun (label, store, _pages) ->
+        List.concat_map
+          (fun (aname, axis) ->
+            List.map
+              (fun (mode, on) ->
+                Test.make
+                  ~name:(Printf.sprintf "swizzle-%s-%s-%s" mode aname label)
+                  (Staged.stage (fun () ->
+                       Store.set_swizzling store on;
+                       ignore (cursor_walk store ~reps:8 axis))))
+              [ ("on", true); ("off", false) ])
+          swizzle_axes)
+      (swizzle_fixtures ())
+  in
+  let tests =
+    Test.make_grouped ~name:"xnav" ~fmt:"%s/%s" (fig_tests @ kernel_tests @ swizzle_tests)
+  in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
@@ -670,28 +981,42 @@ let sections cfg =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
-  let rec find_filter = function
-    | "--filter" :: name :: _ -> Some name
-    | _ :: rest -> find_filter rest
+  let smoke = List.mem "--smoke" args in
+  let rec find_value flag = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> find_value flag rest
     | [] -> None
   in
-  let filter = find_filter args in
+  let filter = find_value "--filter" args in
+  let json = find_value "--json" args in
   if List.mem "micro" args then micro ()
   else begin
-    let cfg = if quick then quick_config else full_config in
-    Printf.printf
-      "xnav benchmark harness — fidelity %.3f, %d-byte pages, %d-page buffer\n\
-       (simulated seconds from the deterministic disk model; see EXPERIMENTS.md)\n"
-      cfg.fidelity cfg.page_size cfg.buffer;
-    let sections = sections cfg in
-    match filter with
-    | Some name -> begin
-      match List.assoc_opt name sections with
-      | Some f -> f ()
-      | None ->
-        Printf.eprintf "unknown section %s; available: %s\n" name
-          (String.concat ", " (List.map fst sections));
+    let profile, cfg =
+      if smoke then ("smoke", smoke_config)
+      else if quick then ("quick", quick_config)
+      else ("full", full_config)
+    in
+    match json with
+    | Some out_file -> begin
+      try json_mode ~profile cfg out_file
+      with Malformed msg ->
+        Printf.eprintf "bench --json: malformed output: %s\n" msg;
         exit 1
     end
-    | None -> List.iter (fun (_, f) -> f ()) sections
+    | None ->
+      Printf.printf
+        "xnav benchmark harness — fidelity %.3f, %d-byte pages, %d-page buffer\n\
+         (simulated seconds from the deterministic disk model; see EXPERIMENTS.md)\n"
+        cfg.fidelity cfg.page_size cfg.buffer;
+      let sections = sections cfg in
+      (match filter with
+      | Some name -> begin
+        match List.assoc_opt name sections with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown section %s; available: %s\n" name
+            (String.concat ", " (List.map fst sections));
+          exit 1
+      end
+      | None -> List.iter (fun (_, f) -> f ()) sections)
   end

@@ -224,6 +224,58 @@ let check_case case =
   let store, import = build_store ~doc case.physical in
   check_built ~doc ~store ~import case
 
+(* --- swizzling tier ------------------------------------------------------- *)
+
+(* Swizzling is a pure caching layer: with it forced off every view access
+   re-decodes from the page, i.e. the pre-swizzling regime. Running each
+   plan both ways must give identical results AND identical scheduling
+   behaviour (the queue counters) — a divergence means the cache leaked
+   into plan semantics. *)
+let check_swizzle_built ~store case =
+  let config = context_config case in
+  let mismatches = ref [] in
+  let record plan detail = mismatches := { plan; detail } :: !mismatches in
+  let saved = Store.swizzling store in
+  let run_plan plan on =
+    Store.set_swizzling store on;
+    Exec.cold_run ~config store case.path plan
+  in
+  List.iter
+    (fun (name, plan) ->
+      match
+        let on = run_plan plan true in
+        let off = run_plan plan false in
+        (on, off)
+      with
+      | on, off ->
+        let on_ids = ids_of on.Exec.nodes and off_ids = ids_of off.Exec.nodes in
+        if on_ids <> off_ids then
+          record name
+            (Format.asprintf "swizzled: %d nodes %a, unswizzled: %d nodes %a"
+               (List.length on_ids) pp_ids on_ids (List.length off_ids) pp_ids off_ids);
+        let mon = on.Exec.metrics and moff = off.Exec.metrics in
+        if
+          mon.Exec.q_enqueued <> moff.Exec.q_enqueued
+          || mon.Exec.q_served <> moff.Exec.q_served
+        then
+          record name
+            (Printf.sprintf
+               "queue counters diverge: swizzled enqueued/served %d/%d, unswizzled %d/%d"
+               mon.Exec.q_enqueued mon.Exec.q_served moff.Exec.q_enqueued moff.Exec.q_served);
+        if moff.Exec.swizzle_hits <> 0 then
+          record name
+            (Printf.sprintf "%d decode-cache hits recorded with swizzling off"
+               moff.Exec.swizzle_hits)
+      | exception e -> record name (Printf.sprintf "raised %s" (Printexc.to_string e)))
+    (plans_for case);
+  Store.set_swizzling store saved;
+  List.rev !mismatches
+
+let check_swizzle_case case =
+  let doc = cached_document ~doc_seed:case.doc_seed ~fidelity:case.fidelity in
+  let store, _import = build_store ~doc case.physical in
+  check_swizzle_built ~store case
+
 (* --- shrinking ------------------------------------------------------------ *)
 
 (* Move one dimension of the case toward the default / a smaller input.
@@ -266,13 +318,13 @@ let shrink_candidates case =
   in
   path_shrinks @ fidelity_shrinks @ phys_shrinks @ cfg_shrinks
 
-let shrink ?(budget = 120) case =
+let shrink_with ~check ?(budget = 120) case =
   let budget = ref budget in
   let still_fails c =
     !budget > 0
     &&
     (decr budget;
-     match check_case c with _ :: _ -> true | [] | (exception _) -> false)
+     match check c with _ :: _ -> true | [] | (exception _) -> false)
   in
   let rec improve case =
     match List.find_opt still_fails (shrink_candidates case) with
@@ -280,6 +332,8 @@ let shrink ?(budget = 120) case =
     | None -> case
   in
   improve case
+
+let shrink ?budget case = shrink_with ~check:check_case ?budget case
 
 (* --- reporting ------------------------------------------------------------ *)
 
@@ -320,7 +374,10 @@ type report = { cases_run : int; plan_runs : int; failures : failure list }
 
 let default_seed = 20050614
 
-let run ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(log = ignore) () =
+(* Shared sampling loop: [check_one] evaluates a case against the store,
+   [runs_of] counts the plan executions it performs (for the report), and
+   [shrink_check] is the per-case predicate driving shrinking. *)
+let run_tier ~check_one ~runs_of ~shrink_check ~seed ~cases ~paths_per_store ~log =
   let prng = Prng.create seed in
   let cases_run = ref 0 in
   let plan_runs = ref 0 in
@@ -336,14 +393,14 @@ let run ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(log = ign
     for _ = 1 to batch do
       let case = sample_case prng ~doc_seed ~fidelity ~physical ~tags in
       incr cases_run;
-      plan_runs := !plan_runs + List.length (plans_for case) + 2;
-      match check_built ~doc ~store ~import case with
+      plan_runs := !plan_runs + runs_of case;
+      match check_one ~doc ~store ~import case with
       | [] -> ()
       | mismatches ->
         log
           (Format.asprintf "MISMATCH (%s): %s" (List.hd mismatches).plan
              (reproducer case));
-        let shrunk = shrink case in
+        let shrunk = shrink_with ~check:shrink_check case in
         log (Printf.sprintf "shrunk reproducer: %s" (reproducer shrunk));
         failures := { case; shrunk; mismatches } :: !failures
     done;
@@ -352,3 +409,14 @@ let run ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(log = ign
              (List.length !failures))
   done;
   { cases_run = !cases_run; plan_runs = !plan_runs; failures = List.rev !failures }
+
+let run ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(log = ignore) () =
+  run_tier ~check_one:check_built
+    ~runs_of:(fun case -> List.length (plans_for case) + 2)
+    ~shrink_check:check_case ~seed ~cases ~paths_per_store ~log
+
+let run_swizzle ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(log = ignore) () =
+  run_tier
+    ~check_one:(fun ~doc:_ ~store ~import:_ case -> check_swizzle_built ~store case)
+    ~runs_of:(fun case -> 2 * List.length (plans_for case))
+    ~shrink_check:check_swizzle_case ~seed ~cases ~paths_per_store ~log

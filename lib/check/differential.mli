@@ -45,6 +45,14 @@ val check_case : case -> mismatch list
     reference evaluator. Returns one entry per disagreeing (or raising)
     plan; [[]] means the case passes. *)
 
+val check_swizzle_case : case -> mismatch list
+(** Differential check of the swizzling layer itself: build the case's
+    store and run every plan twice — decode cache forced on, then forced
+    off — asserting identical result node ids, identical
+    [q_enqueued]/[q_served] scheduling counters, and zero cache hits in
+    the unswizzled run. A non-empty result means the cache changed plan
+    semantics. *)
+
 val shrink : ?budget:int -> case -> case
 (** Greedily simplify a failing case — drop path steps, lower fidelity,
     move the physical configuration and run parameters toward defaults —
@@ -74,3 +82,13 @@ val run :
     and stores are shared across [paths_per_store] consecutive cases
     (default 8) to keep generation cost bounded; plans always run cold.
     [log] receives progress lines and reproducers for any failures. *)
+
+val run_swizzle :
+  ?seed:int ->
+  ?cases:int ->
+  ?paths_per_store:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  report
+(** Like {!run} but applying {!check_swizzle_case}'s swizzled/unswizzled
+    comparison to every sampled case (two executions per plan). *)

@@ -33,6 +33,8 @@ type counters = {
   mutable results_emitted : int;
   mutable dedup_hits : int;
   mutable prefetch_refusals : int;
+  mutable swizzle_hits : int;
+  mutable swizzle_misses : int;
 }
 
 type t = {
@@ -66,6 +68,8 @@ let create ?(config = default_config) store =
         results_emitted = 0;
         dedup_hits = 0;
         prefetch_refusals = 0;
+        swizzle_hits = 0;
+        swizzle_misses = 0;
       };
   }
 

@@ -61,6 +61,10 @@ type counters = {
   mutable prefetch_refusals : int;
       (** Cluster prefetches the buffer refused (every frame pinned);
           retried by XSchedule's dispatch loop. *)
+  mutable swizzle_hits : int;
+      (** Decoded-record cache hits in the run's swizzled views (filled
+          from {!Xnav_store.Store.swizzle_stats} deltas by the driver). *)
+  mutable swizzle_misses : int;  (** Cache misses (first decode of a slot). *)
 }
 
 type t = {

@@ -24,7 +24,11 @@ type metrics = {
   specs_resolved : int;
   s_peak : int;
   q_peak : int;
+  q_enqueued : int;
+  q_served : int;
   clusters_visited : int;
+  swizzle_hits : int;
+  swizzle_misses : int;
   fell_back : bool;
 }
 
@@ -90,15 +94,25 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
   let disk_before = Disk.stats disk in
   let io_before = Disk.elapsed disk in
   let buf_before = Buffer_manager.stats buffer in
+  let swiz_hits_before, swiz_misses_before = Store.swizzle_stats store in
   let cpu_before = Sys.time () in
 
   let next, xschedule, xscan = pipeline ctx store path plan contexts in
+  let out = Vec.create () in
   let drain next =
-    let rec go acc = match next () with None -> List.rev acc | Some info -> go (info :: acc) in
-    go []
+    let rec go () =
+      match next () with
+      | None -> ()
+      | Some info ->
+        Vec.push out info;
+        go ()
+    in
+    go ()
   in
-  let nodes, restarted =
-    try (drain next, false)
+  let restarted =
+    try
+      drain next;
+      false
     with Buffer_manager.Buffer_full when Context.fallback ctx ->
       (* After a fallback the XSteps re-navigate globally, which needs a
          free buffer frame — but the I/O operator still pins its current
@@ -108,50 +122,54 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
          prescribes. *)
       Option.iter Xschedule.abandon xschedule;
       Option.iter Xscan.abandon xscan;
-      (drain (let p, _, _ = pipeline ctx store path Plan.simple contexts in p), true)
+      Vec.clear out;
+      drain (let p, _, _ = pipeline ctx store path Plan.simple contexts in p);
+      true
   in
 
   let cpu_time = Sys.time () -. cpu_before in
   let io_time = Disk.elapsed disk -. io_before in
   let disk_after = Disk.stats disk in
   let buf_after = Buffer_manager.stats buffer in
+  let swiz_hits_after, swiz_misses_after = Store.swizzle_stats store in
+  let c = ctx.Context.counters in
+  c.Context.swizzle_hits <- swiz_hits_after - swiz_hits_before;
+  c.Context.swizzle_misses <- swiz_misses_after - swiz_misses_before;
   let pinned = Buffer_manager.pinned_count buffer in
   if pinned <> 0 then failwith (Printf.sprintf "Exec.run: %d pages left pinned" pinned);
 
   (* Final duplicate elimination (reordered plans are already
      duplicate-free through R, but the Simple method needs it, Sec. 5.1)
-     and re-established document order (Sec. 5.5). *)
-  let nodes =
-    let seen = Node_id.Tbl.create 256 in
-    List.filter
-      (fun (i : Store.info) ->
-        if Node_id.Tbl.mem seen i.id then false
-        else begin
-          Node_id.Tbl.replace seen i.id ();
-          true
-        end)
-      nodes
-  in
-  let nodes =
-    if ordered then
-      List.sort (fun (a : Store.info) b -> Ordpath.compare a.ordpath b.ordpath) nodes
-    else nodes
-  in
+     and re-established document order (Sec. 5.5) — one dedup pass into
+     a flat array, one in-place sort. *)
+  let seen = Node_id.Tbl.create (max 16 (Vec.length out)) in
+  let distinct = Vec.create () in
+  Vec.iter
+    (fun (i : Store.info) ->
+      if not (Node_id.Tbl.mem seen i.id) then begin
+        Node_id.Tbl.replace seen i.id ();
+        Vec.push distinct i
+      end)
+    out;
+  if ordered then
+    Vec.sort (fun (a : Store.info) b -> Ordpath.compare a.ordpath b.ordpath) distinct;
+  let count = Vec.length distinct in
+  let nodes = Vec.to_list distinct in
+
   if config.Context.validate then begin
     (* Result conservation only applies when XAssembly produced the
        final answer — not after a restart, which leaves its counters at
        the aborted attempt's values. *)
     let results =
       match (plan, restarted) with
-      | Plan.Reordered _, false -> Some (List.length nodes)
+      | Plan.Reordered _, false -> Some count
       | _ -> None
     in
     Invariant.enforce ?xschedule ?results ctx
   end;
-  let c = ctx.Context.counters in
   {
     nodes;
-    count = List.length nodes;
+    count;
     metrics =
       {
         io_time;
@@ -172,7 +190,11 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
         specs_resolved = c.Context.specs_resolved;
         s_peak = c.Context.s_peak;
         q_peak = c.Context.q_peak;
+        q_enqueued = c.Context.q_enqueued;
+        q_served = c.Context.q_served;
         clusters_visited = c.Context.clusters_visited;
+        swizzle_hits = c.Context.swizzle_hits;
+        swizzle_misses = c.Context.swizzle_misses;
         fell_back = Context.fallback ctx;
       };
   }
@@ -215,15 +237,23 @@ let cold_run ?config ?contexts ?trace ?ordered store path plan =
   Disk.reset_clock (Buffer_manager.disk buffer);
   run ?config ?contexts ?trace ?ordered store path plan
 
+let swizzle_hit_rate m =
+  let touched = m.swizzle_hits + m.swizzle_misses in
+  if touched = 0 then 0.0 else float_of_int m.swizzle_hits /. float_of_int touched
+
 let pp_metrics ppf m =
   Format.fprintf ppf
     "@[<v>total %.4fs (io %.4fs, cpu %.4fs)@,\
      reads %d (seq %d, rnd %d, seek-dist %d), async %d@,\
      buffer: lookups %d hits %d misses %d@,\
      instances %d crossings %d specs %d/%d/%d (S peak %d, Q peak %d)@,\
+     queue: enqueued %d served %d@,\
+     swizzle: hits %d misses %d (%.0f%% hit rate)@,\
      clusters visited %d%s@]"
     m.total_time m.io_time m.cpu_time m.page_reads m.sequential_reads m.random_reads
     m.seek_distance m.async_reads m.buffer_lookups m.buffer_hits m.buffer_misses m.instances
     m.crossings m.specs_created m.specs_stored m.specs_resolved m.s_peak m.q_peak
+    m.q_enqueued m.q_served m.swizzle_hits m.swizzle_misses
+    (100. *. swizzle_hit_rate m)
     m.clusters_visited
     (if m.fell_back then " [fell back]" else "")

@@ -27,9 +27,17 @@ type metrics = {
   specs_resolved : int;
   s_peak : int;
   q_peak : int;
+  q_enqueued : int;  (** Items that entered XSchedule's queue [Q]. *)
+  q_served : int;  (** Items drained from [Q] into an agenda. *)
   clusters_visited : int;
+  swizzle_hits : int;  (** Swizzled decode-cache hits during the run. *)
+  swizzle_misses : int;  (** First-decode misses (and post-update refills). *)
   fell_back : bool;
 }
+
+val swizzle_hit_rate : metrics -> float
+(** [swizzle_hits / (swizzle_hits + swizzle_misses)], 0 when no view was
+    touched (e.g. the Simple plan, which never swizzles). *)
 
 type result = {
   nodes : Xnav_store.Store.info list;

@@ -19,7 +19,7 @@ type lane = {
   path : Xnav_xpath.Path.t;
   stream : Exec.stream;
   seen : unit Node_id.Tbl.t;
-  mutable nodes : Store.info list;  (* reversed *)
+  nodes : Store.info Vec.t;  (* arrival order *)
   mutable live : bool;
   mutable recompute : bool;  (* stream wedged post-fallback; redo with Simple *)
 }
@@ -43,7 +43,7 @@ let run ?config ?contexts ?(ordered = true) ~cold store queries =
              path;
              stream = Exec.prepare ?config ?contexts store path plan;
              seen = Node_id.Tbl.create 64;
-             nodes = [];
+             nodes = Vec.create ();
              live = true;
              recompute = false;
            })
@@ -61,7 +61,7 @@ let run ?config ?contexts ?(ordered = true) ~cold store queries =
           | Some info ->
             if not (Node_id.Tbl.mem lane.seen info.Store.id) then begin
               Node_id.Tbl.replace lane.seen info.Store.id ();
-              lane.nodes <- info :: lane.nodes
+              Vec.push lane.nodes info
             end
           | exception Buffer_manager.Buffer_full when Exec.stream_fell_back lane.stream ->
             (* Post-fallback the lane navigates globally while its I/O
@@ -79,7 +79,8 @@ let run ?config ?contexts ?(ordered = true) ~cold store queries =
     (fun lane ->
       if lane.recompute then begin
         let r = Exec.run ?config ?contexts ~ordered:false store lane.path Plan.simple in
-        lane.nodes <- List.rev r.Exec.nodes
+        Vec.clear lane.nodes;
+        List.iter (Vec.push lane.nodes) r.Exec.nodes
       end)
     lanes;
   let cpu_time = Sys.time () -. cpu_before in
@@ -88,12 +89,14 @@ let run ?config ?contexts ?(ordered = true) ~cold store queries =
   let pinned = Buffer_manager.pinned_count buffer in
   if pinned <> 0 then failwith (Printf.sprintf "Interleave.run: %d pages left pinned" pinned);
   let finish lane =
+    let count = Vec.length lane.nodes in
     let nodes =
       if ordered then
-        List.sort (fun (a : Store.info) b -> Ordpath.compare a.ordpath b.ordpath) lane.nodes
-      else List.rev lane.nodes
+        Vec.sorted_to_list (fun (a : Store.info) b -> Ordpath.compare a.ordpath b.ordpath)
+          lane.nodes
+      else Vec.to_list lane.nodes
     in
-    { count = List.length nodes; nodes; fell_back = Exec.stream_fell_back lane.stream }
+    { count; nodes; fell_back = Exec.stream_fell_back lane.stream }
   in
   {
     queries = Array.map finish lanes;

@@ -47,9 +47,15 @@ let post_run ?xschedule ?results ctx =
       ("results_emitted", c.Context.results_emitted);
       ("dedup_hits", c.Context.dedup_hits);
       ("prefetch_refusals", c.Context.prefetch_refusals);
+      ("swizzle_hits", c.Context.swizzle_hits);
+      ("swizzle_misses", c.Context.swizzle_misses);
     ]
   in
   List.iter (fun (name, v) -> if v < 0 then fail "counter %s is negative (%d)" name v) non_negative;
+  (* With the fast path disabled every view access must bypass the
+     decode cache: a hit would mean a swizzled handle was consulted. *)
+  if (not (Store.swizzling ctx.Context.store)) && c.Context.swizzle_hits > 0 then
+    fail "swizzle: %d cache hits recorded while swizzling is off" c.Context.swizzle_hits;
   (* Speculations are discharged from S, so each resolution must have a
      matching store. (specs_created counts seeds, which fan out through
      the XStep chain — it bounds neither stored nor resolved.) *)

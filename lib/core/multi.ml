@@ -26,7 +26,7 @@ type lane = {
   dslash : bool;
   feed : Path_instance.t Queue.t;
   top : unit -> Store.info option;
-  mutable nodes : Store.info list;  (* reversed *)
+  nodes : Store.info Vec.t;  (* arrival order *)
 }
 
 let make_lane ?config store ~context_is_root path =
@@ -45,14 +45,14 @@ let make_lane ?config store ~context_is_root path =
     |> fst
   in
   let top = Xassembly.create ctx ~path_len ~xschedule:None ~dslash chain in
-  { ctx; path; path_len; dslash; feed; top; nodes = [] }
+  { ctx; path; path_len; dslash; feed; top; nodes = Vec.create () }
 
 let drain lane =
   let rec go () =
     match lane.top () with
     | None -> ()
     | Some info ->
-      lane.nodes <- info :: lane.nodes;
+      Vec.push lane.nodes info;
       go ()
   in
   go ()
@@ -152,7 +152,8 @@ let run ?config ?contexts ?(ordered = true) ~cold store paths =
     (fun i lane ->
       if fell_back.(i) then begin
         let r = Exec.run ?config ~contexts ~ordered:false store lane.path Plan.simple in
-        lane.nodes <- r.Exec.nodes
+        Vec.clear lane.nodes;
+        List.iter (Vec.push lane.nodes) r.Exec.nodes
       end)
     lanes;
 
@@ -161,10 +162,10 @@ let run ?config ?contexts ?(ordered = true) ~cold store paths =
   let disk_after = Disk.stats disk in
   let finish lane =
     (* XAssembly already deduplicates; Simple-recomputed lanes were
-       deduplicated by Exec. *)
+       deduplicated by Exec. One in-place sort per lane. *)
     if ordered then
-      List.sort (fun (a : Store.info) b -> Ordpath.compare a.ordpath b.ordpath) lane.nodes
-    else List.rev lane.nodes
+      Vec.sorted_to_list (fun (a : Store.info) b -> Ordpath.compare a.ordpath b.ordpath) lane.nodes
+    else Vec.to_list lane.nodes
   in
   let per_path = Array.map finish lanes in
   {

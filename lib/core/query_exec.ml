@@ -94,28 +94,25 @@ let run ?(choice = Compile.Auto) ?config ?contexts ?(ordered = true) ~cold store
   in
 
   let all = List.concat_map run_branch query in
-  (* Union merge: deduplicate and materialise infos. *)
+  (* Union merge: deduplicate into a flat buffer, one final sort. *)
   let seen = Node_id.Tbl.create 256 in
-  let nodes =
-    List.filter_map
-      (fun id ->
-        if Node_id.Tbl.mem seen id then None
-        else begin
-          Node_id.Tbl.replace seen id ();
-          Some (Store.info store id)
-        end)
-      all
-  in
-  let nodes =
-    if ordered then
-      List.sort (fun (a : Store.info) b -> Ordpath.compare a.ordpath b.ordpath) nodes
-    else nodes
-  in
+  let distinct = Vec.create () in
+  List.iter
+    (fun id ->
+      if not (Node_id.Tbl.mem seen id) then begin
+        Node_id.Tbl.replace seen id ();
+        Vec.push distinct (Store.info store id)
+      end)
+    all;
+  if ordered then
+    Vec.sort (fun (a : Store.info) b -> Ordpath.compare a.ordpath b.ordpath) distinct;
+  let count = Vec.length distinct in
+  let nodes = Vec.to_list distinct in
   let cpu_time = Sys.time () -. cpu_before in
   let io_time = Disk.elapsed disk -. io_before in
   {
     nodes;
-    count = List.length nodes;
+    count;
     io_time;
     cpu_time;
     total_time = io_time +. cpu_time;

@@ -1,0 +1,50 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length v = v.len
+
+let clear v =
+  (* Keep the storage: the point of the buffer is reuse across drains. *)
+  v.len <- 0
+
+let push v x =
+  let cap = Array.length v.data in
+  if v.len = cap then begin
+    let grown = Array.make (if cap = 0 then 16 else 2 * cap) x in
+    Array.blit v.data 0 grown 0 v.len;
+    v.data <- grown
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get: index out of bounds";
+  v.data.(i)
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let to_array v = Array.sub v.data 0 v.len
+
+let to_list v =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (v.data.(i) :: acc) in
+  go (v.len - 1) []
+
+let of_list xs =
+  let v = create () in
+  List.iter (push v) xs;
+  v
+
+(* Sort the live prefix in place (a single final sort replaces the
+   list-sort-per-drain pattern in the executors). *)
+let sort cmp v = Array.sort cmp (if v.len = Array.length v.data then v.data else (
+  let exact = Array.sub v.data 0 v.len in
+  v.data <- exact;
+  exact))
+
+let sorted_to_list cmp v =
+  sort cmp v;
+  to_list v

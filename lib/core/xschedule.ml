@@ -233,8 +233,15 @@ let rec next t =
             else begin
               (* Items remain but have no pending I/O: their clusters are
                  resident (or were evicted meanwhile, or their prefetch
-                 was refused); serve one directly. *)
-              match Hashtbl.fold (fun pid _ _ -> Some pid) t.queue None with
+                 was refused); serve the smallest pending page id so the
+                 pick — and with it the I/O trace — is independent of
+                 hash-table iteration order. *)
+              match
+                Hashtbl.fold
+                  (fun pid _ best ->
+                    match best with Some b when b < pid -> best | _ -> Some pid)
+                  t.queue None
+              with
               | Some pid -> begin
                 match Store.view t.ctx.Context.store pid with
                 | view ->

@@ -50,6 +50,13 @@ let get page slot =
   if offset = free_sentinel then invalid_arg (Printf.sprintf "Page.get: slot %d is free" slot);
   Bytes.sub_string page.bytes offset (slot_length page slot)
 
+let record_byte page slot =
+  check_slot page slot;
+  let offset = slot_offset page slot in
+  if offset = free_sentinel then
+    invalid_arg (Printf.sprintf "Page.record_byte: slot %d is free" slot);
+  Bytes.get page.bytes offset
+
 let iter f page =
   for slot = 0 to slot_count page - 1 do
     if slot_offset page slot <> free_sentinel then f slot (get page slot)

@@ -51,6 +51,13 @@ val get : t -> int -> string
 val mem : t -> int -> bool
 (** Whether the slot number holds a live record. *)
 
+val record_byte : t -> int -> char
+(** [record_byte page slot] is the first byte of the record in [slot],
+    read in place — no copy. Record codecs put their discriminator
+    there, so this answers "what kind of record?" without materialising
+    the record (hot path: border scans over whole clusters).
+    @raise Invalid_argument if the slot is out of range or free. *)
+
 val delete : t -> int -> unit
 (** Frees a slot. The space is reclaimed lazily by {!compact}.
     @raise Invalid_argument if the slot is out of range or already free. *)

@@ -10,8 +10,18 @@ type t = {
   mutable node_count : int;
   height : int;
   tag_counts : (Xnav_xml.Tag.t * int) list;
+  tag_table : (Xnav_xml.Tag.t, int) Hashtbl.t;
   doc_stats : Doc_stats.t option;
+  mutable swizzle : bool;
+  mutable mutations : int;
+  mutable swizzle_hits : int;
+  mutable swizzle_misses : int;
 }
+
+let tag_table_of tag_counts =
+  let table = Hashtbl.create (max 16 (2 * List.length tag_counts)) in
+  List.iter (fun (tag, n) -> Hashtbl.replace table tag n) tag_counts;
+  table
 
 let attach buffer (import : Import.result) =
   {
@@ -22,11 +32,30 @@ let attach buffer (import : Import.result) =
     node_count = import.node_count;
     height = import.height;
     tag_counts = import.tag_counts;
+    tag_table = tag_table_of import.tag_counts;
     doc_stats = Some import.stats;
+    swizzle = true;
+    mutations = 0;
+    swizzle_hits = 0;
+    swizzle_misses = 0;
   }
 
 let attach_meta ?doc_stats buffer ~root ~first_page ~page_count ~node_count ~height ~tag_counts =
-  { buffer; root; first_page; page_count; node_count; height; tag_counts; doc_stats }
+  {
+    buffer;
+    root;
+    first_page;
+    page_count;
+    node_count;
+    height;
+    tag_counts;
+    tag_table = tag_table_of tag_counts;
+    doc_stats;
+    swizzle = true;
+    mutations = 0;
+    swizzle_hits = 0;
+    swizzle_misses = 0;
+  }
 
 let buffer t = t.buffer
 let root t = t.root
@@ -40,35 +69,110 @@ let doc_stats t = t.doc_stats
 (* Bookkeeping hooks for the update layer. *)
 let note_new_page t = t.page_count <- t.page_count + 1
 let note_nodes_delta t delta = t.node_count <- t.node_count + delta
+let note_mutation t = t.mutations <- t.mutations + 1
+
+let set_swizzling t on = t.swizzle <- on
+let swizzling t = t.swizzle
+let swizzle_stats t = (t.swizzle_hits, t.swizzle_misses)
 
 let tag_count t tag =
-  match List.assoc_opt tag t.tag_counts with Some n -> n | None -> 0
+  match Hashtbl.find_opt t.tag_table tag with Some n -> n | None -> 0
 
 (* --- Views ------------------------------------------------------------ *)
 
-type view = { pid : int; frame : Buffer_manager.frame; page : Page.t }
+(* A view is the swizzled representation of a pinned cluster: alongside
+   the frame it carries a per-slot cache of decoded records, so repeated
+   navigation over the page (cursor re-walks, speculative seeds, the
+   XStep chain) never re-enters the record codec. The cache is dropped
+   when the store mutates ([stamp] falls behind [mutations]) and the
+   whole view dies on {!release} — a swizzled handle must not survive
+   its pin. *)
+type view = {
+  pid : int;
+  frame : Buffer_manager.frame;
+  page : Page.t;
+  owner : t;
+  cache : Node_record.t option array;  (* [||] when swizzling is off *)
+  mutable stamp : int;
+  mutable live : bool;
+}
 
-let view t pid =
-  let frame = Buffer_manager.fix t.buffer pid in
-  { pid; frame; page = Buffer_manager.page frame }
+let make_view t frame =
+  let page = Buffer_manager.page frame in
+  let cache = if t.swizzle then Array.make (Page.slot_count page) None else [||] in
+  {
+    pid = Buffer_manager.frame_pid frame;
+    frame;
+    page;
+    owner = t;
+    cache;
+    stamp = t.mutations;
+    live = true;
+  }
 
-let view_of_frame _t frame =
-  { pid = Buffer_manager.frame_pid frame; frame; page = Buffer_manager.page frame }
+let view t pid = make_view t (Buffer_manager.fix t.buffer pid)
+let view_of_frame t frame = make_view t frame
 
-let release t v = Buffer_manager.unfix t.buffer v.frame
+let release t v =
+  if not v.live then invalid_arg "Store.release: view already released";
+  v.live <- false;
+  Buffer_manager.unfix t.buffer v.frame
+
+let view_valid v = v.live
 let view_pid v = v.pid
-let get v slot = Node_record.decode (Page.get v.page slot)
+
+let check_live v =
+  if not v.live then
+    invalid_arg (Printf.sprintf "Store: swizzled view of page %d used after release" v.pid)
+
+let get v slot =
+  check_live v;
+  let t = v.owner in
+  if not t.swizzle then Node_record.decode (Page.get v.page slot)
+  else begin
+    if v.stamp <> t.mutations then begin
+      (* The store changed under the pin: drop every cached decode (the
+         page bytes themselves are write-through, so a re-decode sees
+         the updated record). *)
+      Array.fill v.cache 0 (Array.length v.cache) None;
+      v.stamp <- t.mutations
+    end;
+    if slot >= 0 && slot < Array.length v.cache then begin
+      match v.cache.(slot) with
+      | Some record ->
+        t.swizzle_hits <- t.swizzle_hits + 1;
+        record
+      | None ->
+        let record = Node_record.decode (Page.get v.page slot) in
+        t.swizzle_misses <- t.swizzle_misses + 1;
+        v.cache.(slot) <- Some record;
+        record
+    end
+    else begin
+      (* Slots appended after the view was built: decode uncached. *)
+      t.swizzle_misses <- t.swizzle_misses + 1;
+      Node_record.decode (Page.get v.page slot)
+    end
+  end
+
 let id_of v slot = Node_id.make ~pid:v.pid ~slot
 
 let iter_records v f =
+  check_live v;
   Page.iter (fun slot encoded -> f slot (Node_record.decode encoded)) v.page
 
 let up_slots v =
+  check_live v;
+  (* Discriminator peek only — copying every record out of the page just
+     to look at byte 0 dominated the scan profile. *)
   let acc = ref [] in
-  Page.iter
-    (fun slot record -> if record.[0] = '\002' || record.[0] = '\003' then acc := slot :: !acc)
-    v.page;
-  List.rev !acc
+  for slot = Page.slot_count v.page - 1 downto 0 do
+    if Page.mem v.page slot then
+      match Page.record_byte v.page slot with
+      | '\002' | '\003' -> acc := slot :: !acc
+      | _ -> ()
+  done;
+  !acc
 
 (* --- Intra-cluster cursors --------------------------------------------- *)
 
@@ -137,8 +241,14 @@ let rec next_emission cursor =
   | T_chain (Some slot, descend) :: rest -> begin
     match get cursor.view slot with
     | Node_record.Core core ->
-      cursor.agenda <- T_node (slot, core, descend) :: T_chain (core.next_sibling, descend) :: rest;
-      next_emission cursor
+      (* Emit directly instead of re-queuing a T_node: preorder means
+         self, then subtree, then next sibling, so the follow-up agenda
+         is known right here. *)
+      cursor.agenda <-
+        (if descend then
+           T_chain (core.first_child, true) :: T_chain (core.next_sibling, true) :: rest
+         else T_chain (core.next_sibling, false) :: rest);
+      Some (Reached (slot, core))
     | Node_record.Down down ->
       cursor.agenda <- T_chain (down.next_sibling, descend) :: rest;
       Some (Crossing (slot, down.target))

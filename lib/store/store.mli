@@ -55,8 +55,9 @@ val doc_stats : t -> Doc_stats.t option
 
 val tag_count : t -> Xnav_xml.Tag.t -> int
 (** Number of nodes carrying the tag (0 if absent) — selectivity input
-    for the cost-based plan chooser. Statistics are collected at import
-    time and are {e not} maintained by {!Update}; re-import to refresh. *)
+    for the cost-based plan chooser, answered from a hash table built at
+    attach time. Statistics are collected at import time and are {e not}
+    maintained by {!Update}; re-import to refresh. *)
 
 val note_new_page : t -> unit
 (** Registers a page appended after import (update layer only): extends
@@ -64,6 +65,22 @@ val note_new_page : t -> unit
 
 val note_nodes_delta : t -> int -> unit
 (** Adjusts the logical node count (update layer only). *)
+
+val note_mutation : t -> unit
+(** Registers a structural page mutation (update layer only): every
+    live view drops its swizzled decode cache before its next access. *)
+
+(** {2 Swizzling} *)
+
+val set_swizzling : t -> bool -> unit
+(** Toggle the swizzled fast path (default on). When off, every record
+    access through a view decodes from the page bytes — the pre-swizzle
+    regime, kept for differential testing and microbenches. *)
+
+val swizzling : t -> bool
+
+val swizzle_stats : t -> int * int
+(** Cumulative [(hits, misses)] of the per-view decode caches. *)
 
 (** {2 Views: pinned pages} *)
 
@@ -78,7 +95,12 @@ val view_of_frame : t -> Xnav_storage.Buffer_manager.frame -> view
     over the pin. *)
 
 val release : t -> view -> unit
-(** Unpin. The view and every cursor over it become invalid. *)
+(** Unpin. The view and every cursor over it become invalid: any later
+    record access through them raises — no swizzled handle survives its
+    pin. @raise Invalid_argument if the view was already released. *)
+
+val view_valid : view -> bool
+(** Whether the view's pin is still held (false after {!release}). *)
 
 val view_pid : view -> int
 

@@ -17,6 +17,9 @@ let with_page store pid f =
   let result = f page in
   Disk.write (Buffer_manager.disk buffer) pid (Page.to_bytes page);
   Buffer_manager.unfix buffer frame;
+  (* Live views must drop their swizzled decode caches: the page bytes
+     changed underneath them. *)
+  Store.note_mutation store;
   result
 
 let get_record = Store.read

@@ -238,6 +238,85 @@ let fallback_single_frame () =
       check Alcotest.bool (name ^ " fell back") true r.Exec.metrics.Exec.fell_back)
     [ ("xschedule", Plan.xschedule ()); ("xscan", Plan.xscan ()) ]
 
+(* --- swizzling ------------------------------------------------------------ *)
+
+(* The swizzle differential tier: every plan, decode cache forced on and
+   off, identical answers and identical queue counters. *)
+let swizzle_differential_sample () =
+  let r = Differential.run_swizzle ~cases:200 () in
+  check Alcotest.int "cases run" 200 r.Differential.cases_run;
+  let reproducers =
+    List.map (fun f -> Differential.reproducer f.Differential.shrunk) r.Differential.failures
+  in
+  check Alcotest.(list string) "swizzled and unswizzled runs agree" [] reproducers
+
+(* No swizzled handle survives its pin: every view access after release
+   must raise, whether the cache is on or off. *)
+let view_dies_on_release () =
+  let tree = doc () in
+  List.iter
+    (fun swizzle ->
+      let store, _ =
+        build ~capacity:4 ~policy:Io_scheduler.Elevator ~replacement:Buffer_manager.Lru tree
+      in
+      Store.set_swizzling store swizzle;
+      let label fmt = Printf.sprintf (format_of_string fmt) (if swizzle then "on" else "off") in
+      let v = Store.view store (Store.first_page store) in
+      check Alcotest.bool (label "view live while pinned (swizzle %s)") true (Store.view_valid v);
+      ignore (Store.get v 0);
+      Store.release store v;
+      check Alcotest.bool (label "view dead after release (swizzle %s)") false (Store.view_valid v);
+      let raises f =
+        match f () with
+        | () -> false
+        | exception Invalid_argument _ -> true
+      in
+      check Alcotest.bool
+        (label "get after release raises (swizzle %s)")
+        true
+        (raises (fun () -> ignore (Store.get v 0)));
+      check Alcotest.bool
+        (label "up_slots after release raises (swizzle %s)")
+        true
+        (raises (fun () -> ignore (Store.up_slots v)));
+      check Alcotest.bool
+        (label "double release raises (swizzle %s)")
+        true
+        (raises (fun () -> Store.release store v)))
+    [ true; false ]
+
+(* XSchedule's direct-serve pick (queued items whose cluster has no
+   pending I/O) is the smallest pending page id, so the physical read
+   order — the I/O trace — is a pure function of the inputs. Pre-fix the
+   pick came from hash-table iteration order. *)
+let xschedule_trace_is_stable () =
+  let tree = doc () in
+  let run_trace store path config =
+    let disk = Buffer_manager.disk (Store.buffer store) in
+    Disk.set_trace disk true;
+    let r = Exec.cold_run ~config store path (Plan.xschedule ()) in
+    (got_ids r, Disk.trace disk)
+  in
+  let path = Xpath_parser.parse "/child::*/child::x" in
+  let config = { validating with Context.k = 2 } in
+  let store, import =
+    build ~capacity:2 ~policy:Io_scheduler.Elevator ~replacement:Buffer_manager.Lru tree
+  in
+  let ids1, trace1 = run_trace store path config in
+  let ids2, trace2 = run_trace store path config in
+  check id_list "answers match the reference" (expected_ids tree import path) ids1;
+  check id_list "repeated cold runs agree" ids1 ids2;
+  check Alcotest.bool "trace is non-trivial" true (List.length trace1 > 2);
+  check Alcotest.(list int) "same store: identical I/O trace" trace1 trace2;
+  (* An independently built identical store must replay the same trace:
+     nothing about the pick depends on table internals or allocation
+     history. *)
+  let store', _ =
+    build ~capacity:2 ~policy:Io_scheduler.Elevator ~replacement:Buffer_manager.Lru tree
+  in
+  let _, trace3 = run_trace store' path config in
+  check Alcotest.(list int) "fresh store: identical I/O trace" trace1 trace3
+
 let suite =
   [
     ( "differential",
@@ -247,6 +326,14 @@ let suite =
         Alcotest.test_case "shrinking a passing case is the identity" `Quick shrink_is_stable;
         Alcotest.test_case "reproducer paths round-trip through the parser" `Quick
           reproducer_round_trips;
+      ] );
+    ( "swizzling",
+      [
+        Alcotest.test_case "200 sampled cases: swizzling on/off is observationally equal" `Slow
+          swizzle_differential_sample;
+        Alcotest.test_case "no swizzled handle survives an unpin" `Quick view_dies_on_release;
+        Alcotest.test_case "xschedule direct-serve pick yields a stable I/O trace" `Quick
+          xschedule_trace_is_stable;
       ] );
     ( "scheduler regressions",
       [
