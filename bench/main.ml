@@ -93,6 +93,11 @@ let zero_metrics =
     buffer_hits = 0;
     buffer_misses = 0;
     async_reads = 0;
+    batched_reads = 0;
+    batch_pages = 0;
+    coalesce_runs = 0;
+    scan_windows = 0;
+    scan_window_pages = 0;
     instances = 0;
     crossings = 0;
     specs_created = 0;
@@ -121,6 +126,11 @@ let add_metrics (a : Exec.metrics) (b : Exec.metrics) =
     buffer_hits = a.Exec.buffer_hits + b.Exec.buffer_hits;
     buffer_misses = a.Exec.buffer_misses + b.Exec.buffer_misses;
     async_reads = a.Exec.async_reads + b.Exec.async_reads;
+    batched_reads = a.Exec.batched_reads + b.Exec.batched_reads;
+    batch_pages = a.Exec.batch_pages + b.Exec.batch_pages;
+    coalesce_runs = a.Exec.coalesce_runs + b.Exec.coalesce_runs;
+    scan_windows = a.Exec.scan_windows + b.Exec.scan_windows;
+    scan_window_pages = a.Exec.scan_window_pages + b.Exec.scan_window_pages;
     instances = a.Exec.instances + b.Exec.instances;
     crossings = a.Exec.crossings + b.Exec.crossings;
     specs_created = a.Exec.specs_created + b.Exec.specs_created;
@@ -403,6 +413,42 @@ let ablation_sched cfg =
         (Io_scheduler.policy_to_string policy)
         io stats.Disk.seek_distance stats.Disk.random_reads)
     Io_scheduler.all_policies
+
+let ablation_batching cfg =
+  section_header
+    "Ablation: coalescing window x adaptive scan threshold (XSchedule, simulated io seconds)";
+  let store, _ = xmark_store cfg ~scale:1.0 in
+  let queries = [ Queries.q6'; Queries.q7; Queries.q15 ] in
+  Printf.printf "%-8s %-10s %10s %10s %10s %9s %9s %8s\n" "window" "threshold" "q6'[s]" "q7[s]"
+    "q15[s]" "batches" "pages" "windows";
+  List.iter
+    (fun coalesce_window ->
+      List.iter
+        (fun scan_threshold ->
+          let config =
+            {
+              Context.default_config with
+              Context.speculative = false;
+              coalesce_window;
+              scan_threshold;
+            }
+          in
+          let results =
+            List.map
+              (fun q -> run_query_full ~config store (Plan.xschedule ~speculative:false ()) q)
+              queries
+          in
+          let agg = List.fold_left (fun acc (_, m) -> add_metrics acc m) zero_metrics results in
+          let io i =
+            let _, m = List.nth results i in
+            m.Exec.io_time
+          in
+          Printf.printf "%-8d %-10s %10.4f %10.4f %10.4f %9d %9d %8d\n" coalesce_window
+            (if scan_threshold <= 0.0 then "off" else Printf.sprintf "%.2f" scan_threshold)
+            (io 0) (io 1) (io 2) agg.Exec.batched_reads agg.Exec.batch_pages
+            agg.Exec.scan_windows)
+        [ 0.0; 0.25; 0.5 ])
+    [ 0; 4; 16; 64 ]
 
 let ablation_clustering cfg =
   section_header "Ablation: clustering strategy (Q6', all plans)";
@@ -756,6 +802,11 @@ let metrics_fields count (m : Exec.metrics) =
     ("buffer_hits", string_of_int m.Exec.buffer_hits);
     ("buffer_misses", string_of_int m.Exec.buffer_misses);
     ("async_reads", string_of_int m.Exec.async_reads);
+    ("batched_reads", string_of_int m.Exec.batched_reads);
+    ("batch_pages", string_of_int m.Exec.batch_pages);
+    ("coalesce_runs", string_of_int m.Exec.coalesce_runs);
+    ("scan_windows", string_of_int m.Exec.scan_windows);
+    ("scan_window_pages", string_of_int m.Exec.scan_window_pages);
     ("instances", string_of_int m.Exec.instances);
     ("crossings", string_of_int m.Exec.crossings);
     ("specs_created", string_of_int m.Exec.specs_created);
@@ -845,7 +896,7 @@ let json_mode ~profile cfg out_file =
   let out =
     jobj
       [
-        ("schema", jstring "xnav-bench/1");
+        ("schema", jstring "xnav-bench/2");
         ("profile", jstring profile);
         ( "config",
           jobj
@@ -865,7 +916,221 @@ let json_mode ~profile cfg out_file =
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %d benchmark rows and %d micro rows to %s\n" (List.length !rows)
-    (List.length micro_rows) out_file
+    (List.length micro_rows) out_file;
+  out
+
+(* --- baseline comparison (--compare) ------------------------------------------ *)
+
+(* A minimal JSON reader, enough for the --json files this harness writes
+   itself (there is no JSON library in the tree). *)
+type jv =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of jv list
+  | Jobj of (string * jv) list
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Malformed (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        if !pos >= n then fail "unterminated escape";
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          if !pos + 4 >= n then fail "truncated unicode escape";
+          (match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+          | Some code when code < 128 -> Buffer.add_char b (Char.chr code)
+          | Some _ -> Buffer.add_char b '?'
+          | None -> fail "bad unicode escape");
+          pos := !pos + 4
+        | c -> fail (Printf.sprintf "bad escape '%c'" c));
+        incr pos;
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let keyword w v =
+    let l = String.length w in
+    if !pos + l <= n && String.sub s !pos l = w then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected '%s'" w)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Jobj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ((k, v) :: acc)
+          | Some '}' ->
+            incr pos;
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Jobj (members [])
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Jarr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            items (v :: acc)
+          | Some ']' ->
+            incr pos;
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Jarr (items [])
+      end
+    | Some 't' -> keyword "true" (Jbool true)
+    | Some 'f' -> keyword "false" (Jbool false)
+    | Some 'n' -> keyword "null" Jnull
+    | Some _ ->
+      let start = !pos in
+      while
+        !pos < n
+        && match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+      do
+        incr pos
+      done;
+      if !pos = start then fail "unexpected character";
+      (match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Jnum f
+      | None -> fail "bad number")
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let jget row key = match row with Jobj fields -> List.assoc_opt key fields | _ -> None
+let jnum_exn what v = match v with Some (Jnum f) -> f | _ -> raise (Malformed (what ^ ": expected a number"))
+let jstr_exn what v = match v with Some (Jstr s) -> s | _ -> raise (Malformed (what ^ ": expected a string"))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  contents
+
+let rows_of_json what j =
+  match jget j "rows" with
+  | Some (Jarr rows) -> rows
+  | _ -> raise (Malformed (what ^ ": no rows array"))
+
+(* Gate a fresh --json run against a committed baseline: every baseline
+   plan x query x scale row must reappear with the same result [count]
+   and a [total_time] no worse than [tolerance] (relative, with a small
+   absolute floor absorbing wall-clock jitter in the cpu_time component —
+   io_time is deterministic but total_time is not). Exits non-zero on any
+   regression so CI can gate on it. *)
+let compare_with_baseline ~tolerance current baseline_file =
+  let baseline = parse_json (String.trim (read_file baseline_file)) in
+  let base_rows = rows_of_json baseline_file baseline in
+  let current_rows = rows_of_json "current run" (parse_json (String.trim current)) in
+  let key row =
+    ( jstr_exn "row.query" (jget row "query"),
+      jstr_exn "row.plan" (jget row "plan"),
+      jnum_exn "row.scale" (jget row "scale") )
+  in
+  let floor_s = 0.02 in
+  let failures = ref 0 in
+  List.iter
+    (fun brow ->
+      let q, p, sc = key brow in
+      let label = Printf.sprintf "%s/%s/sf%.2f" q p sc in
+      match List.find_opt (fun crow -> key crow = (q, p, sc)) current_rows with
+      | None ->
+        incr failures;
+        Printf.printf "compare: %-28s missing from the current run\n" label
+      | Some crow ->
+        let bc = int_of_float (jnum_exn "row.count" (jget brow "count")) in
+        let cc = int_of_float (jnum_exn "row.count" (jget crow "count")) in
+        if bc <> cc then begin
+          incr failures;
+          Printf.printf "compare: %-28s result count changed %d -> %d\n" label bc cc
+        end
+        else begin
+          let bt = jnum_exn "row.total_time" (jget brow "total_time") in
+          let ct = jnum_exn "row.total_time" (jget crow "total_time") in
+          if ct > bt *. (1. +. tolerance) && ct -. bt > floor_s then begin
+            incr failures;
+            Printf.printf
+              "compare: %-28s total_time regressed %.4fs -> %.4fs (+%.0f%%, tolerance %.0f%%)\n"
+              label bt ct
+              (100. *. (ct -. bt) /. bt)
+              (100. *. tolerance)
+          end
+        end)
+    base_rows;
+  if !failures = 0 then
+    Printf.printf "compare: no regressions vs %s (%d rows, tolerance %.0f%%)\n" baseline_file
+      (List.length base_rows) (100. *. tolerance)
+  else begin
+    Printf.printf "compare: %d regression(s) vs %s\n" !failures baseline_file;
+    exit 1
+  end
 
 (* --- Bechamel microbenches ------------------------------------------------------ *)
 
@@ -967,6 +1232,7 @@ let sections cfg =
     ("table3", fun () -> table3 (Lazy.force sweep_data));
     ("abl-k", fun () -> ablation_k cfg);
     ("abl-sched", fun () -> ablation_sched cfg);
+    ("abl-batch", fun () -> ablation_batching cfg);
     ("abl-clust", fun () -> ablation_clustering cfg);
     ("abl-buf", fun () -> ablation_buffer cfg);
     ("abl-fb", fun () -> ablation_fallback cfg);
@@ -988,7 +1254,14 @@ let () =
     | [] -> None
   in
   let filter = find_value "--filter" args in
-  let json = find_value "--json" args in
+  let compare_file = find_value "--compare" args in
+  let json =
+    (* --compare needs a fresh run to compare; without an explicit --json
+       target the rows land in a scratch file. *)
+    match (find_value "--json" args, compare_file) with
+    | None, Some _ -> Some "bench-current.json"
+    | j, _ -> j
+  in
   if List.mem "micro" args then micro ()
   else begin
     let profile, cfg =
@@ -998,7 +1271,22 @@ let () =
     in
     match json with
     | Some out_file -> begin
-      try json_mode ~profile cfg out_file
+      try
+        let out = json_mode ~profile cfg out_file in
+        match compare_file with
+        | None -> ()
+        | Some baseline ->
+          let tolerance =
+            match find_value "--tolerance" args with
+            | Some t -> (
+              match float_of_string_opt t with
+              | Some f when f >= 0.0 -> f
+              | _ ->
+                Printf.eprintf "bench --tolerance: not a non-negative number: %s\n" t;
+                exit 1)
+            | None -> 0.25
+          in
+          compare_with_baseline ~tolerance out baseline
       with Malformed msg ->
         Printf.eprintf "bench --json: malformed output: %s\n" msg;
         exit 1

@@ -237,9 +237,46 @@ let query_cmd =
       & opt int 1_000_000
       & info [ "memory-budget" ] ~docv:"N" ~doc:"Max speculative instances before fallback.")
   in
-  let run path_str choice rewrite k budget verbose store =
+  let coalesce_window =
+    Arg.(
+      value
+      & opt int Context.default_config.Context.coalesce_window
+      & info [ "coalesce-window" ] ~docv:"N"
+          ~doc:"Max contiguous pages per coalesced async read (0 disables batching).")
+  in
+  let scan_threshold =
+    Arg.(
+      value
+      & opt float Context.default_config.Context.scan_threshold
+      & info [ "scan-threshold" ] ~docv:"F"
+          ~doc:"Visited-region density above which XSchedule streams ahead (<= 0 disables).")
+  in
+  let serve_policy =
+    let parse s =
+      match Context.serve_policy_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "unknown serve policy %S" s))
+    in
+    let print ppf p = Fmt.string ppf (Context.serve_policy_to_string p) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Context.default_config.Context.serve_policy
+      & info [ "serve-policy" ] ~docv:"POLICY"
+          ~doc:"How XSchedule picks the next queued cluster: min-pid or cost.")
+  in
+  let run path_str choice rewrite k budget coalesce_window serve_policy scan_threshold verbose
+      store =
     let query = Query.from_root_element (Xpath_parser.parse_query path_str) in
-    let config = { Context.default_config with Context.k; memory_budget = budget } in
+    let config =
+      {
+        Context.default_config with
+        Context.k;
+        memory_budget = budget;
+        coalesce_window;
+        serve_policy;
+        scan_threshold;
+      }
+    in
     let print_nodes nodes =
       if verbose then
         List.iter
@@ -270,8 +307,8 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate a location path or extended query with cost metrics.")
     Term.(
-      const run $ path_arg $ plan_choice $ rewrite_flag $ k_arg $ budget $ verbose
-      $ common_store_term)
+      const run $ path_arg $ plan_choice $ rewrite_flag $ k_arg $ budget $ coalesce_window
+      $ serve_policy $ scan_threshold $ verbose $ common_store_term)
 
 (* --- check ------------------------------------------------------------------------ *)
 

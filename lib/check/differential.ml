@@ -276,6 +276,68 @@ let check_swizzle_case case =
   let store, _import = build_store ~doc case.physical in
   check_swizzle_built ~store case
 
+(* --- batching tier -------------------------------------------------------- *)
+
+(* Coalesced reads, cost-sensitive queue serving and adaptive scan
+   windows reorder and batch physical I/O, but must not change what a
+   plan computes: with the knobs fully off (the historical single-page
+   regime) and fully on (the defaults), every plan must produce the same
+   result set — under the full invariant suite — and the off run must not
+   touch any batch path. *)
+let knobs_off config =
+  {
+    config with
+    Context.coalesce_window = 0;
+    serve_policy = Context.Serve_min_pid;
+    scan_threshold = 0.0;
+  }
+
+let knobs_on config =
+  {
+    config with
+    Context.coalesce_window = 16;
+    serve_policy = Context.Serve_cost;
+    scan_threshold = 0.5;
+  }
+
+let check_batching_built ~store case =
+  let config = context_config case in
+  let mismatches = ref [] in
+  let record plan detail = mismatches := { plan; detail } :: !mismatches in
+  List.iter
+    (fun (name, plan) ->
+      match
+        let off = Exec.cold_run ~config:(knobs_off config) store case.path plan in
+        let on = Exec.cold_run ~config:(knobs_on config) store case.path plan in
+        (off, on)
+      with
+      | off, on ->
+        let off_ids = ids_of off.Exec.nodes and on_ids = ids_of on.Exec.nodes in
+        if off_ids <> on_ids then
+          record name
+            (Format.asprintf "knobs off: %d nodes %a, knobs on: %d nodes %a"
+               (List.length off_ids) pp_ids off_ids (List.length on_ids) pp_ids on_ids);
+        let m = off.Exec.metrics in
+        if
+          m.Exec.batched_reads <> 0 || m.Exec.batch_pages <> 0 || m.Exec.coalesce_runs <> 0
+          || m.Exec.scan_windows <> 0
+          || m.Exec.scan_window_pages <> 0
+        then
+          record name
+            (Printf.sprintf
+               "knobs-off run touched the batch path: batches %d (%d pages, %d coalesced), \
+                windows %d (%d pages)"
+               m.Exec.batched_reads m.Exec.batch_pages m.Exec.coalesce_runs m.Exec.scan_windows
+               m.Exec.scan_window_pages)
+      | exception e -> record name (Printf.sprintf "raised %s" (Printexc.to_string e)))
+    (plans_for case);
+  List.rev !mismatches
+
+let check_batching_case case =
+  let doc = cached_document ~doc_seed:case.doc_seed ~fidelity:case.fidelity in
+  let store, _import = build_store ~doc case.physical in
+  check_batching_built ~store case
+
 (* --- shrinking ------------------------------------------------------------ *)
 
 (* Move one dimension of the case toward the default / a smaller input.
@@ -420,3 +482,9 @@ let run_swizzle ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(l
     ~check_one:(fun ~doc:_ ~store ~import:_ case -> check_swizzle_built ~store case)
     ~runs_of:(fun case -> 2 * List.length (plans_for case))
     ~shrink_check:check_swizzle_case ~seed ~cases ~paths_per_store ~log
+
+let run_batching ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(log = ignore) () =
+  run_tier
+    ~check_one:(fun ~doc:_ ~store ~import:_ case -> check_batching_built ~store case)
+    ~runs_of:(fun case -> 2 * List.length (plans_for case))
+    ~shrink_check:check_batching_case ~seed ~cases ~paths_per_store ~log

@@ -53,6 +53,14 @@ val check_swizzle_case : case -> mismatch list
     the unswizzled run. A non-empty result means the cache changed plan
     semantics. *)
 
+val check_batching_case : case -> mismatch list
+(** Differential check of the cost-sensitive I/O machinery: build the
+    case's store and run every plan twice — coalescing, cost-sensitive
+    serving and scan windows fully off (the historical single-page
+    regime), then fully on — asserting identical result node ids under
+    the full invariant suite, and that the knobs-off run left every
+    batch/window counter at zero. *)
+
 val shrink : ?budget:int -> case -> case
 (** Greedily simplify a failing case — drop path steps, lower fidelity,
     move the physical configuration and run parameters toward defaults —
@@ -91,4 +99,14 @@ val run_swizzle :
   unit ->
   report
 (** Like {!run} but applying {!check_swizzle_case}'s swizzled/unswizzled
+    comparison to every sampled case (two executions per plan). *)
+
+val run_batching :
+  ?seed:int ->
+  ?cases:int ->
+  ?paths_per_store:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  report
+(** Like {!run} but applying {!check_batching_case}'s knobs-off/knobs-on
     comparison to every sampled case (two executions per plan). *)

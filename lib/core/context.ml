@@ -1,9 +1,21 @@
+type serve_policy = Serve_min_pid | Serve_cost
+
+let serve_policy_of_string = function
+  | "min-pid" -> Some Serve_min_pid
+  | "cost" -> Some Serve_cost
+  | _ -> None
+
+let serve_policy_to_string = function Serve_min_pid -> "min-pid" | Serve_cost -> "cost"
+
 type config = {
   k : int;
   speculative : bool;
   memory_budget : int;
   dedup_intermediate : bool;
   validate : bool;
+  coalesce_window : int;
+  serve_policy : serve_policy;
+  scan_threshold : float;
 }
 
 let default_config =
@@ -13,6 +25,9 @@ let default_config =
     memory_budget = 1_000_000;
     dedup_intermediate = true;
     validate = false;
+    coalesce_window = 16;
+    serve_policy = Serve_cost;
+    scan_threshold = 0.5;
   }
 
 type mode = Normal | Fallback
@@ -35,6 +50,8 @@ type counters = {
   mutable prefetch_refusals : int;
   mutable swizzle_hits : int;
   mutable swizzle_misses : int;
+  mutable scan_windows : int;
+  mutable scan_window_pages : int;
 }
 
 type t = {
@@ -70,6 +87,8 @@ let create ?(config = default_config) store =
         prefetch_refusals = 0;
         swizzle_hits = 0;
         swizzle_misses = 0;
+        scan_windows = 0;
+        scan_window_pages = 0;
       };
   }
 

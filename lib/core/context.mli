@@ -9,6 +9,16 @@
     XScan restarts as the identity, XAssembly degenerates to duplicate
     elimination. *)
 
+type serve_policy = Serve_min_pid | Serve_cost
+(** How XSchedule picks the next cluster to serve from [Q] when no agenda
+    is in progress: the historical deterministic minimum page id, or the
+    paper's cost-sensitive weighting — queued instance count divided by
+    the estimated access cost from the current head position (min-pid as
+    tie-break). *)
+
+val serve_policy_of_string : string -> serve_policy option
+val serve_policy_to_string : serve_policy -> string
+
 type config = {
   k : int;
       (** Desired minimum size of XSchedule's queue [Q] — "enough
@@ -30,11 +40,23 @@ type config = {
           I/O scheduler structures, counter conservation. Off by default
           (it adds bookkeeping passes); the differential harness and the
           test suite switch it on. *)
+  coalesce_window : int;
+      (** Largest contiguous run of pending pages serviced as one
+          vectored read (see {!Xnav_storage.Io_scheduler.complete_batch}).
+          [0] disables batching — every request is serviced one page at
+          a time, the historical behaviour. *)
+  serve_policy : serve_policy;
+  scan_threshold : float;
+      (** Visited-region density (clusters visited ÷ span of the visited
+          page range) above which XSchedule opens a bounded sequential
+          scan window just past its visited frontier instead of pure
+          demand scheduling. [<= 0.0] disables the hybrid. *)
 }
 
 val default_config : config
 (** [k = 100], speculation on, a 1M-instance budget, intermediate
-    duplicate elimination on. *)
+    duplicate elimination on; coalescing window 16, cost-sensitive serve,
+    scan threshold 0.5. *)
 
 type mode = Normal | Fallback
 
@@ -65,6 +87,8 @@ type counters = {
       (** Decoded-record cache hits in the run's swizzled views (filled
           from {!Xnav_store.Store.swizzle_stats} deltas by the driver). *)
   mutable swizzle_misses : int;  (** Cache misses (first decode of a slot). *)
+  mutable scan_windows : int;  (** Adaptive scan windows entered by XSchedule. *)
+  mutable scan_window_pages : int;  (** Pages swept inside those windows. *)
 }
 
 type t = {

@@ -17,6 +17,11 @@ type metrics = {
   buffer_hits : int;
   buffer_misses : int;
   async_reads : int;
+  batched_reads : int;
+  batch_pages : int;
+  coalesce_runs : int;
+  scan_windows : int;
+  scan_window_pages : int;
   instances : int;
   crossings : int;
   specs_created : int;
@@ -183,6 +188,11 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
         buffer_hits = buf_after.Buffer_manager.hits - buf_before.Buffer_manager.hits;
         buffer_misses = buf_after.Buffer_manager.misses - buf_before.Buffer_manager.misses;
         async_reads = buf_after.Buffer_manager.async_reads - buf_before.Buffer_manager.async_reads;
+        batched_reads = disk_after.Disk.batched_reads - disk_before.Disk.batched_reads;
+        batch_pages = disk_after.Disk.batch_pages - disk_before.Disk.batch_pages;
+        coalesce_runs = disk_after.Disk.coalesce_runs - disk_before.Disk.coalesce_runs;
+        scan_windows = c.Context.scan_windows;
+        scan_window_pages = c.Context.scan_window_pages;
         instances = c.Context.instances;
         crossings = c.Context.crossings;
         specs_created = c.Context.specs_created;
@@ -245,13 +255,15 @@ let pp_metrics ppf m =
   Format.fprintf ppf
     "@[<v>total %.4fs (io %.4fs, cpu %.4fs)@,\
      reads %d (seq %d, rnd %d, seek-dist %d), async %d@,\
+     batches %d (%d pages, %d coalesced), scan windows %d (%d pages)@,\
      buffer: lookups %d hits %d misses %d@,\
      instances %d crossings %d specs %d/%d/%d (S peak %d, Q peak %d)@,\
      queue: enqueued %d served %d@,\
      swizzle: hits %d misses %d (%.0f%% hit rate)@,\
      clusters visited %d%s@]"
     m.total_time m.io_time m.cpu_time m.page_reads m.sequential_reads m.random_reads
-    m.seek_distance m.async_reads m.buffer_lookups m.buffer_hits m.buffer_misses m.instances
+    m.seek_distance m.async_reads m.batched_reads m.batch_pages m.coalesce_runs m.scan_windows
+    m.scan_window_pages m.buffer_lookups m.buffer_hits m.buffer_misses m.instances
     m.crossings m.specs_created m.specs_stored m.specs_resolved m.s_peak m.q_peak
     m.q_enqueued m.q_served m.swizzle_hits m.swizzle_misses
     (100. *. swizzle_hit_rate m)

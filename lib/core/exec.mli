@@ -20,6 +20,11 @@ type metrics = {
   buffer_hits : int;
   buffer_misses : int;
   async_reads : int;
+  batched_reads : int;  (** Vectored multi-page reads issued. *)
+  batch_pages : int;  (** Pages delivered through those reads. *)
+  coalesce_runs : int;  (** Vectored reads that carried ≥ 2 pages. *)
+  scan_windows : int;  (** Adaptive scan windows XSchedule entered. *)
+  scan_window_pages : int;  (** Pages swept inside those windows. *)
   instances : int;
   crossings : int;
   specs_created : int;

@@ -15,7 +15,13 @@ let post_run ?xschedule ?results ctx =
   if pinned <> 0 then fail "buffer: %d frames still pinned after the run" pinned;
   let pending = Io_scheduler.pending_count sched in
   if pending <> 0 then fail "io-scheduler: %d requests still pending after the run" pending;
-  (match Io_scheduler.consistency_error sched with
+  let completed = Buffer_manager.completed_count buffer in
+  if completed <> 0 then
+    fail "buffer: %d batch-installed pages never delivered after the run" completed;
+  (* Chains into [Io_scheduler.consistency_error], and additionally
+     checks the batch pipeline: no page both installed-and-queued and
+     still pending, every queued completion resident and pinned. *)
+  (match Buffer_manager.consistency_error buffer with
   | None -> ()
   | Some msg -> fail "io-scheduler: %s" msg);
 
@@ -49,6 +55,8 @@ let post_run ?xschedule ?results ctx =
       ("prefetch_refusals", c.Context.prefetch_refusals);
       ("swizzle_hits", c.Context.swizzle_hits);
       ("swizzle_misses", c.Context.swizzle_misses);
+      ("scan_windows", c.Context.scan_windows);
+      ("scan_window_pages", c.Context.scan_window_pages);
     ]
   in
   List.iter (fun (name, v) -> if v < 0 then fail "counter %s is negative (%d)" name v) non_negative;
@@ -56,6 +64,12 @@ let post_run ?xschedule ?results ctx =
      decode cache: a hit would mean a swizzled handle was consulted. *)
   if (not (Store.swizzling ctx.Context.store)) && c.Context.swizzle_hits > 0 then
     fail "swizzle: %d cache hits recorded while swizzling is off" c.Context.swizzle_hits;
+  (* Scan-window accounting: pages are only swept inside a window, and
+     windows only open when the hybrid is enabled. *)
+  if c.Context.scan_windows = 0 && c.Context.scan_window_pages > 0 then
+    fail "scan-window: %d pages swept without any window opening" c.Context.scan_window_pages;
+  if ctx.Context.config.Context.scan_threshold <= 0.0 && c.Context.scan_windows > 0 then
+    fail "scan-window: %d windows opened while the hybrid is disabled" c.Context.scan_windows;
   (* Speculations are discharged from S, so each resolution must have a
      matching store. (specs_created counts seeds, which fan out through
      the XStep chain — it bounds neither stored nor resolved.) *)

@@ -2,6 +2,8 @@ module Store = Xnav_store.Store
 module Node_id = Xnav_store.Node_id
 module Node_record = Xnav_store.Node_record
 module Buffer_manager = Xnav_storage.Buffer_manager
+module Io_scheduler = Xnav_storage.Io_scheduler
+module Disk = Xnav_storage.Disk
 open Path_instance
 
 type item = { s_l : int; n_l : Node_id.t; s_r : int; target : Node_id.t }
@@ -18,6 +20,10 @@ type t = {
   mutable current : (int * Store.view) option;
   agenda : Path_instance.t Queue.t;  (* instances for the current cluster *)
   mutable exhausted : bool;
+  mutable window_next : int;  (* next page of the active scan window *)
+  mutable window_hi : int;  (* inclusive bound; window_next > window_hi = inactive *)
+  mutable visit_lo : int;  (* smallest cluster visited so far; max_int before any *)
+  mutable visit_hi : int;  (* largest cluster visited so far; -1 before any *)
 }
 
 let create ctx ~path_len ~contexts =
@@ -33,6 +39,10 @@ let create ctx ~path_len ~contexts =
     current = None;
     agenda = Queue.create ();
     exhausted = false;
+    window_next = 0;
+    window_hi = -1;
+    visit_lo = max_int;
+    visit_hi = -1;
   }
 
 let queue_size t = t.qsize
@@ -141,6 +151,8 @@ let load_agenda t pid view =
   let first_visit = not (Hashtbl.mem t.visited pid) in
   if first_visit then begin
     Hashtbl.replace t.visited pid ();
+    if pid < t.visit_lo then t.visit_lo <- pid;
+    if pid > t.visit_hi then t.visit_hi <- pid;
     t.ctx.Context.counters.Context.clusters_visited <-
       t.ctx.Context.counters.Context.clusters_visited + 1
   end;
@@ -181,12 +193,137 @@ let abandon t =
   Queue.clear t.agenda;
   t.ready <- [];
   t.refused <- [];
+  t.window_next <- 0;
+  t.window_hi <- -1;
   t.ctx.Context.counters.Context.q_dropped <-
     t.ctx.Context.counters.Context.q_dropped + t.qsize;
   Hashtbl.reset t.queue;
   t.qsize <- 0;
   t.exhausted <- true;
-  Xnav_storage.Io_scheduler.drain (Buffer_manager.scheduler (buffer t))
+  Buffer_manager.abort_async (buffer t)
+
+(* Pick the next ready (resident) cluster to serve. Min-pid keeps the
+   historical LIFO pop; the cost-sensitive policy weighs each candidate
+   by queued instance count — resident clusters all cost one transfer to
+   re-fix, so the cost divisor cancels — with min-pid as tie-break. *)
+let take_ready t =
+  match t.ready with
+  | [] -> None
+  | pid :: rest -> begin
+    match t.ctx.Context.config.Context.serve_policy with
+    | Context.Serve_min_pid ->
+      t.ready <- rest;
+      Some pid
+    | Context.Serve_cost ->
+      let qlen p = match Hashtbl.find_opt t.queue p with Some q -> Queue.length q | None -> 0 in
+      let best =
+        List.fold_left
+          (fun best p ->
+            match best with
+            | Some b when qlen p > qlen b || (qlen p = qlen b && p < b) -> Some p
+            | None -> Some p
+            | some -> some)
+          None t.ready
+      in
+      (match best with
+      | Some p ->
+        t.ready <- List.filter (fun x -> x <> p) t.ready;
+        Some p
+      | None -> None)
+  end
+
+(* Pick a queued cluster to serve directly (no pending I/O for it). The
+   historical rule is the smallest pending page id — deterministic across
+   hash-table iteration orders. The cost-sensitive rule is the paper's:
+   weight = queued instance count ÷ estimated access cost from the
+   current head position (a resident cluster costs only a transfer),
+   min-pid breaking exact weight ties. *)
+let pick_direct t =
+  match t.ctx.Context.config.Context.serve_policy with
+  | Context.Serve_min_pid ->
+    Hashtbl.fold
+      (fun pid _ best -> match best with Some b when b < pid -> best | _ -> Some pid)
+      t.queue None
+  | Context.Serve_cost ->
+    let buf = buffer t in
+    let disk = Buffer_manager.disk buf in
+    let weight pid q =
+      let cost =
+        if Buffer_manager.resident buf pid then (Disk.config disk).Disk.transfer
+        else Disk.read_cost disk pid
+      in
+      float_of_int (Queue.length q) /. cost
+    in
+    Hashtbl.fold
+      (fun pid q best ->
+        let w = weight pid q in
+        match best with
+        | Some (bw, bpid) when bw > w || (bw = w && bpid < pid) -> best
+        | _ -> Some (w, pid))
+      t.queue None
+    |> Option.map snd
+
+(* Adaptive hybrid (tentpole layer 3): when the demand stream has been
+   visiting its page region densely — the visited-cluster count over the
+   visited span exceeds [scan_threshold] — the query is on an XScan-like
+   trajectory: nearly every page ahead will be demanded too, and each
+   will pay [async_overhead] on top of its transfer when it arrives as a
+   separate request. (Pending-set density is useless as the signal here:
+   demand discovery keeps only a handful of requests outstanding at any
+   instant, however dense the eventual access pattern.) So stream ahead:
+   open a bounded sequential window just past the visited frontier and
+   sweep it page by page with synchronous sequential reads, serving
+   queued items and seeding speculative instances exactly as XScan does
+   (via [load_agenda]'s speculation), then fall back to demand
+   scheduling. The window is bounded by half the buffer so read-ahead
+   cannot wash the pool, and it only opens while demand is still
+   outstanding. Not started in fallback mode: fallback must not create
+   speculative work. *)
+let start_scan_window t =
+  let threshold = t.ctx.Context.config.Context.scan_threshold in
+  if threshold <= 0.0 || Context.fallback t.ctx then false
+  else begin
+    let sched = Buffer_manager.scheduler (buffer t) in
+    let pending = Io_scheduler.pending_count sched in
+    let visited = Hashtbl.length t.visited in
+    let store = t.ctx.Context.store in
+    let last_page = Store.first_page store + Store.page_count store - 1 in
+    if (pending = 0 && t.qsize = 0) || visited < 4 || t.visit_hi >= last_page then false
+    else begin
+      let density = float_of_int visited /. float_of_int (t.visit_hi - t.visit_lo + 1) in
+      if density >= threshold then begin
+        let span = max 8 (Buffer_manager.capacity (buffer t) / 2) in
+        t.window_next <- t.visit_hi + 1;
+        t.window_hi <- min last_page (t.visit_hi + span);
+        let c = t.ctx.Context.counters in
+        c.Context.scan_windows <- c.Context.scan_windows + 1;
+        Context.emit t.ctx (fun () ->
+            Printf.sprintf "XSchedule: scan window over pages %d..%d (density %.2f)" t.window_next
+              t.window_hi density);
+        true
+      end
+      else false
+    end
+  end
+
+(* Next page the active scan window should visit: one with queued items,
+   or an unvisited one (worth reading for its speculative seeds and as
+   free read-ahead — the stream is already positioned). A visited page
+   with nothing queued is skipped without I/O, and any pending request it
+   still holds is cancelled as stale — otherwise stale requests could
+   keep the pending set dense and re-trigger windows that sweep nothing,
+   a livelock. *)
+let rec advance_window t =
+  if t.window_next > t.window_hi then None
+  else begin
+    let pid = t.window_next in
+    t.window_next <- pid + 1;
+    if Hashtbl.mem t.queue pid || not (Hashtbl.mem t.visited pid) then Some pid
+    else begin
+      ignore (Io_scheduler.cancel (Buffer_manager.scheduler (buffer t)) pid);
+      advance_window t
+    end
+  end
 
 let rec next t =
   match Queue.take_opt t.agenda with
@@ -205,62 +342,90 @@ let rec next t =
          gone. *)
       release_current t;
       retry_refused t;
-      begin
-        match t.ready with
-        | pid :: rest ->
-          t.ready <- rest;
+      if sweep_window t then next t
+      else begin
+        match take_ready t with
+        | Some pid ->
           if Hashtbl.mem t.queue pid then begin
             make_current t pid (Store.view t.ctx.Context.store pid);
             next t
           end
           else next t
-        | [] -> begin
-          match Buffer_manager.await_one (buffer t) with
-          | Some (pid, frame) ->
-            let view = Store.view_of_frame t.ctx.Context.store frame in
-            if Hashtbl.mem t.queue pid then begin
-              make_current t pid view;
-              next t
-            end
-            else begin
-              (* A stale request (its items were served through another
-                 path); drop the pin and keep going. *)
-              Store.release t.ctx.Context.store view;
-              next t
-            end
-          | None ->
-            if t.qsize = 0 then None (* replenish guarantees exhaustion here *)
-            else begin
-              (* Items remain but have no pending I/O: their clusters are
-                 resident (or were evicted meanwhile, or their prefetch
-                 was refused); serve the smallest pending page id so the
-                 pick — and with it the I/O trace — is independent of
-                 hash-table iteration order. *)
-              match
-                Hashtbl.fold
-                  (fun pid _ best ->
-                    match best with Some b when b < pid -> best | _ -> Some pid)
-                  t.queue None
-              with
-              | Some pid -> begin
-                match Store.view t.ctx.Context.store pid with
-                | view ->
-                  make_current t pid view;
-                  next t
-                | exception Buffer_manager.Buffer_full ->
+        | None ->
+          if start_scan_window t then next t
+          else begin
+            let window = t.ctx.Context.config.Context.coalesce_window in
+            match Buffer_manager.await_one ~window (buffer t) with
+            | Some (pid, frame) ->
+              let view = Store.view_of_frame t.ctx.Context.store frame in
+              if Hashtbl.mem t.queue pid then begin
+                make_current t pid view;
+                next t
+              end
+              else begin
+                (* A stale request (its items were served through another
+                   path); drop the pin and keep going. *)
+                Store.release t.ctx.Context.store view;
+                next t
+              end
+            | None ->
+              if t.qsize = 0 then None (* replenish guarantees exhaustion here *)
+              else begin
+                (* Items remain but have no pending I/O: their clusters
+                   are resident (or were evicted meanwhile, or their
+                   prefetch was refused); [pick_direct] serves one so the
+                   pick — and with it the I/O trace — is deterministic. *)
+                match pick_direct t with
+                | Some pid -> begin
+                  match Store.view t.ctx.Context.store pid with
+                  | view ->
+                    make_current t pid view;
+                    next t
+                  | exception Buffer_manager.Buffer_full ->
+                    failwith
+                      (Printf.sprintf
+                         "Xschedule: no forward progress: %d items queued but cluster %d cannot \
+                          be loaded (all %d buffer frames are pinned)"
+                         t.qsize pid
+                         (Buffer_manager.capacity (buffer t)))
+                end
+                | None ->
                   failwith
                     (Printf.sprintf
-                       "Xschedule: no forward progress: %d items queued but cluster %d cannot \
-                        be loaded (all %d buffer frames are pinned)"
-                       t.qsize pid
-                       (Buffer_manager.capacity (buffer t)))
+                       "Xschedule: queue accounting broken: qsize=%d with no queued cluster"
+                       t.qsize)
               end
-              | None ->
-                failwith
-                  (Printf.sprintf
-                     "Xschedule: queue accounting broken: qsize=%d with no queued cluster"
-                     t.qsize)
-            end
-        end
+          end
       end
+  end
+
+(* One step of the active scan window: visit the next worthwhile page in
+   the range sequentially, cancelling its pending request (the stream
+   supersedes it). Returns whether a page was made current. On a pin
+   shortage the window is abandoned and the remaining pending requests
+   are left for the demand path. *)
+and sweep_window t =
+  if t.window_next <= t.window_hi && t.qsize = 0 && Io_scheduler.pending_count (Buffer_manager.scheduler (buffer t)) = 0
+  then begin
+    (* Demand dried up mid-window: the sweep is read-ahead for demand,
+       so reading on would charge transfers nobody will use. *)
+    t.window_next <- 0;
+    t.window_hi <- -1
+  end;
+  match advance_window t with
+  | None -> false
+  | Some pid -> begin
+    let sched = Buffer_manager.scheduler (buffer t) in
+    let was_pending = Io_scheduler.cancel sched pid in
+    match Store.view t.ctx.Context.store pid with
+    | view ->
+      let c = t.ctx.Context.counters in
+      c.Context.scan_window_pages <- c.Context.scan_window_pages + 1;
+      make_current t pid view;
+      true
+    | exception Buffer_manager.Buffer_full ->
+      if was_pending then Io_scheduler.submit sched pid;
+      t.window_next <- 0;
+      t.window_hi <- -1;
+      false
   end

@@ -37,6 +37,10 @@ type t = {
   replacement : replacement;
   table : (int, frame) Hashtbl.t;
   clock_ring : int Queue.t;  (* page ids, for Clock *)
+  completed : (int * frame) Queue.t;
+      (* Batch-installed pages not yet handed to the consumer. Each entry
+         holds one pin, so the replacement policy cannot evict it before
+         [await_one] delivers it. *)
   mutable tick : int;
   mutable stats : stats;
 }
@@ -52,6 +56,7 @@ let create ?(capacity = 1000) ?(policy = Io_scheduler.Elevator) ?(replacement = 
     replacement;
     table = Hashtbl.create (2 * capacity);
     clock_ring = Queue.create ();
+    completed = Queue.create ();
     tick = 0;
     stats = empty_stats;
   }
@@ -170,26 +175,72 @@ let prefetch t pid =
   end
   else Refused
 
-let await_one t =
-  match Io_scheduler.complete_one t.sched with
-  | None -> None
-  | Some (pid, bytes) ->
-    let frame =
-      match Hashtbl.find_opt t.table pid with
-      | Some frame ->
-        (* Arrived through another path meanwhile; keep the cached copy. *)
-        frame.pins <- frame.pins + 1;
-        touch t frame;
-        frame
-      | None -> install t pid bytes ~async:true
-    in
-    Some (pid, frame)
+let adopt_or_install t pid bytes =
+  match Hashtbl.find_opt t.table pid with
+  | Some frame ->
+    (* Arrived through another path meanwhile; keep the cached copy. *)
+    frame.pins <- frame.pins + 1;
+    touch t frame;
+    frame
+  | None -> install t pid bytes ~async:true
+
+let await_one ?(window = 0) t =
+  match Queue.take_opt t.completed with
+  | Some entry -> Some entry
+  | None ->
+    if window <= 0 then
+      (* The exact pre-batching path: one request serviced, one page
+         installed. *)
+      match Io_scheduler.complete_one t.sched with
+      | None -> None
+      | Some (pid, bytes) -> Some (pid, adopt_or_install t pid bytes)
+    else begin
+      (* Every page of the batch installs pinned, so the run must fit in
+         the frames not currently pinned — otherwise a later install of
+         this very batch would find no victim. The completion queue's own
+         pins count too, keeping back-to-back batches admissible. *)
+      let limit = max 1 (t.capacity - pinned_count t) in
+      match Io_scheduler.complete_batch ~window ~limit t.sched with
+      | None -> None
+      | Some pages -> begin
+        let entries = List.map (fun (pid, bytes) -> (pid, adopt_or_install t pid bytes)) pages in
+        match entries with
+        | [] -> None
+        | first :: rest ->
+          List.iter (fun entry -> Queue.add entry t.completed) rest;
+          Some first
+      end
+    end
+
+let completed_count t = Queue.length t.completed
+
+let abort_async t =
+  Queue.iter (fun (_, frame) -> if frame.pins > 0 then frame.pins <- frame.pins - 1) t.completed;
+  Queue.clear t.completed;
+  Io_scheduler.drain t.sched
 
 let resident_count t = Hashtbl.length t.table
 
 let stats t = t.stats
 
+let consistency_error t =
+  let err = ref None in
+  Queue.iter
+    (fun (pid, frame) ->
+      if !err = None then
+        match Hashtbl.find_opt t.table pid with
+        | None -> err := Some (Printf.sprintf "completed page %d is not resident" pid)
+        | Some f when f != frame ->
+          err := Some (Printf.sprintf "completed page %d points at a stale frame" pid)
+        | Some f when f.pins <= 0 -> err := Some (Printf.sprintf "completed page %d is unpinned" pid)
+        | Some _ ->
+          if Io_scheduler.is_pending t.sched pid then
+            err := Some (Printf.sprintf "page %d is both completed and pending" pid))
+    t.completed;
+  match !err with Some _ as e -> e | None -> Io_scheduler.consistency_error t.sched
+
 let reset t =
+  abort_async t;
   Hashtbl.iter
     (fun pid frame ->
       if frame.pins > 0 then

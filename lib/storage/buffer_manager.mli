@@ -81,10 +81,32 @@ val can_admit : t -> bool
 (** Whether another page could be installed right now: a frame is free
     or some resident page is unpinned. *)
 
-val await_one : t -> (int * frame) option
-(** Let the scheduler service one pending request, install the page and
-    return it pinned. [None] iff no request is pending.
+val await_one : ?window:int -> t -> (int * frame) option
+(** Deliver one asynchronously loaded page, pinned. Pages queued by an
+    earlier batch are delivered first; then the scheduler services a
+    pending request. With [window > 0] the service is a
+    {!Io_scheduler.complete_batch} coalesced read: every returned page is
+    installed pinned (never evicting a pinned or still-queued page — the
+    run is capped at the unpinned frame count), the first is returned and
+    the rest wait in the completion queue for subsequent calls. With
+    [window <= 0] (the default) this is exactly the historical
+    one-request/one-page path. [None] iff nothing is queued or pending.
     @raise Buffer_full if no frame can be evicted. *)
+
+val completed_count : t -> int
+(** Batch-installed pages awaiting delivery (for the invariant layer —
+    a clean end of run leaves this at 0). *)
+
+val abort_async : t -> unit
+(** Abandon the asynchronous pipeline: release the completion queue's
+    pins and drop it, then drain pending scheduler requests. Used when a
+    plan stops early (e.g. an exception) with loads still in flight. *)
+
+val consistency_error : t -> string option
+(** [None] iff the batch pipeline is coherent: every completion-queue
+    entry is resident, pinned and not simultaneously pending in the
+    scheduler — and the scheduler's own structures agree
+    ({!Io_scheduler.consistency_error}). *)
 
 val pinned_count : t -> int
 (** Number of frames with a non-zero pin count (for leak tests). *)
@@ -96,7 +118,9 @@ val stats : t -> stats
 
 val reset : t -> unit
 (** Drop every frame and pending request, zeroing statistics — a cold
-    cache, as each measured run in the paper starts with.
-    @raise Invalid_argument if any frame is still pinned. *)
+    cache, as each measured run in the paper starts with. Undelivered
+    completion-queue pages are released first (their pins belong to the
+    buffer, not the caller).
+    @raise Invalid_argument if any other frame is still pinned. *)
 
 val pp_stats : Format.formatter -> stats -> unit

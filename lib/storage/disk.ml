@@ -25,9 +25,22 @@ type stats = {
   sequential_reads : int;
   random_reads : int;
   seek_distance : int;
+  batched_reads : int;
+  batch_pages : int;
+  coalesce_runs : int;
 }
 
-let empty_stats = { reads = 0; writes = 0; sequential_reads = 0; random_reads = 0; seek_distance = 0 }
+let empty_stats =
+  {
+    reads = 0;
+    writes = 0;
+    sequential_reads = 0;
+    random_reads = 0;
+    seek_distance = 0;
+    batched_reads = 0;
+    batch_pages = 0;
+    coalesce_runs = 0;
+  }
 
 type t = {
   config : config;
@@ -109,6 +122,43 @@ let read disk pid =
   account disk pid ~write:false;
   Bytes.copy disk.pages.(pid)
 
+(* A vectored multi-page read: one head movement to the first page, then
+   a pure stream to the last. Pages skipped inside a gap are transferred
+   over but not returned — the drive cannot stop mid-rotation — so a run
+   with gaps costs [seek + (last - first + 1) transfers]; a contiguous
+   run costs exactly one seek + N transfers. *)
+let read_batch disk pids =
+  match pids with
+  | [] -> invalid_arg "Disk.read_batch: empty run"
+  | first :: rest ->
+    List.iter (check_pid disk) pids;
+    ignore
+      (List.fold_left
+         (fun prev pid ->
+           if pid <= prev then invalid_arg "Disk.read_batch: run must be strictly ascending";
+           pid)
+         first rest);
+    account disk first ~write:false;
+    List.iter
+      (fun pid ->
+        let gap = pid - disk.head in
+        let s = disk.stats in
+        disk.stats <- { s with reads = s.reads + 1; sequential_reads = s.sequential_reads + 1 };
+        disk.clock <- disk.clock +. (float_of_int gap *. disk.config.transfer);
+        disk.head <- pid;
+        if disk.tracing then disk.trace <- pid :: disk.trace)
+      rest;
+    let n = List.length pids in
+    let s = disk.stats in
+    disk.stats <-
+      {
+        s with
+        batched_reads = s.batched_reads + 1;
+        batch_pages = s.batch_pages + n;
+        coalesce_runs = (s.coalesce_runs + if n > 1 then 1 else 0);
+      };
+    List.map (fun pid -> (pid, Bytes.copy disk.pages.(pid))) pids
+
 let write disk pid bytes =
   check_pid disk pid;
   if Bytes.length bytes <> disk.config.page_size then
@@ -139,5 +189,6 @@ let set_trace disk on =
 let trace disk = List.rev disk.trace
 
 let pp_stats ppf s =
-  Format.fprintf ppf "reads=%d (seq=%d rnd=%d) writes=%d seek-dist=%d" s.reads s.sequential_reads
-    s.random_reads s.writes s.seek_distance
+  Format.fprintf ppf "reads=%d (seq=%d rnd=%d) writes=%d seek-dist=%d batches=%d/%dp (coalesced %d)"
+    s.reads s.sequential_reads s.random_reads s.writes s.seek_distance s.batched_reads
+    s.batch_pages s.coalesce_runs

@@ -44,6 +44,9 @@ type stats = {
   sequential_reads : int;  (** Reads satisfied at head or head+1. *)
   random_reads : int;
   seek_distance : int;  (** Sum of page distances over random reads. *)
+  batched_reads : int;  (** {!read_batch} calls (vectored I/Os issued). *)
+  batch_pages : int;  (** Pages returned through {!read_batch}. *)
+  coalesce_runs : int;  (** {!read_batch} calls that carried ≥ 2 pages. *)
 }
 
 type t
@@ -62,6 +65,17 @@ val read : t -> int -> Bytes.t
 (** [read disk pid] returns a copy of page [pid], advancing the clock by
     the modeled cost and moving the head to [pid].
     @raise Invalid_argument if [pid] is out of range. *)
+
+val read_batch : t -> int list -> (int * Bytes.t) list
+(** [read_batch disk pids] services a strictly ascending run of pages as
+    one vectored read: the head moves once to the first page (full
+    {!read} cost for that page), then streams to the last — every page
+    crossed, requested or not, costs one [transfer], so a contiguous run
+    of [N] pages costs one seek + [N] transfers. Returns each requested
+    page's contents in run order; the head ends at the last page. The
+    per-batch counters ([batched_reads], [batch_pages], [coalesce_runs])
+    are charged here.
+    @raise Invalid_argument on an empty, unsorted or out-of-range run. *)
 
 val write : t -> int -> Bytes.t -> unit
 (** [write disk pid bytes] stores a copy of [bytes] as page [pid], with

@@ -98,6 +98,41 @@ let complete_one t =
     Disk.charge t.disk (Disk.config t.disk).Disk.async_overhead;
     Some (pid, bytes)
 
+(* Strictly contiguous run of pending pages starting at [head_pid],
+   carrying at most [min window limit] pages. Contiguity is the
+   cost-sensitive part: a batched page costs one [transfer] while a
+   separately completed one costs [transfer + async_overhead], so
+   absorbing an adjacent pending page always wins — but crossing even a
+   one-page gap reads a page nobody asked for, and on a demand stream
+   that revisits every page it also strands later requests *behind* the
+   head, turning sequential reads into random ones. Duplicate
+   submissions cannot appear: [pending] is a set. *)
+let absorb t head_pid ~window ~limit =
+  let cap = min window limit in
+  let rec go last acc n =
+    if n >= cap then List.rev acc
+    else if Int_set.mem (last + 1) t.pending then go (last + 1) (last + 1 :: acc) (n + 1)
+    else List.rev acc
+  in
+  go head_pid [ head_pid ] 1
+
+let complete_batch ?(window = 0) ?(limit = max_int) t =
+  if window <= 0 then
+    (* Window 0 is exactly the single-page path: same pick, same cost,
+       same trace — the batch layer adds nothing. *)
+    match complete_one t with
+    | None -> None
+    | Some page -> Some [ page ]
+  else
+    match pick t with
+    | None -> None
+    | Some pid ->
+      let run = absorb t pid ~window ~limit:(max 1 limit) in
+      List.iter (remove t) run;
+      let pages = Disk.read_batch t.disk run in
+      Disk.charge t.disk (Disk.config t.disk).Disk.async_overhead;
+      Some pages
+
 let cancel t pid =
   let was = Int_set.mem pid t.pending in
   if was then remove t pid;

@@ -41,6 +41,21 @@ val complete_one : t -> (int * Bytes.t) option
     {!Disk.config}'s [async_overhead]), and return the page number with
     its contents. [None] iff nothing is pending. *)
 
+val complete_batch : ?window:int -> ?limit:int -> t -> (int * Bytes.t) list option
+(** Batch counterpart of {!complete_one}: after the policy picks a head
+    request, absorb the strictly contiguous run of further pending pages
+    ([pid], [pid+1], ...) up to [min window limit] pages ([limit]
+    defaults to unbounded), and service the run as one
+    {!Disk.read_batch} charged a single [async_overhead]. Contiguity is
+    deliberate: an adjacent pending page rides along for one [transfer]
+    instead of [transfer + async_overhead], while crossing even a
+    one-page gap would transfer an unrequested page and leave the head
+    past pages a demand stream may still ask for. Duplicate submissions
+    were already absorbed at {!submit} time, so a page appears in at
+    most one batch. [window <= 0] (the default) is byte-for-byte
+    {!complete_one}: same pick, same cost, same trace. [None] iff
+    nothing is pending; the returned list is never empty. *)
+
 val cancel : t -> int -> bool
 (** Drop a pending request (e.g. the page arrived in the buffer through
     another path). Returns whether it was pending. *)

@@ -317,6 +317,89 @@ let xschedule_trace_is_stable () =
   let _, trace3 = run_trace store' path config in
   check Alcotest.(list int) "fresh store: identical I/O trace" trace1 trace3
 
+(* --- cost-sensitive batching ---------------------------------------------- *)
+
+(* The batching differential tier: every plan, coalescing / cost-serve /
+   scan windows fully off then fully on, identical answers under the
+   full invariant suite. *)
+let batching_differential_sample () =
+  let r = Differential.run_batching ~cases:200 () in
+  check Alcotest.int "cases run" 200 r.Differential.cases_run;
+  let reproducers =
+    List.map (fun f -> Differential.reproducer f.Differential.shrunk) r.Differential.failures
+  in
+  check Alcotest.(list string) "knobs-off and knobs-on runs agree" [] reproducers
+
+let knobs_off =
+  {
+    validating with
+    Context.coalesce_window = 0;
+    Context.serve_policy = Context.Serve_min_pid;
+    Context.scan_threshold = 0.0;
+  }
+
+(* With every knob off, the machinery must be invisible: zero batch and
+   window counters, and an I/O trace that is a pure function of the
+   inputs (the historical single-page regime). *)
+let knobs_off_is_the_historical_regime () =
+  let tree = doc () in
+  let path = Xpath_parser.parse "/child::*/child::x" in
+  let run_trace () =
+    let store, import =
+      build ~capacity:2 ~policy:Io_scheduler.Elevator ~replacement:Buffer_manager.Lru tree
+    in
+    let disk = Buffer_manager.disk (Store.buffer store) in
+    Disk.set_trace disk true;
+    let r = Exec.cold_run ~config:knobs_off store path (Plan.xschedule ()) in
+    check id_list "answers match the reference" (expected_ids tree import path) (got_ids r);
+    let m = r.Exec.metrics in
+    check Alcotest.int "no batched reads" 0 m.Exec.batched_reads;
+    check Alcotest.int "no batch pages" 0 m.Exec.batch_pages;
+    check Alcotest.int "no coalesce runs" 0 m.Exec.coalesce_runs;
+    check Alcotest.int "no scan windows" 0 m.Exec.scan_windows;
+    check Alcotest.int "no scan window pages" 0 m.Exec.scan_window_pages;
+    Disk.trace disk
+  in
+  let trace1 = run_trace () in
+  let trace2 = run_trace () in
+  check Alcotest.bool "trace is non-trivial" true (List.length trace1 > 2);
+  check Alcotest.(list int) "fresh store: identical I/O trace" trace1 trace2
+
+(* Coalescing must actually fire on a multi-cluster run: with the window
+   open (and scan windows held off to isolate the path), pending pages
+   are delivered through vectored reads. *)
+let coalescing_batches_async_reads () =
+  let tree = doc () in
+  let cfg = { validating with Context.coalesce_window = 16; Context.scan_threshold = 0.0 } in
+  let store, import =
+    build ~capacity:8 ~policy:Io_scheduler.Elevator ~replacement:Buffer_manager.Lru tree
+  in
+  let path = Xpath_parser.parse "/child::*/child::x" in
+  let r = Exec.cold_run ~config:cfg store path (Plan.xschedule ()) in
+  let m = r.Exec.metrics in
+  check id_list "answers match the reference" (expected_ids tree import path) (got_ids r);
+  check Alcotest.bool "some reads were batched" true (m.Exec.batched_reads > 0);
+  check Alcotest.bool "some batches carried several pages" true (m.Exec.coalesce_runs > 0);
+  check Alcotest.bool "batch pages cover batched reads" true
+    (m.Exec.batch_pages >= m.Exec.batched_reads)
+
+(* Adaptive scan windows must fire when the pending set is dense, and
+   sweep pages without disturbing the answer. *)
+let scan_windows_fire_when_dense () =
+  let tree = doc () in
+  let cfg =
+    { validating with Context.coalesce_window = 0; Context.scan_threshold = 0.25 }
+  in
+  let store, import =
+    build ~capacity:8 ~policy:Io_scheduler.Elevator ~replacement:Buffer_manager.Lru tree
+  in
+  let path = Xpath_parser.parse "/child::*/child::x" in
+  let r = Exec.cold_run ~config:cfg store path (Plan.xschedule ()) in
+  let m = r.Exec.metrics in
+  check id_list "answers match the reference" (expected_ids tree import path) (got_ids r);
+  check Alcotest.bool "a scan window opened" true (m.Exec.scan_windows > 0);
+  check Alcotest.bool "windows swept pages" true (m.Exec.scan_window_pages > 0)
+
 let suite =
   [
     ( "differential",
@@ -334,6 +417,16 @@ let suite =
         Alcotest.test_case "no swizzled handle survives an unpin" `Quick view_dies_on_release;
         Alcotest.test_case "xschedule direct-serve pick yields a stable I/O trace" `Quick
           xschedule_trace_is_stable;
+      ] );
+    ( "batching",
+      [
+        Alcotest.test_case "200 sampled cases: batching knobs on/off agree" `Slow
+          batching_differential_sample;
+        Alcotest.test_case "knobs off reproduces the single-page regime" `Quick
+          knobs_off_is_the_historical_regime;
+        Alcotest.test_case "coalescing batches async reads" `Quick coalescing_batches_async_reads;
+        Alcotest.test_case "scan windows open under dense pending sets" `Quick
+          scan_windows_fire_when_dense;
       ] );
     ( "scheduler regressions",
       [

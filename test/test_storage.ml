@@ -260,7 +260,7 @@ let sched_props =
         run Io_scheduler.Elevator <= run Io_scheduler.Fifo);
   ]
 
-(* --- Buffer manager -------------------------------------------------------- *)
+(* --- Batched completion ----------------------------------------------------- *)
 
 let with_disk n f =
   let d = Disk.create () in
@@ -271,6 +271,202 @@ let with_disk n f =
     Disk.write d pid data
   done;
   f d
+
+let complete_all_batched ?window ?limit sched =
+  let rec go acc =
+    match Io_scheduler.complete_batch ?window ?limit sched with
+    | None -> List.rev acc
+    | Some pages -> go (List.rev_append (List.map fst pages) acc)
+  in
+  go []
+
+let batch_tests =
+  [
+    Alcotest.test_case "read_batch charges one access plus per-page transfers" `Quick (fun () ->
+        let d = Disk.create () in
+        for _ = 1 to 100 do ignore (Disk.alloc d) done;
+        ignore (Disk.read d 0);
+        Disk.reset_clock d;
+        let run = [ 40; 42; 45 ] in
+        (* Head moves once to page 40 at full cost, then streams: every
+           crossed page — 41 and 43..44 included — costs one transfer. *)
+        let expected = Disk.read_cost d 40 +. (5.0 *. (Disk.config d).Disk.transfer) in
+        let pages = Disk.read_batch d run in
+        check (Alcotest.list int) "pages in run order" run (List.map fst pages);
+        check bool "cost = first access + (last-first) transfers" true
+          (abs_float (Disk.elapsed d -. expected) < 1e-9);
+        let s = Disk.stats d in
+        check int "one vectored read" 1 s.Disk.batched_reads;
+        check int "three pages delivered" 3 s.Disk.batch_pages;
+        check int "counted as coalesced" 1 s.Disk.coalesce_runs;
+        check int "head ends at the last page" 45 (Disk.head d));
+    Alcotest.test_case "read_batch rejects an unsorted run" `Quick (fun () ->
+        let d = Disk.create () in
+        for _ = 1 to 10 do ignore (Disk.alloc d) done;
+        (match Disk.read_batch d [ 3; 2 ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument"));
+    Alcotest.test_case "duplicate submissions deliver once through batches" `Quick (fun () ->
+        let d = Disk.create () in
+        for _ = 1 to 20 do ignore (Disk.alloc d) done;
+        let s = Io_scheduler.create d in
+        List.iter (Io_scheduler.submit s) [ 4; 7; 4; 5; 7; 4 ];
+        check int "pending absorbs duplicates" 3 (Io_scheduler.pending_count s);
+        check (Alcotest.list int) "each page exactly once" [ 4; 5; 7 ]
+          (List.sort Stdlib.compare (complete_all_batched ~window:4 s)));
+    Alcotest.test_case "limit caps a batch" `Quick (fun () ->
+        let d = Disk.create () in
+        for _ = 1 to 20 do ignore (Disk.alloc d) done;
+        let s = Io_scheduler.create d in
+        List.iter (Io_scheduler.submit s) [ 1; 2; 3; 4; 5 ];
+        (match Io_scheduler.complete_batch ~window:4 ~limit:2 s with
+        | Some pages -> check (Alcotest.list int) "two pages only" [ 1; 2 ] (List.map fst pages)
+        | None -> Alcotest.fail "expected a batch");
+        check int "rest still pending" 3 (Io_scheduler.pending_count s));
+    Alcotest.test_case "a gap breaks the run; the window caps its length" `Quick (fun () ->
+        let d = Disk.create () in
+        for _ = 1 to 50 do ignore (Disk.alloc d) done;
+        let s = Io_scheduler.create d in
+        List.iter (Io_scheduler.submit s) [ 10; 11; 12; 14; 15 ];
+        (match Io_scheduler.complete_batch ~window:8 s with
+        | Some pages ->
+          check (Alcotest.list int) "run stops at the gap" [ 10; 11; 12 ] (List.map fst pages)
+        | None -> Alcotest.fail "expected a batch");
+        check bool "page past the gap still pending" true (Io_scheduler.is_pending s 14);
+        let s2 = Io_scheduler.create d in
+        List.iter (Io_scheduler.submit s2) [ 20; 21; 22; 23 ];
+        (match Io_scheduler.complete_batch ~window:2 s2 with
+        | Some pages ->
+          check (Alcotest.list int) "window caps the run" [ 20; 21 ] (List.map fst pages)
+        | None -> Alcotest.fail "expected a batch"));
+    Alcotest.test_case "batched await_one drains the completion queue" `Quick (fun () ->
+        with_disk 8 (fun d ->
+            let b = Buffer_manager.create ~capacity:6 d in
+            Disk.reset_clock d;
+            List.iter (fun pid -> ignore (Buffer_manager.prefetch b pid)) [ 2; 3; 4; 5 ];
+            let served = ref [] in
+            let rec drain () =
+              match Buffer_manager.await_one ~window:8 b with
+              | None -> ()
+              | Some (pid, frame) ->
+                served := pid :: !served;
+                Buffer_manager.unfix b frame;
+                drain ()
+            in
+            drain ();
+            check (Alcotest.list int) "all pages served once" [ 2; 3; 4; 5 ]
+              (List.sort Stdlib.compare !served);
+            check int "completion queue empty" 0 (Buffer_manager.completed_count b);
+            check int "no pins left" 0 (Buffer_manager.pinned_count b);
+            check int "one vectored read" 1 (Disk.stats d).Disk.batched_reads;
+            check Alcotest.(option string) "buffer consistent" None
+              (Buffer_manager.consistency_error b)));
+    Alcotest.test_case "abort_async clears undelivered batch pages" `Quick (fun () ->
+        with_disk 8 (fun d ->
+            let b = Buffer_manager.create ~capacity:6 d in
+            Disk.reset_clock d;
+            List.iter (fun pid -> ignore (Buffer_manager.prefetch b pid)) [ 2; 3; 4 ];
+            (match Buffer_manager.await_one ~window:8 b with
+            | Some (_, frame) -> Buffer_manager.unfix b frame
+            | None -> Alcotest.fail "expected a page");
+            check bool "entries queued behind the first" true
+              (Buffer_manager.completed_count b > 0);
+            Buffer_manager.abort_async b;
+            check int "queue cleared" 0 (Buffer_manager.completed_count b);
+            check int "no pins left" 0 (Buffer_manager.pinned_count b);
+            Buffer_manager.reset b;
+            check Alcotest.(option string) "buffer consistent" None
+              (Buffer_manager.consistency_error b)));
+  ]
+
+let batch_props =
+  let open QCheck2 in
+  [
+    Test.make ~name:"sched: elevator sweeps up from the head, then back down" ~count:200
+      Gen.(pair (int_range 0 99) (list_size (int_range 1 40) (int_range 0 99)))
+      (fun (head, pids) ->
+        let d = Disk.create () in
+        for _ = 1 to 100 do ignore (Disk.alloc d) done;
+        ignore (Disk.read d head);
+        let s = Io_scheduler.create ~policy:Io_scheduler.Elevator d in
+        List.iter (Io_scheduler.submit s) pids;
+        let unique = List.sort_uniq Stdlib.compare pids in
+        let up = List.filter (fun p -> p >= head) unique in
+        let down = List.filter (fun p -> p < head) unique |> List.rev in
+        complete_all s = up @ down);
+    Test.make ~name:"sched: cscan sweeps up then wraps to the lowest page" ~count:200
+      Gen.(pair (int_range 0 99) (list_size (int_range 1 40) (int_range 0 99)))
+      (fun (head, pids) ->
+        let d = Disk.create () in
+        for _ = 1 to 100 do ignore (Disk.alloc d) done;
+        ignore (Disk.read d head);
+        let s = Io_scheduler.create ~policy:Io_scheduler.Cscan d in
+        List.iter (Io_scheduler.submit s) pids;
+        let unique = List.sort_uniq Stdlib.compare pids in
+        let up = List.filter (fun p -> p >= head) unique in
+        let wrapped = List.filter (fun p -> p < head) unique in
+        complete_all s = up @ wrapped);
+    Test.make ~name:"sched: sstf breaks equidistant ties toward the lower page" ~count:200
+      Gen.(pair (int_range 10 89) (int_range 1 10))
+      (fun (head, dist) ->
+        let d = Disk.create () in
+        for _ = 1 to 100 do ignore (Disk.alloc d) done;
+        ignore (Disk.read d head);
+        let s = Io_scheduler.create ~policy:Io_scheduler.Sstf d in
+        Io_scheduler.submit s (head + dist);
+        Io_scheduler.submit s (head - dist);
+        match Io_scheduler.complete_one s with
+        | Some (pid, _) -> pid = head - dist
+        | None -> false);
+    Test.make ~name:"sched: window 0 batching is exactly the single-page path" ~count:200
+      Gen.(pair (oneofl Io_scheduler.all_policies) (list_size (int_range 1 40) (int_range 0 99)))
+      (fun (policy, pids) ->
+        let make () =
+          let d = Disk.create () in
+          for _ = 1 to 100 do ignore (Disk.alloc d) done;
+          let s = Io_scheduler.create ~policy d in
+          List.iter (Io_scheduler.submit s) pids;
+          (d, s)
+        in
+        let d1, s1 = make () in
+        let d2, s2 = make () in
+        let one_by_one = complete_all s1 in
+        let batched = complete_all_batched ~window:0 s2 in
+        one_by_one = batched
+        && abs_float (Disk.elapsed d1 -. Disk.elapsed d2) < 1e-12
+        && Disk.stats d1 = Disk.stats d2
+        && (Disk.stats d2).Disk.batched_reads = 0);
+    Test.make ~name:"sched: batches are contiguous runs of at most window pages" ~count:200
+      Gen.(
+        triple (oneofl Io_scheduler.all_policies) (int_range 1 16)
+          (list_size (int_range 1 40) (int_range 0 99)))
+      (fun (policy, window, pids) ->
+        let d = Disk.create () in
+        for _ = 1 to 100 do ignore (Disk.alloc d) done;
+        let s = Io_scheduler.create ~policy d in
+        List.iter (Io_scheduler.submit s) pids;
+        let runs_ok = ref true in
+        let delivered = ref [] in
+        let rec go () =
+          match Io_scheduler.complete_batch ~window s with
+          | None -> ()
+          | Some pages ->
+            let run = List.map fst pages in
+            let rec contiguous = function
+              | a :: (b :: _ as rest) -> b = a + 1 && contiguous rest
+              | _ -> true
+            in
+            if not (contiguous run && List.length run <= window) then runs_ok := false;
+            delivered := !delivered @ run;
+            go ()
+        in
+        go ();
+        !runs_ok
+        && List.sort Stdlib.compare !delivered = List.sort_uniq Stdlib.compare pids
+        && (Disk.stats d).Disk.batch_pages = List.length !delivered);
+  ]
+
+(* --- Buffer manager -------------------------------------------------------- *)
 
 let buffer_tests =
   [
@@ -448,6 +644,8 @@ let suite =
     ("storage.disk", disk_tests);
     ("storage.sched", sched_tests);
     Gen.qsuite "storage.sched.props" sched_props;
+    ("storage.batch", batch_tests);
+    Gen.qsuite "storage.batch.props" batch_props;
     ("storage.buffer", buffer_tests);
     ("storage.replacement", replacement_tests);
     Gen.qsuite "storage.buffer.props" buffer_props;
