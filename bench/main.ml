@@ -23,6 +23,7 @@ module Exec = Xnav_core.Exec
 module Context = Xnav_core.Context
 module Xmark = Xnav_xmark.Gen
 module Queries = Xnav_xmark.Queries
+module Workload = Xnav_workload.Workload
 
 (* --- configuration --------------------------------------------------------- *)
 
@@ -896,7 +897,7 @@ let json_mode ~profile cfg out_file =
   let out =
     jobj
       [
-        ("schema", jstring "xnav-bench/2");
+        ("schema", jstring "xnav-bench/3");
         ("profile", jstring profile);
         ( "config",
           jobj
@@ -918,6 +919,180 @@ let json_mode ~profile cfg out_file =
   Printf.printf "wrote %d benchmark rows and %d micro rows to %s\n" (List.length !rows)
     (List.length micro_rows) out_file;
   out
+
+(* --- concurrent workload mode (--workload) ------------------------------------ *)
+
+(* The paper's evaluation mix run as a session workload: every path of
+   q6'/q7/q15 becomes one job, planned with XSchedule (speculative off,
+   as in Sec. 6.2). *)
+let workload_mix () =
+  List.concat_map
+    (fun (q : Queries.t) ->
+      List.mapi
+        (fun i path ->
+          {
+            Workload.label = Printf.sprintf "%s.%d" q.Queries.name i;
+            path;
+            plan = Plan.xschedule ~speculative:false ();
+            timeout = None;
+          })
+        q.Queries.paths)
+    [ Queries.q6'; Queries.q7; Queries.q15 ]
+
+let workload_mode ~profile cfg ~clients out_file =
+  section_header
+    (Printf.sprintf "concurrent workload — %d closed-loop clients over the q6'/q7/q15 mix" clients);
+  let doc =
+    Xmark.generate
+      ~config:{ Xmark.default_config with Xmark.scale = 1.0; fidelity = cfg.fidelity }
+      ()
+  in
+  let store, import = make_store cfg doc in
+  let config = { Context.default_config with Context.validate = true } in
+  let mix = workload_mix () in
+  (* Serial baseline: each job of the mix run alone, started cold. The
+     concurrent run must beat [clients] independent serial passes, or the
+     session layer is not sharing any I/O across queries. *)
+  let serial_reads =
+    List.fold_left
+      (fun acc (s : Workload.spec) ->
+        let r = Exec.cold_run ~config ~ordered:false store s.Workload.path s.Workload.plan in
+        acc + r.Exec.metrics.Exec.page_reads)
+      0 mix
+  in
+  (* Each client works through the whole mix, rotated by its index so the
+     clients are out of phase and every query sees contention. *)
+  let rotate k xs =
+    let k = k mod List.length xs in
+    let rec go i acc = function
+      | rest when i = 0 -> rest @ List.rev acc
+      | x :: rest -> go (i - 1) (x :: acc) rest
+      | [] -> List.rev acc
+    in
+    go k [] xs
+  in
+  let queues = Array.init clients (fun i -> rotate i mix) in
+  let r = Workload.run_clients ~config ~cold:true store queues in
+  if r.Workload.violations <> [] then begin
+    Printf.eprintf "bench --workload: invariant violations after the run:\n";
+    List.iter (fun v -> Printf.eprintf "  %s\n" v) r.Workload.violations;
+    exit 1
+  end;
+  let pinned = Buffer_manager.pinned_count (Store.buffer store) in
+  if pinned <> 0 then begin
+    Printf.eprintf "bench --workload: %d frame(s) left pinned\n" pinned;
+    exit 1
+  end;
+  let total_jobs = List.length r.Workload.jobs in
+  let expected_jobs = clients * List.length mix in
+  if total_jobs <> expected_jobs then begin
+    Printf.eprintf "bench --workload: %d of %d jobs completed\n" total_jobs expected_jobs;
+    exit 1
+  end;
+  let read_budget = clients * serial_reads in
+  if serial_reads > 0 && r.Workload.page_reads >= read_budget then begin
+    Printf.eprintf
+      "bench --workload: no cross-query sharing: %d page reads, budget %d (%d clients x %d serial)\n"
+      r.Workload.page_reads read_budget clients serial_reads;
+    exit 1
+  end;
+  let latencies = List.map (fun (j : Workload.job) -> j.Workload.latency) r.Workload.jobs in
+  let p50 = Workload.percentile latencies 50.0 in
+  let p95 = Workload.percentile latencies 95.0 in
+  let p99 = Workload.percentile latencies 99.0 in
+  let throughput =
+    if r.Workload.total_time > 0.0 then float_of_int total_jobs /. r.Workload.total_time else 0.0
+  in
+  let count_status st =
+    List.length (List.filter (fun (j : Workload.job) -> j.Workload.status = st) r.Workload.jobs)
+  in
+  let yields = List.fold_left (fun a (j : Workload.job) -> a + j.Workload.yields) 0 r.Workload.jobs in
+  let boosts = List.fold_left (fun a (j : Workload.job) -> a + j.Workload.boosts) 0 r.Workload.jobs in
+  Printf.printf "%d jobs (%d completed, %d recovered, %d timed out), max %d concurrent, %d turns\n"
+    total_jobs (count_status Workload.Completed) (count_status Workload.Recovered)
+    (count_status Workload.Timed_out) r.Workload.max_concurrent r.Workload.turns;
+  Printf.printf "throughput %.1f jobs/s   latency p50 %.4fs  p95 %.4fs  p99 %.4fs\n" throughput p50
+    p95 p99;
+  Printf.printf "page reads %d vs budget %d (%d clients x %d serial) — sharing factor %.2fx\n"
+    r.Workload.page_reads read_budget clients serial_reads
+    (float_of_int read_budget /. float_of_int (max 1 r.Workload.page_reads));
+  Printf.printf "coalescing: %d batched reads over %d pages in %d runs; %d yields, %d boosts\n"
+    r.Workload.batched_reads r.Workload.batch_pages r.Workload.coalesce_runs yields boosts;
+  let job_rows =
+    List.map
+      (fun (j : Workload.job) ->
+        jobj
+          [
+            ("label", jstring j.Workload.job_label);
+            ("client", string_of_int j.Workload.client);
+            ("status", jstring (Workload.status_to_string j.Workload.status));
+            ("count", string_of_int j.Workload.count);
+            ("submitted", jfloat j.Workload.submitted);
+            ("started", jfloat j.Workload.started);
+            ("finished", jfloat j.Workload.finished);
+            ("latency", jfloat j.Workload.latency);
+            ("pin_wait", jfloat j.Workload.pin_wait);
+            ("served_ticks", string_of_int j.Workload.served_ticks);
+            ("starved_ticks", string_of_int j.Workload.starved_ticks);
+            ("yields", string_of_int j.Workload.yields);
+            ("boosts", string_of_int j.Workload.boosts);
+            ("fell_back", if j.Workload.fell_back then "true" else "false");
+          ])
+      r.Workload.jobs
+  in
+  let out =
+    jobj
+      [
+        ("schema", jstring "xnav-bench/3");
+        ("mode", jstring "workload");
+        ("profile", jstring profile);
+        ( "config",
+          jobj
+            [
+              ("fidelity", jfloat cfg.fidelity);
+              ("page_size", string_of_int cfg.page_size);
+              ("buffer", string_of_int cfg.buffer);
+              ("scale", jfloat 1.0);
+              ("clients", string_of_int clients);
+              ("nodes", string_of_int import.Import.node_count);
+              ("pages", string_of_int import.Import.page_count);
+            ] );
+        ( "workload",
+          jobj
+            [
+              ("clients", string_of_int clients);
+              ("jobs", string_of_int total_jobs);
+              ("completed", string_of_int (count_status Workload.Completed));
+              ("recovered", string_of_int (count_status Workload.Recovered));
+              ("timed_out", string_of_int (count_status Workload.Timed_out));
+              ("throughput", jfloat throughput);
+              ("latency_p50", jfloat p50);
+              ("latency_p95", jfloat p95);
+              ("latency_p99", jfloat p99);
+              ("page_reads", string_of_int r.Workload.page_reads);
+              ("serial_page_reads", string_of_int serial_reads);
+              ("read_budget", string_of_int read_budget);
+              ("io_time", jfloat r.Workload.io_time);
+              ("cpu_time", jfloat r.Workload.cpu_time);
+              ("total_time", jfloat r.Workload.total_time);
+              ("seek_distance", string_of_int r.Workload.seek_distance);
+              ("batched_reads", string_of_int r.Workload.batched_reads);
+              ("batch_pages", string_of_int r.Workload.batch_pages);
+              ("coalesce_runs", string_of_int r.Workload.coalesce_runs);
+              ("max_concurrent", string_of_int r.Workload.max_concurrent);
+              ("turns", string_of_int r.Workload.turns);
+              ("yields", string_of_int yields);
+              ("boosts", string_of_int boosts);
+            ] );
+        ("jobs", jarr job_rows);
+      ]
+  in
+  check_json_shape out;
+  let oc = open_out out_file in
+  output_string oc out;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %d workload job rows to %s\n" total_jobs out_file
 
 (* --- baseline comparison (--compare) ------------------------------------------ *)
 
@@ -1112,16 +1287,23 @@ let compare_with_baseline ~tolerance current baseline_file =
           Printf.printf "compare: %-28s result count changed %d -> %d\n" label bc cc
         end
         else begin
-          let bt = jnum_exn "row.total_time" (jget brow "total_time") in
-          let ct = jnum_exn "row.total_time" (jget crow "total_time") in
-          if ct > bt *. (1. +. tolerance) && ct -. bt > floor_s then begin
-            incr failures;
-            Printf.printf
-              "compare: %-28s total_time regressed %.4fs -> %.4fs (+%.0f%%, tolerance %.0f%%)\n"
-              label bt ct
-              (100. *. (ct -. bt) /. bt)
-              (100. *. tolerance)
-          end
+          (* io_time is deterministic (simulated clock), so its floor
+             only absorbs rounding in the serialised floats; total_time
+             includes wall-clock cpu_time and needs the larger floor. *)
+          let gate field floor_s =
+            let bt = jnum_exn ("row." ^ field) (jget brow field) in
+            let ct = jnum_exn ("row." ^ field) (jget crow field) in
+            if ct > bt *. (1. +. tolerance) && ct -. bt > floor_s then begin
+              incr failures;
+              Printf.printf
+                "compare: %-28s %s regressed %.4fs -> %.4fs (+%.0f%%, tolerance %.0f%%)\n"
+                label field bt ct
+                (100. *. (ct -. bt) /. bt)
+                (100. *. tolerance)
+            end
+          in
+          gate "total_time" floor_s;
+          gate "io_time" 0.002
         end)
     base_rows;
   if !failures = 0 then
@@ -1269,6 +1451,24 @@ let () =
       else if quick then ("quick", quick_config)
       else ("full", full_config)
     in
+    if List.mem "--workload" args then begin
+      let clients =
+        match find_value "--clients" args with
+        | None -> 8
+        | Some v -> (
+          match int_of_string_opt v with
+          | Some n when n > 0 -> n
+          | _ ->
+            Printf.eprintf "bench --clients: not a positive integer: %s\n" v;
+            exit 1)
+      in
+      let out_file = Option.value (find_value "--json" args) ~default:"bench-workload.json" in
+      try workload_mode ~profile cfg ~clients out_file
+      with Malformed msg ->
+        Printf.eprintf "bench --workload: malformed output: %s\n" msg;
+        exit 1
+    end
+    else
     match json with
     | Some out_file -> begin
       try

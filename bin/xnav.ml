@@ -26,6 +26,7 @@ module Exec = Xnav_core.Exec
 module Query_exec = Xnav_core.Query_exec
 module Context = Xnav_core.Context
 module Xmark_gen = Xnav_xmark.Gen
+module Workload = Xnav_workload.Workload
 
 open Cmdliner
 
@@ -423,6 +424,124 @@ let check_cmd =
       const run $ cases $ check_seed $ doc_seed $ check_fidelity $ strategy $ page_size $ payload
       $ capacity $ policy $ replacement $ k_arg $ budget $ no_speculation $ path_opt)
 
+(* --- workload --------------------------------------------------------------------- *)
+
+let workload_cmd =
+  let paths_arg =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"PATH" ~doc:"Location paths; each becomes one job per client per round.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc:"Number of closed-loop clients.")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 1 & info [ "rounds" ] ~docv:"N" ~doc:"Times each client repeats the paths.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-job deadline in simulated seconds (aborted jobs report timed-out).")
+  in
+  let wplan =
+    let parse = function
+      | "simple" -> Ok Plan.simple
+      | "xschedule" | "schedule" -> Ok (Plan.xschedule ())
+      | "xscan" | "scan" -> Ok (Plan.xscan ())
+      | s -> Error (`Msg (Printf.sprintf "unknown plan %S" s))
+    in
+    let print ppf p = Fmt.string ppf (Plan.name p) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) (Plan.xschedule ())
+      & info [ "plan" ] ~docv:"PLAN" ~doc:"Plan for every job: simple, xschedule, xscan.")
+  in
+  let quantum_arg =
+    Arg.(
+      value
+      & opt float 0.004
+      & info [ "quantum" ] ~docv:"SECONDS" ~doc:"Per-turn cost credit in simulated seconds.")
+  in
+  let run paths clients rounds timeout plan quantum store =
+    if clients < 1 || rounds < 1 then begin
+      prerr_endline "xnav workload: --clients and --rounds must be positive";
+      exit 2
+    end;
+    let parsed = List.map (fun p -> (p, Xpath_parser.parse p)) paths in
+    let spec (label, path) = { Workload.label; path; plan; timeout } in
+    (* Clients start out of phase (each rotates the path list by its
+       index) so every path sees contention from the others. *)
+    let rotate k xs =
+      let k = k mod List.length xs in
+      let rec go i acc = function
+        | rest when i = 0 -> rest @ List.rev acc
+        | x :: rest -> go (i - 1) (x :: acc) rest
+        | [] -> List.rev acc
+      in
+      go k [] xs
+    in
+    let queues =
+      Array.init clients (fun i ->
+          List.concat (List.init rounds (fun _ -> List.map spec (rotate i parsed))))
+    in
+    let r = Workload.run_clients ~quantum ~cold:true store queues in
+    let count_status st =
+      List.length (List.filter (fun (j : Workload.job) -> j.Workload.status = st) r.Workload.jobs)
+    in
+    let jobs = List.length r.Workload.jobs in
+    Printf.printf "workload: %d clients x %d jobs each (%d paths x %d rounds), plan %s\n" clients
+      (List.length paths * rounds) (List.length paths) rounds (Plan.name plan);
+    Printf.printf "jobs %d: %d completed, %d recovered, %d timed out; max %d concurrent, %d turns\n"
+      jobs (count_status Workload.Completed) (count_status Workload.Recovered)
+      (count_status Workload.Timed_out) r.Workload.max_concurrent r.Workload.turns;
+    let lats = List.map (fun (j : Workload.job) -> j.Workload.latency) r.Workload.jobs in
+    let throughput =
+      if r.Workload.total_time > 0.0 then float_of_int jobs /. r.Workload.total_time else 0.0
+    in
+    Printf.printf "throughput %.1f jobs/s   latency p50 %.4fs  p95 %.4fs  p99 %.4fs\n" throughput
+      (Workload.percentile lats 50.0) (Workload.percentile lats 95.0)
+      (Workload.percentile lats 99.0);
+    Printf.printf "io %.4fs  page reads %d  seek %d  batched %d reads / %d pages in %d runs\n"
+      r.Workload.io_time r.Workload.page_reads r.Workload.seek_distance r.Workload.batched_reads
+      r.Workload.batch_pages r.Workload.coalesce_runs;
+    Printf.printf "fairness per path:\n";
+    Printf.printf "  %-28s %5s %9s %9s %7s %8s %7s %7s\n" "path" "jobs" "mean-lat" "pin-wait"
+      "served" "starved" "yields" "boosts";
+    List.iter
+      (fun (label, _) ->
+        let js =
+          List.filter (fun (j : Workload.job) -> j.Workload.job_label = label) r.Workload.jobs
+        in
+        let n = List.length js in
+        let sumf f = List.fold_left (fun a j -> a +. f j) 0.0 js in
+        let sumi f = List.fold_left (fun a j -> a + f j) 0 js in
+        Printf.printf "  %-28s %5d %9.4f %9.4f %7d %8d %7d %7d\n" label n
+          (sumf (fun j -> j.Workload.latency) /. float_of_int (max 1 n))
+          (sumf (fun j -> j.Workload.pin_wait) /. float_of_int (max 1 n))
+          (sumi (fun j -> j.Workload.served_ticks))
+          (sumi (fun j -> j.Workload.starved_ticks))
+          (sumi (fun j -> j.Workload.yields))
+          (sumi (fun j -> j.Workload.boosts)))
+      parsed;
+    if r.Workload.violations <> [] then begin
+      prerr_endline "invariant violations:";
+      List.iter (fun v -> Printf.eprintf "  %s\n" v) r.Workload.violations;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:
+         "Run concurrent queries as closed-loop clients over one shared buffer pool, reporting \
+          latency percentiles and fairness counters.")
+    Term.(
+      const run $ paths_arg $ clients_arg $ rounds_arg $ timeout_arg $ wplan $ quantum_arg
+      $ common_store_term)
+
 (* --- export ----------------------------------------------------------------------- *)
 
 let export_cmd =
@@ -451,4 +570,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; import_cmd; stats_cmd; explain_cmd; query_cmd; check_cmd; export_cmd ]))
+          [
+            gen_cmd;
+            import_cmd;
+            stats_cmd;
+            explain_cmd;
+            query_cmd;
+            check_cmd;
+            workload_cmd;
+            export_cmd;
+          ]))

@@ -13,6 +13,7 @@ module Plan = Xnav_core.Plan
 module Exec = Xnav_core.Exec
 module Multi = Xnav_core.Multi
 module Interleave = Xnav_core.Interleave
+module Workload = Xnav_workload.Workload
 module Context = Xnav_core.Context
 module Xmark_gen = Xnav_xmark.Gen
 
@@ -338,6 +339,59 @@ let check_batching_case case =
   let store, _import = build_store ~doc case.physical in
   check_batching_built ~store case
 
+(* --- workload tier -------------------------------------------------------- *)
+
+(* Concurrency must be invisible in the answers: running every plan of
+   the case at once through the workload engine — admission control,
+   interleaved streams, cross-query coalescing, Buffer_full recovery and
+   all — must give each query exactly the node set its serial cold run
+   produces. The sampled capacities go down to 1, which exercises the
+   degenerate serialising admission path. *)
+let check_workload_built ~store case =
+  let config = context_config case in
+  let mismatches = ref [] in
+  let record plan detail = mismatches := { plan; detail } :: !mismatches in
+  let plans = plans_for case in
+  let serial =
+    List.map
+      (fun (name, plan) ->
+        (name, ids_of (Exec.cold_run ~config store case.path plan).Exec.nodes))
+      plans
+  in
+  let specs =
+    List.map
+      (fun (name, plan) -> { Workload.label = name; path = case.path; plan; timeout = None })
+      plans
+  in
+  (match Workload.run ~config ~cold:true store specs with
+  | r ->
+    List.iter
+      (fun (job : Workload.job) ->
+        let expected = List.assoc job.Workload.job_label serial in
+        let got = ids_of job.Workload.nodes in
+        if got <> expected then
+          record job.Workload.job_label
+            (Format.asprintf "serial: %d nodes %a, concurrent (%s): %d nodes %a"
+               (List.length expected) pp_ids expected
+               (Workload.status_to_string job.Workload.status)
+               (List.length got) pp_ids got))
+      r.Workload.jobs;
+    if List.length r.Workload.jobs <> List.length plans then
+      record "workload"
+        (Printf.sprintf "%d queries submitted but %d jobs reported" (List.length plans)
+           (List.length r.Workload.jobs));
+    List.iter (fun msg -> record "workload" msg) r.Workload.violations;
+    (match storage_clean store with
+    | None -> ()
+    | Some msg -> record "workload" msg)
+  | exception e -> record "workload" (Printf.sprintf "raised %s" (Printexc.to_string e)));
+  List.rev !mismatches
+
+let check_workload_case case =
+  let doc = cached_document ~doc_seed:case.doc_seed ~fidelity:case.fidelity in
+  let store, _import = build_store ~doc case.physical in
+  check_workload_built ~store case
+
 (* --- shrinking ------------------------------------------------------------ *)
 
 (* Move one dimension of the case toward the default / a smaller input.
@@ -488,3 +542,9 @@ let run_batching ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(
     ~check_one:(fun ~doc:_ ~store ~import:_ case -> check_batching_built ~store case)
     ~runs_of:(fun case -> 2 * List.length (plans_for case))
     ~shrink_check:check_batching_case ~seed ~cases ~paths_per_store ~log
+
+let run_workload ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(log = ignore) () =
+  run_tier
+    ~check_one:(fun ~doc:_ ~store ~import:_ case -> check_workload_built ~store case)
+    ~runs_of:(fun case -> 2 * List.length (plans_for case))
+    ~shrink_check:check_workload_case ~seed ~cases ~paths_per_store ~log

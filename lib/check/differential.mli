@@ -61,6 +61,15 @@ val check_batching_case : case -> mismatch list
     the full invariant suite, and that the knobs-off run left every
     batch/window counter at zero. *)
 
+val check_workload_case : case -> mismatch list
+(** Differential check of the concurrent workload engine: build the
+    case's store, run every plan serially cold, then run them all {e at
+    once} through {!Xnav_workload.Workload.run} — asserting each query's
+    concurrent node set equals its serial one, that the engine reported
+    one job per query with no invariant violations, and that the storage
+    layer ends clean. Capacities sampled down to 1 exercise the
+    serialising admission path. *)
+
 val shrink : ?budget:int -> case -> case
 (** Greedily simplify a failing case — drop path steps, lower fidelity,
     move the physical configuration and run parameters toward defaults —
@@ -110,3 +119,14 @@ val run_batching :
   report
 (** Like {!run} but applying {!check_batching_case}'s knobs-off/knobs-on
     comparison to every sampled case (two executions per plan). *)
+
+val run_workload :
+  ?seed:int ->
+  ?cases:int ->
+  ?paths_per_store:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  report
+(** Like {!run} but applying {!check_workload_case}'s serial/concurrent
+    comparison to every sampled case (two executions per plan: one
+    serial, one through the workload engine). *)

@@ -52,6 +52,8 @@ type counters = {
   mutable swizzle_misses : int;
   mutable scan_windows : int;
   mutable scan_window_pages : int;
+  mutable served_ticks : int;
+  mutable starved_ticks : int;
 }
 
 type t = {
@@ -89,6 +91,8 @@ let create ?(config = default_config) store =
         swizzle_misses = 0;
         scan_windows = 0;
         scan_window_pages = 0;
+        served_ticks = 0;
+        starved_ticks = 0;
       };
   }
 

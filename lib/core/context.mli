@@ -89,6 +89,13 @@ type counters = {
   mutable swizzle_misses : int;  (** Cache misses (first decode of a slot). *)
   mutable scan_windows : int;  (** Adaptive scan windows entered by XSchedule. *)
   mutable scan_window_pages : int;  (** Pages swept inside those windows. *)
+  mutable served_ticks : int;
+      (** Workload-fairness counter: scheduler turns in which this
+          query's stream was the one chosen to run (see
+          {!Xnav_workload.Workload}). Always 0 for stand-alone runs. *)
+  mutable starved_ticks : int;
+      (** Scheduler turns this query sat runnable while another query
+          was chosen. Always 0 for stand-alone runs. *)
 }
 
 type t = {

@@ -212,6 +212,7 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
 type stream = {
   next : unit -> Store.info option;
   stream_ctx : Context.t;
+  stream_sched : Xschedule.t option;
   stream_abandon : unit -> unit;
 }
 
@@ -231,6 +232,7 @@ let prepare ?config ?contexts ?trace store path plan =
   {
     next;
     stream_ctx = ctx;
+    stream_sched = xschedule;
     stream_abandon =
       (fun () ->
         Option.iter Xschedule.abandon xschedule;
@@ -240,6 +242,15 @@ let prepare ?config ?contexts ?trace store path plan =
 let stream_next stream = stream.next ()
 let stream_fell_back stream = Context.fallback stream.stream_ctx
 let stream_abandon stream = stream.stream_abandon ()
+let stream_ctx stream = stream.stream_ctx
+
+let stream_demand stream =
+  match stream.stream_sched with Some x -> Xschedule.queued_clusters x | None -> []
+
+let stream_scan_window stream = Option.bind stream.stream_sched Xschedule.scan_window
+
+let stream_violations ?results stream =
+  Invariant.post_run ?xschedule:stream.stream_sched ?results stream.stream_ctx
 
 let cold_run ?config ?contexts ?trace ?ordered store path plan =
   let buffer = Store.buffer store in

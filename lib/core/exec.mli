@@ -98,6 +98,28 @@ val stream_next : stream -> Xnav_store.Store.info option
 
 val stream_fell_back : stream -> bool
 
+val stream_ctx : stream -> Context.t
+(** The stream's execution context — counters (including the
+    workload-fairness [served_ticks]/[starved_ticks]) accumulate here as
+    the stream is pulled. *)
+
+val stream_demand : stream -> int list
+(** The clusters the stream's XSchedule operator currently has queued
+    items for (unordered; [[]] for plans without an XSchedule). The
+    workload scheduler boosts a stream whose demand overlaps work that is
+    already cheap: resident pages, another stream's open scan window, or
+    a coalescible pending run. *)
+
+val stream_scan_window : stream -> (int * int) option
+(** The stream's active adaptive scan window as inclusive page bounds,
+    if its XSchedule has one open. *)
+
+val stream_violations : ?results:int -> stream -> string list
+(** {!Invariant.post_run} over the stream's context and I/O operator.
+    Only meaningful once the whole buffer pool is quiescent (every
+    concurrent stream finished or abandoned) — the buffer-level checks
+    are global. *)
+
 val stream_abandon : stream -> unit
 (** Tear the stream's I/O operator down (release its cluster pin,
     cancel its outstanding I/O, drop queued work). Use when a

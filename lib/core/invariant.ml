@@ -57,6 +57,8 @@ let post_run ?xschedule ?results ctx =
       ("swizzle_misses", c.Context.swizzle_misses);
       ("scan_windows", c.Context.scan_windows);
       ("scan_window_pages", c.Context.scan_window_pages);
+      ("served_ticks", c.Context.served_ticks);
+      ("starved_ticks", c.Context.starved_ticks);
     ]
   in
   List.iter (fun (name, v) -> if v < 0 then fail "counter %s is negative (%d)" name v) non_negative;

@@ -48,6 +48,10 @@ let create ctx ~path_len ~contexts =
 let queue_size t = t.qsize
 let refused_count t = List.length t.refused
 
+let queued_clusters t = Hashtbl.fold (fun pid _ acc -> pid :: acc) t.queue []
+
+let scan_window t = if t.window_next <= t.window_hi then Some (t.window_next, t.window_hi) else None
+
 let buffer t = Store.buffer t.ctx.Context.store
 
 (* Queue an item and make sure its cluster's I/O has been requested. A
@@ -376,19 +380,17 @@ let rec next t =
                    prefetch was refused); [pick_direct] serves one so the
                    pick — and with it the I/O trace — is deterministic. *)
                 match pick_direct t with
-                | Some pid -> begin
-                  match Store.view t.ctx.Context.store pid with
-                  | view ->
-                    make_current t pid view;
-                    next t
-                  | exception Buffer_manager.Buffer_full ->
-                    failwith
-                      (Printf.sprintf
-                         "Xschedule: no forward progress: %d items queued but cluster %d cannot \
-                          be loaded (all %d buffer frames are pinned)"
-                         t.qsize pid
-                         (Buffer_manager.capacity (buffer t)))
-                end
+                | Some pid ->
+                  (* [Store.view] may raise [Buffer_full]. For a
+                     stand-alone run that cannot happen (the current pin
+                     was released above, so at least one frame is
+                     evictable); under concurrent streams the other
+                     queries' pins can exhaust the pool, and the raised
+                     [Buffer_full] is the driver's signal to tear this
+                     stream down and recover (fallback restart, or the
+                     workload layer's serial recompute). *)
+                  make_current t pid (Store.view t.ctx.Context.store pid);
+                  next t
                 | None ->
                   failwith
                     (Printf.sprintf

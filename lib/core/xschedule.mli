@@ -50,6 +50,16 @@ val refused_count : t -> int
     that await a retry by the dispatch loop. Zero once [next] has
     returned [None]. *)
 
+val queued_clusters : t -> int list
+(** The clusters with queued items (unordered). The workload scheduler
+    uses this as the query's {e demand set}: a queued cluster that is
+    already resident, inside another query's scan window, or adjacent to
+    other pending requests makes this query worth serving next. *)
+
+val scan_window : t -> (int * int) option
+(** The active adaptive scan window as [(next, hi)] inclusive page
+    bounds, or [None] when no window is open. *)
+
 val abandon : t -> unit
 (** Tear the operator down mid-run: release the current cluster pin,
     cancel outstanding prefetches and discard all queued work (counted

@@ -123,6 +123,18 @@ let complete_batch ?(window = 0) ?(limit = max_int) t =
     match complete_one t with
     | None -> None
     | Some page -> Some [ page ]
+  else if Int_set.cardinal t.pending = 1 then
+    (* A queue of depth 1 is a sparse demand stream: there is nothing to
+       coalesce with, so the asynchronous completion bookkeeping
+       ([async_overhead]) would be pure loss on every page. Serve the
+       lone request as a direct demand read instead — q15-style streams
+       (one navigation, one page, repeat) then cost exactly what the
+       synchronous path charges. *)
+    match pick t with
+    | None -> None
+    | Some pid ->
+      remove t pid;
+      Some [ (pid, Disk.read t.disk pid) ]
   else
     match pick t with
     | None -> None

@@ -53,8 +53,13 @@ val complete_batch : ?window:int -> ?limit:int -> t -> (int * Bytes.t) list opti
     past pages a demand stream may still ask for. Duplicate submissions
     were already absorbed at {!submit} time, so a page appears in at
     most one batch. [window <= 0] (the default) is byte-for-byte
-    {!complete_one}: same pick, same cost, same trace. [None] iff
-    nothing is pending; the returned list is never empty. *)
+    {!complete_one}: same pick, same cost, same trace. With a positive
+    window and exactly one request pending, the batch machinery is
+    bypassed entirely: the page is served as a direct {!Disk.read} with
+    no [async_overhead] (a depth-1 queue is a sparse demand stream —
+    there is nothing to coalesce, so the asynchronous bookkeeping would
+    be pure loss). [None] iff nothing is pending; the returned list is
+    never empty. *)
 
 val cancel : t -> int -> bool
 (** Drop a pending request (e.g. the page arrived in the buffer through

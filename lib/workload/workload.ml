@@ -1,0 +1,355 @@
+module Store = Xnav_store.Store
+module Node_id = Xnav_store.Node_id
+module Disk = Xnav_storage.Disk
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Io_scheduler = Xnav_storage.Io_scheduler
+module Ordpath = Xnav_xml.Ordpath
+module Context = Xnav_core.Context
+module Plan = Xnav_core.Plan
+module Exec = Xnav_core.Exec
+module Vec = Xnav_core.Vec
+
+type spec = {
+  label : string;
+  path : Xnav_xpath.Path.t;
+  plan : Plan.t;
+  timeout : float option;
+}
+
+type status = Completed | Timed_out | Recovered
+
+let status_to_string = function
+  | Completed -> "completed"
+  | Timed_out -> "timed-out"
+  | Recovered -> "recovered"
+
+type job = {
+  job_label : string;
+  client : int;
+  status : status;
+  nodes : Store.info list;
+  count : int;
+  submitted : float;
+  started : float;
+  finished : float;
+  latency : float;
+  pin_wait : float;
+  served_ticks : int;
+  starved_ticks : int;
+  yields : int;
+  boosts : int;
+  fell_back : bool;
+}
+
+type result = {
+  jobs : job list;
+  io_time : float;
+  cpu_time : float;
+  total_time : float;
+  page_reads : int;
+  seek_distance : int;
+  batched_reads : int;
+  batch_pages : int;
+  coalesce_runs : int;
+  max_concurrent : int;
+  turns : int;
+  violations : string list;
+}
+
+type lane = {
+  spec : spec;
+  client : int;
+  submitted_at : float;
+  started_at : float;
+  stream : Exec.stream;
+  seen : unit Node_id.Tbl.t;
+  nodes : Store.info Vec.t;  (* arrival order *)
+  mutable yields : int;
+  mutable boosts : int;
+  mutable status : status;
+  mutable done_at : float;
+}
+
+(* Worst-case steady pin demand per admitted query: one held frame
+   (XSchedule's current cluster; Simple/XScan navigation pins are
+   transient, released before the stream yields) plus one frame of
+   headroom for the page being entered. Release-before-acquire inside
+   each operator means a query never needs both at once for itself, but
+   a crossing momentarily touches the next cluster while the batch
+   installer may hold completion-queue pins — two frames per query is
+   the bound under which no schedule can wedge the pool. *)
+let demand_frames = 2
+
+let percentile xs p =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+    let n = List.length sorted in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    List.nth sorted (min (n - 1) (max 0 (rank - 1)))
+
+let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients =
+  if Array.length clients = 0 then invalid_arg "Workload.run_clients: no clients";
+  let buffer = Store.buffer store in
+  let disk = Buffer_manager.disk buffer in
+  let sched = Buffer_manager.scheduler buffer in
+  if cold then begin
+    Buffer_manager.reset buffer;
+    Disk.reset_clock disk
+  end;
+  let disk_before = Disk.stats disk in
+  let io_before = Disk.elapsed disk in
+  let cpu_before = Sys.time () in
+  let now () = Disk.elapsed disk in
+  let capacity = Buffer_manager.capacity buffer in
+
+  (* Closed-loop clients: each entry is the client's remaining jobs; a
+     client's next job is submitted the moment the previous finishes. *)
+  let remaining = Array.map (fun l -> ref l) clients in
+  let waiting = Queue.create () in
+  let submit client =
+    match !(remaining.(client)) with
+    | [] -> ()
+    | spec :: rest ->
+      remaining.(client) <- ref rest;
+      Queue.add (client, spec, now ()) waiting
+  in
+  Array.iteri (fun client _ -> submit client) clients;
+
+  let active = ref [] in
+  let finished = ref [] in
+  let max_concurrent = ref 0 in
+  let turns = ref 0 in
+
+  let admit () =
+    let stop = ref false in
+    while (not !stop) && not (Queue.is_empty waiting) do
+      let n = List.length !active in
+      (* Alone is always admissible — the single-query engine makes
+         progress on any pool down to one frame (and recovers through the
+         fallback restart if it cannot). Company needs headroom. *)
+      if n = 0 || demand_frames * (n + 1) <= capacity then begin
+        let client, spec, submitted_at = Queue.pop waiting in
+        let lane =
+          {
+            spec;
+            client;
+            submitted_at;
+            started_at = now ();
+            stream = Exec.prepare ?config store spec.path spec.plan;
+            seen = Node_id.Tbl.create 64;
+            nodes = Vec.create ();
+            yields = 0;
+            boosts = 0;
+            status = Completed;
+            done_at = 0.0;
+          }
+        in
+        active := !active @ [ lane ];
+        if List.length !active > !max_concurrent then max_concurrent := List.length !active
+      end
+      else stop := true
+    done
+  in
+
+  let finish lane status =
+    active := List.filter (fun l -> l != lane) !active;
+    lane.status <- status;
+    lane.done_at <- now ();
+    finished := lane :: !finished;
+    submit lane.client
+  in
+
+  (* A query is boosted when some cluster it has queued demand for is
+     already cheap: resident in the shared pool, inside another query's
+     open scan window, or part of a coalescible pending run. Serving it
+     now converts another query's work (or the scheduler's batching) into
+     this query's progress — the cross-query coalescing of the tentpole. *)
+  let boosted all lane =
+    match Exec.stream_demand lane.stream with
+    | [] -> false
+    | demand ->
+      let windows =
+        List.filter_map
+          (fun l -> if l == lane then None else Exec.stream_scan_window l.stream)
+          all
+      in
+      List.exists
+        (fun pid ->
+          Buffer_manager.resident buffer pid
+          || (Io_scheduler.is_pending sched pid
+             && (Io_scheduler.is_pending sched (pid - 1) || Io_scheduler.is_pending sched (pid + 1)))
+          || List.exists (fun (lo, hi) -> pid >= lo && pid <= hi) windows)
+        demand
+  in
+
+  (* Serve one cost credit: run until the quantum's worth of simulated
+     time is spent, a random I/O fires (yield immediately — cheaper work
+     can run while the head repositions), the stream ends, or the pool is
+     exhausted (tear down, recompute serially later). The step cap keeps
+     rotation alive for queries that are momentarily free (every page
+     resident advances no simulated time at all). *)
+  let step_cap = 256 in
+  let serve lane =
+    let start = now () in
+    let steps = ref 0 in
+    let running = ref true in
+    while !running do
+      let rnd0 = (Disk.stats disk).Disk.random_reads in
+      match Exec.stream_next lane.stream with
+      | None ->
+        finish lane Completed;
+        running := false
+      | Some info ->
+        incr steps;
+        if not (Node_id.Tbl.mem lane.seen info.Store.id) then begin
+          Node_id.Tbl.replace lane.seen info.Store.id ();
+          Vec.push lane.nodes info
+        end;
+        if (Disk.stats disk).Disk.random_reads > rnd0 then begin
+          lane.yields <- lane.yields + 1;
+          running := false
+        end
+        else if now () -. start >= quantum || !steps >= step_cap then running := false
+      | exception Buffer_manager.Buffer_full ->
+        (* The pool is exhausted under contention (or this lane wedged
+           post-fallback). Unwind its async state and recompute the
+           answer with the Simple plan once everything has drained. *)
+        Exec.stream_abandon lane.stream;
+        finish lane Recovered;
+        running := false
+    done
+  in
+
+  let rr = ref 0 in
+  while !active <> [] || not (Queue.is_empty waiting) do
+    admit ();
+    (* Deadlines, on the simulated clock, before the turn is given out:
+       a timed-out query unwinds through abort_async and its client moves
+       on to its next job. *)
+    let t = now () in
+    List.iter
+      (fun lane ->
+        match lane.spec.timeout with
+        | Some dt when t -. lane.started_at >= dt ->
+          Exec.stream_abandon lane.stream;
+          finish lane Timed_out
+        | _ -> ())
+      !active;
+    match !active with
+    | [] -> ()
+    | lanes ->
+      incr turns;
+      let n = List.length lanes in
+      let k = !rr mod n in
+      incr rr;
+      let rotated = List.filteri (fun i _ -> i >= k) lanes @ List.filteri (fun i _ -> i < k) lanes in
+      let head = List.hd rotated in
+      let lane =
+        match List.filter (boosted lanes) rotated with
+        | [] -> head
+        | b :: _ ->
+          if b != head then b.boosts <- b.boosts + 1;
+          b
+      in
+      let c = (Exec.stream_ctx lane.stream).Context.counters in
+      c.Context.served_ticks <- c.Context.served_ticks + 1;
+      List.iter
+        (fun l ->
+          if l != lane then begin
+            let c = (Exec.stream_ctx l.stream).Context.counters in
+            c.Context.starved_ticks <- c.Context.starved_ticks + 1
+          end)
+        lanes;
+      serve lane
+  done;
+
+  (* The pool is quiescent now: recompute abandoned queries serially with
+     the Simple plan (the paper's fallback answer path). The recompute's
+     simulated time is charged to the job's latency. *)
+  List.iter
+    (fun lane ->
+      if lane.status = Recovered then begin
+        let io0 = now () in
+        let r = Exec.run ?config ~ordered:false store lane.spec.path Plan.simple in
+        Vec.clear lane.nodes;
+        List.iter (Vec.push lane.nodes) r.Exec.nodes;
+        lane.done_at <- lane.done_at +. (now () -. io0)
+      end)
+    (List.rev !finished);
+
+  let pinned = Buffer_manager.pinned_count buffer in
+  if pinned <> 0 then failwith (Printf.sprintf "Workload.run_clients: %d pages left pinned" pinned);
+  let violations =
+    let v = ref [] in
+    let fail fmt = Printf.ksprintf (fun msg -> v := msg :: !v) fmt in
+    let pending = Io_scheduler.pending_count sched in
+    if pending <> 0 then fail "io-scheduler: %d requests still pending after the workload" pending;
+    let completed = Buffer_manager.completed_count buffer in
+    if completed <> 0 then fail "buffer: %d batch-installed pages never delivered" completed;
+    (match Buffer_manager.consistency_error buffer with
+    | None -> ()
+    | Some msg -> fail "io-scheduler: %s" msg);
+    let validate =
+      match config with Some c -> c.Context.validate | None -> Context.default_config.Context.validate
+    in
+    if validate then
+      List.iter
+        (fun lane ->
+          List.iter
+            (fun msg -> fail "%s [%s]" msg lane.spec.label)
+            (Exec.stream_violations lane.stream))
+        !finished;
+    List.rev !v
+  in
+  if violations <> [] && (match config with Some c -> c.Context.validate | None -> false) then
+    failwith (Printf.sprintf "Workload invariant violation: %s" (String.concat "; " violations));
+
+  let cpu_time = Sys.time () -. cpu_before in
+  let io_time = Disk.elapsed disk -. io_before in
+  let disk_after = Disk.stats disk in
+  let to_job lane =
+    let nodes =
+      if lane.status = Timed_out then []
+      else if ordered then
+        Vec.sorted_to_list (fun (a : Store.info) b -> Ordpath.compare a.ordpath b.ordpath) lane.nodes
+      else Vec.to_list lane.nodes
+    in
+    let c = (Exec.stream_ctx lane.stream).Context.counters in
+    {
+      job_label = lane.spec.label;
+      client = lane.client;
+      status = lane.status;
+      nodes;
+      count = List.length nodes;
+      submitted = lane.submitted_at;
+      started = lane.started_at;
+      finished = lane.done_at;
+      latency = lane.done_at -. lane.submitted_at;
+      pin_wait = lane.started_at -. lane.submitted_at;
+      served_ticks = c.Context.served_ticks;
+      starved_ticks = c.Context.starved_ticks;
+      yields = lane.yields;
+      boosts = lane.boosts;
+      fell_back = Exec.stream_fell_back lane.stream;
+    }
+  in
+  {
+    jobs = List.rev_map to_job !finished;
+    io_time;
+    cpu_time;
+    total_time = io_time +. cpu_time;
+    page_reads = disk_after.Disk.reads - disk_before.Disk.reads;
+    seek_distance = disk_after.Disk.seek_distance - disk_before.Disk.seek_distance;
+    batched_reads = disk_after.Disk.batched_reads - disk_before.Disk.batched_reads;
+    batch_pages = disk_after.Disk.batch_pages - disk_before.Disk.batch_pages;
+    coalesce_runs = disk_after.Disk.coalesce_runs - disk_before.Disk.coalesce_runs;
+    max_concurrent = !max_concurrent;
+    turns = !turns;
+    violations;
+  }
+
+let run ?config ?quantum ?ordered ~cold store specs =
+  if specs = [] then invalid_arg "Workload.run: no queries";
+  run_clients ?config ?quantum ?ordered ~cold store
+    (Array.of_list (List.map (fun s -> [ s ]) specs))

@@ -1,0 +1,140 @@
+(** Concurrent multi-query workload engine.
+
+    The session layer the paper's outlook anticipates: N queries admitted
+    over {e one} shared {!Xnav_storage.Buffer_manager} /
+    {!Xnav_storage.Io_scheduler}, their XSchedule/XScan/Simple iterators
+    interleaved by a round-robin-with-cost-credit scheduler. Concurrent
+    queries' cluster requests merge in the scheduler's pending set, so
+    demand from different queries coalesces into the same sequential runs
+    a single XSchedule already exploits — contention becomes sharing.
+
+    {2 Scheduling}
+
+    Each turn serves one query for a {e cost credit} (the [quantum],
+    in simulated disk seconds): the query runs until its credit is spent,
+    until it triggers a random I/O (the expensive event the paper's cost
+    model penalises — the query yields immediately so cheaper work can
+    run while the head is repositioned), or until it finishes. Queries
+    whose queued demand is already cheap to serve — a demanded cluster is
+    resident, falls inside another query's open scan window, or sits in a
+    coalescible pending run ([pid±1] also pending) — are {e boosted}
+    ahead of plain round-robin order, which is what turns cross-query
+    contention into cross-query batching. Fairness is observable: the
+    chosen query's {!Xnav_core.Context.counters.served_ticks} and every
+    other runnable query's [starved_ticks] advance each turn.
+
+    {2 Admission}
+
+    A query is only admitted while its worst-case steady pin demand
+    cannot wedge the pool (generalising the capacity-1
+    release-before-acquire fix): every plan holds at most one steady pin
+    (XSchedule's current cluster; Simple/XScan navigation pins are
+    transient) plus one frame of headroom for the page being entered, so
+    [n] concurrent queries need [2n] frames and the next query is
+    admitted iff [2 (n + 1) <= capacity] — except that a query is
+    {e always} admitted when it would run alone, which keeps tiny pools
+    (capacity 1) live by degrading to serial execution. Batch installs
+    can still transiently overcommit a small pool; that cannot deadlock,
+    because a wedged query raises
+    {!Xnav_storage.Buffer_manager.Buffer_full}, is torn down through
+    {!Xnav_storage.Buffer_manager.abort_async} and is recomputed serially
+    once the pool is quiescent (status {!constructor:Recovered}).
+
+    {2 Clocks}
+
+    All latencies ([submitted]/[started]/[finished], and the derived
+    [latency] and [pin_wait]) are measured on the simulated disk clock —
+    deterministic, so percentiles are CI-stable. Process CPU time is
+    reported separately at the engine level. *)
+
+type spec = {
+  label : string;
+  path : Xnav_xpath.Path.t;
+  plan : Xnav_core.Plan.t;
+  timeout : float option;
+      (** Abort the job once it has been running (admitted) for this many
+          simulated seconds. The abort unwinds through
+          {!Xnav_storage.Buffer_manager.abort_async}; a timeout of [0.0]
+          aborts before the first scheduling turn. *)
+}
+
+type status =
+  | Completed  (** Ran to the end of its stream. *)
+  | Timed_out  (** Aborted at its deadline; [nodes] is empty. *)
+  | Recovered
+      (** The stream raised [Buffer_full] under pool contention and was
+          abandoned; the answer was recomputed serially with the Simple
+          plan once the pool drained, so [nodes] is still correct. *)
+
+val status_to_string : status -> string
+
+type job = {
+  job_label : string;
+  client : int;
+  status : status;
+  nodes : Xnav_store.Store.info list;  (** Duplicate-free; document order if [ordered]. *)
+  count : int;
+  submitted : float;
+  started : float;  (** Admission time; [started -. submitted] is the pin wait. *)
+  finished : float;
+  latency : float;  (** [finished -. submitted], simulated seconds. *)
+  pin_wait : float;
+  served_ticks : int;
+  starved_ticks : int;
+  yields : int;  (** Turns this job ended early by triggering a random I/O. *)
+  boosts : int;  (** Turns this job was served ahead of round-robin order. *)
+  fell_back : bool;
+}
+
+type result = {
+  jobs : job list;  (** In completion order. *)
+  io_time : float;
+  cpu_time : float;
+  total_time : float;
+  page_reads : int;
+  seek_distance : int;
+  batched_reads : int;
+  batch_pages : int;
+  coalesce_runs : int;
+  max_concurrent : int;  (** High-water mark of simultaneously admitted queries. *)
+  turns : int;  (** Scheduling turns taken. *)
+  violations : string list;
+      (** Invariant violations found by the end-of-run sweep (always
+          checked; a non-empty list here is an engine bug). With
+          [config.validate] set the sweep additionally runs
+          {!Xnav_core.Exec.stream_violations} per query and raises on any
+          finding. *)
+}
+
+val run_clients :
+  ?config:Xnav_core.Context.config ->
+  ?quantum:float ->
+  ?ordered:bool ->
+  cold:bool ->
+  Xnav_store.Store.t ->
+  spec list array ->
+  result
+(** [run_clients store clients] runs one closed-loop client per array
+    entry: each client submits its first job at engine start and its next
+    job the moment the previous one finishes (in any status), until its
+    list is exhausted. [quantum] is the per-turn cost credit in simulated
+    seconds (default [0.004], about one random access); [ordered]
+    (default [true]) sorts each job's nodes into document order. [cold]
+    resets the buffer pool and disk clock first.
+    @raise Failure if any frame is left pinned at the end, or (with
+    [config.validate]) on an invariant violation. *)
+
+val run :
+  ?config:Xnav_core.Context.config ->
+  ?quantum:float ->
+  ?ordered:bool ->
+  cold:bool ->
+  Xnav_store.Store.t ->
+  spec list ->
+  result
+(** [run store specs] submits every spec at once, each as its own
+    single-job client — maximal concurrency, subject to admission. *)
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0..100]: the nearest-rank percentile
+    of [xs] (0 on an empty list). *)

@@ -58,7 +58,26 @@ let sample_doc () =
       e "A" [ e "A" [ e "C" [ e "B" [] ] ] ];
     ]
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+(* CI determinism: every property test and differential tier runs from
+   this seed, so a CI failure reproduces locally with the exact same
+   cases. Override with XNAV_TEST_SEED=<int> (printed at suite start). *)
+let test_seed =
+  match Sys.getenv_opt "XNAV_TEST_SEED" with
+  | None -> 20050614
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None -> invalid_arg (Printf.sprintf "XNAV_TEST_SEED must be an integer, got %S" s))
+
+let () = Printf.printf "test seed: %d (override with XNAV_TEST_SEED)\n%!" test_seed
+
+(* Each property test gets its own generator state from the fixed seed,
+   so determinism survives test filtering and reordering. *)
+let qsuite name tests =
+  ( name,
+    List.map
+      (fun t -> QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| test_seed |]) t)
+      tests )
 
 (* Fresh disk with small pages (forces clustering on small documents). *)
 let small_disk ?(page_size = 512) () =

@@ -24,7 +24,7 @@ let check = Alcotest.check
 (* --- the sampled differential run ---------------------------------------- *)
 
 let differential_sample () =
-  let r = Differential.run ~cases:200 () in
+  let r = Differential.run ~seed:Gen.test_seed ~cases:200 () in
   check Alcotest.int "cases run" 200 r.Differential.cases_run;
   let reproducers =
     List.map (fun f -> Differential.reproducer f.Differential.shrunk) r.Differential.failures
@@ -243,7 +243,7 @@ let fallback_single_frame () =
 (* The swizzle differential tier: every plan, decode cache forced on and
    off, identical answers and identical queue counters. *)
 let swizzle_differential_sample () =
-  let r = Differential.run_swizzle ~cases:200 () in
+  let r = Differential.run_swizzle ~seed:Gen.test_seed ~cases:200 () in
   check Alcotest.int "cases run" 200 r.Differential.cases_run;
   let reproducers =
     List.map (fun f -> Differential.reproducer f.Differential.shrunk) r.Differential.failures
@@ -323,12 +323,23 @@ let xschedule_trace_is_stable () =
    scan windows fully off then fully on, identical answers under the
    full invariant suite. *)
 let batching_differential_sample () =
-  let r = Differential.run_batching ~cases:200 () in
+  let r = Differential.run_batching ~seed:Gen.test_seed ~cases:200 () in
   check Alcotest.int "cases run" 200 r.Differential.cases_run;
   let reproducers =
     List.map (fun f -> Differential.reproducer f.Differential.shrunk) r.Differential.failures
   in
   check Alcotest.(list string) "knobs-off and knobs-on runs agree" [] reproducers
+
+(* The workload differential tier: every plan of each case run serially
+   cold, then all at once through the concurrent engine — each query's
+   answer must be identical either way. *)
+let workload_differential_sample () =
+  let r = Differential.run_workload ~seed:Gen.test_seed ~cases:200 () in
+  check Alcotest.int "cases run" 200 r.Differential.cases_run;
+  let reproducers =
+    List.map (fun f -> Differential.reproducer f.Differential.shrunk) r.Differential.failures
+  in
+  check Alcotest.(list string) "concurrent and serial runs agree" [] reproducers
 
 let knobs_off =
   {
@@ -427,6 +438,11 @@ let suite =
         Alcotest.test_case "coalescing batches async reads" `Quick coalescing_batches_async_reads;
         Alcotest.test_case "scan windows open under dense pending sets" `Quick
           scan_windows_fire_when_dense;
+      ] );
+    ( "workload differential",
+      [
+        Alcotest.test_case "200 sampled cases: concurrent equals serial per query" `Slow
+          workload_differential_sample;
       ] );
     ( "scheduler regressions",
       [

@@ -1,0 +1,164 @@
+(* The concurrent workload engine: admission control, round-robin with
+   cost credits, cross-query coalescing, per-query timeout/abort, and
+   fairness accounting — all checked against serial runs of the same
+   queries. *)
+
+module Disk = Xnav_storage.Disk
+module Io_scheduler = Xnav_storage.Io_scheduler
+module Buffer_manager = Xnav_storage.Buffer_manager
+module Import = Xnav_store.Import
+module Store = Xnav_store.Store
+module Node_id = Xnav_store.Node_id
+module Xpath_parser = Xnav_xpath.Xpath_parser
+module Plan = Xnav_core.Plan
+module Exec = Xnav_core.Exec
+module Context = Xnav_core.Context
+module Workload = Xnav_workload.Workload
+
+let check = Alcotest.check
+
+let id_list = Alcotest.testable (Fmt.Dump.list Node_id.pp) (List.equal Node_id.equal)
+
+let doc () = Gen.wide_tree ~children:40 ()
+
+let build ~capacity tree =
+  let config = { Disk.default_config with Disk.page_size = 256 } in
+  let disk = Disk.create ~config () in
+  let import = Import.run ~payload:96 disk tree in
+  let buffer = Buffer_manager.create ~capacity ~policy:Io_scheduler.Elevator disk in
+  Store.attach buffer import
+
+let validating = { Context.default_config with Context.validate = true }
+
+let spec ?timeout label path plan =
+  { Workload.label; path = Xpath_parser.parse path; plan; timeout }
+
+let mix () =
+  [
+    spec "q-root" "/child::*" Plan.simple;
+    spec "q-x" "/child::*/child::x" (Plan.xschedule ());
+    spec "q-y" "/descendant::y" (Plan.xscan ());
+    spec "q-a" "/child::a" (Plan.xschedule ());
+  ]
+
+let ids_of nodes = List.map (fun (i : Store.info) -> i.Store.id) nodes |> List.sort Node_id.compare
+
+let serial_ids store config s =
+  ids_of (Exec.cold_run ~config store s.Workload.path s.Workload.plan).Exec.nodes
+
+let job_by_label r label =
+  List.find (fun (j : Workload.job) -> j.Workload.job_label = label) r.Workload.jobs
+
+(* Every query run concurrently must produce exactly its serial answer,
+   and the engine must end with the invariant layer clean. *)
+let concurrent_equals_serial () =
+  let store = build ~capacity:16 (doc ()) in
+  let specs = mix () in
+  let expected = List.map (fun s -> (s.Workload.label, serial_ids store validating s)) specs in
+  let r = Workload.run ~config:validating ~cold:true store specs in
+  check Alcotest.int "one job per query" (List.length specs) (List.length r.Workload.jobs);
+  check Alcotest.(list string) "no invariant violations" [] r.Workload.violations;
+  List.iter
+    (fun (label, want) ->
+      let j = job_by_label r label in
+      check Alcotest.string "completed"
+        (Workload.status_to_string Workload.Completed)
+        (Workload.status_to_string j.Workload.status);
+      check id_list label want (ids_of j.Workload.nodes))
+    expected;
+  check Alcotest.int "no pins leaked" 0 (Buffer_manager.pinned_count (Store.buffer store))
+
+(* Admission generalises the capacity-1 rule: a pool too small for two
+   queries' worst-case pin demand serialises them (but always admits a
+   lone query), while a large pool runs the whole mix at once. *)
+let admission_scales_with_capacity () =
+  let tree = doc () in
+  let small = build ~capacity:2 tree in
+  let r_small = Workload.run ~config:validating ~cold:true small (mix ()) in
+  check Alcotest.int "capacity 2 serialises" 1 r_small.Workload.max_concurrent;
+  check Alcotest.(list string) "small pool still clean" [] r_small.Workload.violations;
+  let roomy = build ~capacity:64 tree in
+  let r_roomy = Workload.run ~config:validating ~cold:true roomy (mix ()) in
+  check Alcotest.int "capacity 64 admits the whole mix" 4 r_roomy.Workload.max_concurrent;
+  (* Serialised admission makes later queries wait for the pool: the
+     wait is visible as pin-wait time on the simulated clock. *)
+  let total_wait = List.fold_left (fun a j -> a +. j.Workload.pin_wait) 0.0 r_small.Workload.jobs in
+  check Alcotest.bool "serialised queries waited for admission" true (total_wait > 0.0)
+
+(* A timeout aborts the query at its deadline: the job reports Timed_out
+   with no results, unwinds through abort_async without poisoning the
+   pool, and the other queries still answer correctly. *)
+let timeout_unwinds_cleanly () =
+  let store = build ~capacity:16 (doc ()) in
+  let doomed = spec ~timeout:0.0 "q-doomed" "/descendant::y" (Plan.xschedule ()) in
+  let survivor = spec "q-x" "/child::*/child::x" (Plan.xschedule ()) in
+  let expected = serial_ids store validating survivor in
+  let r = Workload.run ~config:validating ~cold:true store [ doomed; survivor ] in
+  let j_doomed = job_by_label r "q-doomed" in
+  check Alcotest.string "doomed job timed out"
+    (Workload.status_to_string Workload.Timed_out)
+    (Workload.status_to_string j_doomed.Workload.status);
+  check Alcotest.int "timed-out job has no results" 0 j_doomed.Workload.count;
+  let j_survivor = job_by_label r "q-x" in
+  check id_list "survivor answers correctly" expected (ids_of j_survivor.Workload.nodes);
+  check Alcotest.(list string) "pool unwound cleanly" [] r.Workload.violations;
+  check Alcotest.int "no pins leaked" 0 (Buffer_manager.pinned_count (Store.buffer store))
+
+(* Fairness accounting: each turn credits the chosen query and debits
+   every other runnable one, so under real concurrency every completed
+   query was served at least once and somebody was made to wait. *)
+let fairness_counters_advance () =
+  let store = build ~capacity:16 (doc ()) in
+  let r = Workload.run ~config:validating ~cold:true store (mix ()) in
+  check Alcotest.bool "ran concurrently" true (r.Workload.max_concurrent > 1);
+  List.iter
+    (fun (j : Workload.job) ->
+      check Alcotest.bool
+        (Printf.sprintf "%s was served" j.Workload.job_label)
+        true (j.Workload.served_ticks > 0))
+    r.Workload.jobs;
+  let starved = List.fold_left (fun a j -> a + j.Workload.starved_ticks) 0 r.Workload.jobs in
+  check Alcotest.bool "contention was recorded" true (starved > 0);
+  check Alcotest.bool "turns were taken" true (r.Workload.turns > 0)
+
+(* Closed-loop clients: each client submits its next job as soon as the
+   previous finishes, so every queued job runs exactly once. *)
+let closed_loop_clients_drain () =
+  let store = build ~capacity:16 (doc ()) in
+  let a = spec "a" "/child::*/child::x" (Plan.xschedule ()) in
+  let b = spec "b" "/descendant::y" (Plan.xscan ()) in
+  let want_a = serial_ids store validating a in
+  let want_b = serial_ids store validating b in
+  let r = Workload.run_clients ~config:validating ~cold:true store [| [ a; b ]; [ b; a ] |] in
+  check Alcotest.int "all four jobs ran" 4 (List.length r.Workload.jobs);
+  List.iter
+    (fun (j : Workload.job) ->
+      let want = if j.Workload.job_label = "a" then want_a else want_b in
+      check id_list j.Workload.job_label want (ids_of j.Workload.nodes))
+    r.Workload.jobs;
+  check Alcotest.(list string) "clean end" [] r.Workload.violations
+
+let percentiles_are_nearest_rank () =
+  let xs = [ 4.0; 1.0; 3.0; 2.0; 5.0 ] in
+  check (Alcotest.float 1e-9) "p50" 3.0 (Workload.percentile xs 50.0);
+  check (Alcotest.float 1e-9) "p95" 5.0 (Workload.percentile xs 95.0);
+  check (Alcotest.float 1e-9) "p99" 5.0 (Workload.percentile xs 99.0);
+  check (Alcotest.float 1e-9) "empty" 0.0 (Workload.percentile [] 50.0)
+
+let suite =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "concurrent mix equals serial per query" `Quick
+          concurrent_equals_serial;
+        Alcotest.test_case "admission scales with pool capacity" `Quick
+          admission_scales_with_capacity;
+        Alcotest.test_case "timeout unwinds through abort_async" `Quick timeout_unwinds_cleanly;
+        Alcotest.test_case "fairness counters advance under contention" `Quick
+          fairness_counters_advance;
+        Alcotest.test_case "closed-loop clients drain their job queues" `Quick
+          closed_loop_clients_drain;
+        Alcotest.test_case "latency percentiles use nearest rank" `Quick
+          percentiles_are_nearest_rank;
+      ] );
+  ]
