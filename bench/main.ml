@@ -52,13 +52,15 @@ let smoke_config = { full_config with fidelity = 0.005; scale_factors = [ 0.25; 
 let section_header title =
   Printf.printf "\n== %s ==\n" title
 
-(* The three plans of the paper's evaluation (Sec. 6.2): Simple,
-   XSchedule with speculative = false, XScan. *)
+(* The three plans of the paper's evaluation (Sec. 6.2) — Simple,
+   XSchedule with speculative = false, XScan — plus the structural-index
+   plan added on top of the paper's algebra (ISSUE 6). *)
 let paper_plans =
   [
     ("simple", Plan.simple);
     ("xschedule", Plan.xschedule ~speculative:false ());
     ("xscan", Plan.xscan ());
+    ("xindex", Plan.xindex ());
   ]
 
 let make_store ?(strategy = Import.Dfs) cfg doc =
@@ -111,6 +113,9 @@ let zero_metrics =
     clusters_visited = 0;
     swizzle_hits = 0;
     swizzle_misses = 0;
+    index_entries = 0;
+    index_clusters = 0;
+    index_residuals = 0;
     fell_back = false;
   }
 
@@ -144,6 +149,9 @@ let add_metrics (a : Exec.metrics) (b : Exec.metrics) =
     clusters_visited = a.Exec.clusters_visited + b.Exec.clusters_visited;
     swizzle_hits = a.Exec.swizzle_hits + b.Exec.swizzle_hits;
     swizzle_misses = a.Exec.swizzle_misses + b.Exec.swizzle_misses;
+    index_entries = a.Exec.index_entries + b.Exec.index_entries;
+    index_clusters = a.Exec.index_clusters + b.Exec.index_clusters;
+    index_residuals = a.Exec.index_residuals + b.Exec.index_residuals;
     fell_back = a.Exec.fell_back || b.Exec.fell_back;
   }
 
@@ -821,6 +829,9 @@ let metrics_fields count (m : Exec.metrics) =
     ("swizzle_hits", string_of_int m.Exec.swizzle_hits);
     ("swizzle_misses", string_of_int m.Exec.swizzle_misses);
     ("swizzle_hit_rate", jfloat (Exec.swizzle_hit_rate m));
+    ("index_entries", string_of_int m.Exec.index_entries);
+    ("index_clusters", string_of_int m.Exec.index_clusters);
+    ("index_residuals", string_of_int m.Exec.index_residuals);
     ("fell_back", if m.Exec.fell_back then "true" else "false");
   ]
 
@@ -897,7 +908,7 @@ let json_mode ~profile cfg out_file =
   let out =
     jobj
       [
-        ("schema", jstring "xnav-bench/3");
+        ("schema", jstring "xnav-bench/4");
         ("profile", jstring profile);
         ( "config",
           jobj
@@ -1043,7 +1054,7 @@ let workload_mode ~profile cfg ~clients out_file =
   let out =
     jobj
       [
-        ("schema", jstring "xnav-bench/3");
+        ("schema", jstring "xnav-bench/4");
         ("mode", jstring "workload");
         ("profile", jstring profile);
         ( "config",
@@ -1306,6 +1317,34 @@ let compare_with_baseline ~tolerance current baseline_file =
           gate "io_time" 0.002
         end)
     base_rows;
+  (* Index gate (since xnav-bench/4): the structural index must actually
+     pay off on the selective query — q15's page reads with the index
+     plan must stay below 20% of the XSchedule plan's at every scale the
+     current run covers. Computed from the current rows, not the
+     baseline, so the gate always tests the run at hand. *)
+  let row_for q p sc = List.find_opt (fun r -> key r = (q, p, sc)) current_rows in
+  let index_scales =
+    List.filter_map
+      (fun r ->
+        let q, p, sc = key r in
+        if q = "q15" && p = "xindex" then Some sc else None)
+      current_rows
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun sc ->
+      match (row_for "q15" "xindex" sc, row_for "q15" "xschedule" sc) with
+      | Some irow, Some srow ->
+        let ip = jnum_exn "row.page_reads" (jget irow "page_reads") in
+        let sp = jnum_exn "row.page_reads" (jget srow "page_reads") in
+        if ip >= 0.2 *. sp then begin
+          incr failures;
+          Printf.printf
+            "compare: q15/xindex/sf%.2f           page reads %.0f not < 20%% of xschedule's %.0f\n"
+            sc ip sp
+        end
+      | _ -> ())
+    index_scales;
   if !failures = 0 then
     Printf.printf "compare: no regressions vs %s (%d rows, tolerance %.0f%%)\n" baseline_file
       (List.length base_rows) (100. *. tolerance)

@@ -96,6 +96,7 @@ let plan_choice =
     | "simple" -> Ok Compile.Force_simple
     | "xschedule" | "schedule" -> Ok Compile.Force_schedule
     | "xscan" | "scan" -> Ok Compile.Force_scan
+    | "xindex" | "index" -> Ok Compile.Force_index
     | s -> Error (`Msg (Printf.sprintf "unknown plan %S" s))
   in
   let print ppf = function
@@ -103,11 +104,13 @@ let plan_choice =
     | Compile.Force_simple -> Fmt.string ppf "simple"
     | Compile.Force_schedule -> Fmt.string ppf "xschedule"
     | Compile.Force_scan -> Fmt.string ppf "xscan"
+    | Compile.Force_index -> Fmt.string ppf "xindex"
   in
   Arg.(
     value
     & opt (conv (parse, print)) Compile.Auto
-    & info [ "plan" ] ~docv:"PLAN" ~doc:"Plan: auto (cost-based), simple, xschedule, xscan.")
+    & info [ "plan" ] ~docv:"PLAN"
+        ~doc:"Plan: auto (cost-based), simple, xschedule, xscan, xindex.")
 
 let path_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH" ~doc:"XPath location path.")

@@ -392,6 +392,54 @@ let check_workload_case case =
   let store, _import = build_store ~doc case.physical in
   check_workload_built ~store case
 
+(* --- index tier ----------------------------------------------------------- *)
+
+(* The structural-index tier: index plans — covering when the path is a
+   pure self/child chain, residual-seeded otherwise, plus forced partial
+   resolutions down to zero — must agree with the reference evaluator
+   AND with the XSchedule plan on every sampled case. Partial
+   resolutions exercise the border-continuation path ({!Xnav_core.Xindex.push}):
+   seeds enter the XStep tail mid-chain and crossings are served
+   cluster by cluster. *)
+let check_index_built ~doc ~store ~import case =
+  let config = context_config case in
+  let expected = expected_ids doc import case.path in
+  let mismatches = ref [] in
+  let record plan detail = mismatches := { plan; detail } :: !mismatches in
+  let guarded plan f =
+    match f () with
+    | got ->
+      if got <> expected then
+        record plan
+          (Format.asprintf "expected %d nodes %a, got %d nodes %a" (List.length expected) pp_ids
+             expected (List.length got) pp_ids got)
+      else begin
+        match storage_clean store with
+        | None -> ()
+        | Some msg -> record plan msg
+      end
+    | exception e -> record plan (Printf.sprintf "raised %s" (Printexc.to_string e))
+  in
+  guarded "xschedule" (fun () ->
+      ids_of (Exec.cold_run ~config store case.path (Plan.xschedule ())).Exec.nodes);
+  guarded "xindex" (fun () ->
+      ids_of (Exec.cold_run ~config store case.path (Plan.xindex ())).Exec.nodes);
+  let exact = Path.indexable_prefix case.path in
+  List.iter
+    (fun k ->
+      guarded
+        (Printf.sprintf "xindex[resolve<=%d]" k)
+        (fun () ->
+          ids_of
+            (Exec.cold_run ~config store case.path (Plan.xindex ~resolve:k ())).Exec.nodes))
+    (List.sort_uniq compare [ 0; exact / 2; exact ]);
+  List.rev !mismatches
+
+let check_index_case case =
+  let doc = cached_document ~doc_seed:case.doc_seed ~fidelity:case.fidelity in
+  let store, import = build_store ~doc case.physical in
+  check_index_built ~doc ~store ~import case
+
 (* --- shrinking ------------------------------------------------------------ *)
 
 (* Move one dimension of the case toward the default / a smaller input.
@@ -548,3 +596,8 @@ let run_workload ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(
     ~check_one:(fun ~doc:_ ~store ~import:_ case -> check_workload_built ~store case)
     ~runs_of:(fun case -> 2 * List.length (plans_for case))
     ~shrink_check:check_workload_case ~seed ~cases ~paths_per_store ~log
+
+let run_index ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(log = ignore) () =
+  run_tier ~check_one:check_index_built
+    ~runs_of:(fun case -> 3 + List.length (List.sort_uniq compare [ 0; Path.indexable_prefix case.path / 2 ]))
+    ~shrink_check:check_index_case ~seed ~cases ~paths_per_store ~log

@@ -70,6 +70,15 @@ val check_workload_case : case -> mismatch list
     layer ends clean. Capacities sampled down to 1 exercise the
     serialising admission path. *)
 
+val check_index_case : case -> mismatch list
+(** Differential check of the structural index: build the case's store
+    and compare the reference evaluator, the XSchedule plan, the default
+    index plan (covering whenever the path is a pure self/child chain)
+    and index plans at forced partial resolutions (down to [resolve 0])
+    — all under the full invariant suite. Partial resolutions exercise
+    the border-continuation path: seeds enter the XStep tail mid-chain
+    and residual crossings are served cluster by cluster. *)
+
 val shrink : ?budget:int -> case -> case
 (** Greedily simplify a failing case — drop path steps, lower fidelity,
     move the physical configuration and run parameters toward defaults —
@@ -130,3 +139,14 @@ val run_workload :
 (** Like {!run} but applying {!check_workload_case}'s serial/concurrent
     comparison to every sampled case (two executions per plan: one
     serial, one through the workload engine). *)
+
+val run_index :
+  ?seed:int ->
+  ?cases:int ->
+  ?paths_per_store:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  report
+(** Like {!run} but applying {!check_index_case}'s three-way comparison
+    (reference evaluator / XSchedule / index plans at several
+    resolutions) to every sampled case. *)

@@ -1,9 +1,11 @@
 module Store = Xnav_store.Store
+module Node_id = Xnav_store.Node_id
+module Path_partition = Xnav_store.Path_partition
 module Path = Xnav_xpath.Path
 module Disk = Xnav_storage.Disk
 module Buffer_manager = Xnav_storage.Buffer_manager
 
-type choice = Auto | Force_simple | Force_schedule | Force_scan
+type choice = Auto | Force_simple | Force_schedule | Force_scan | Force_index
 
 type estimate = {
   touched_nodes : int;
@@ -11,6 +13,7 @@ type estimate = {
   cost_simple : float;
   cost_schedule : float;
   cost_scan : float;
+  cost_index : float;
 }
 
 (* CPU cost constants (seconds per unit); rough but only their order of
@@ -41,8 +44,12 @@ let estimate store path =
         | Path.Name tag -> Store.tag_count store tag
         | Path.Wildcard | Path.Any_node -> node_count
       in
+      (* The clamp matters: an empty or all-upward path folds to 0,
+         which would collapse every cost to ~0 and let the tie-break
+         silently pick XScan. At least the context node is touched. *)
       List.fold_left (fun acc s -> acc + step_cardinality s) 0 path
       |> min (node_count * Path.length path)
+      |> max 1
   in
   (* Assume touched nodes occupy their proportional share of the pages. *)
   let est_pages =
@@ -64,7 +71,57 @@ let estimate store path =
     (* Every step re-fetches its share of pages at full random cost. *)
     (float_of_int est_pages *. random_cost) +. (touched *. cpu_per_node)
   in
-  { touched_nodes; est_pages; cost_simple; cost_schedule; cost_scan }
+  let cost_index =
+    (* The summary resolves the path's self/child prefix exactly. Fully
+       resolved (covering) paths are answered from the partition's entry
+       lists — id, tag, ordpath — with zero page I/O, so their cost is
+       pure per-entry CPU. A path with a residual suffix (a descendant
+       step ends exact resolution) pays an exact seed-cluster walk
+       (consecutive clusters at transfer cost, gaps at random cost) plus
+       schedule-like navigation over the touched share — i.e. at least
+       the schedule plan's cost, so Auto never prefers residual seeding;
+       it is reachable via [Force_index] and the [resolve] knob.
+       Infinite when no fresh partition exists or the path cannot be
+       index-seeded. *)
+    match Store.partition store with
+    | Some partition when Store.stats_fresh store && Path.is_downward path && path <> [] ->
+      let resolved = Path.indexable_prefix path in
+      let prefix = Path.prefix path resolved in
+      let classes = Path_partition.select partition ~matches:(Path.matches_sequence prefix) in
+      let entries =
+        List.fold_left
+          (fun acc c -> acc + Array.length (Path_partition.class_entries partition c))
+          0 classes
+      in
+      if resolved = Path.length path then float_of_int entries *. cpu_per_node
+      else begin
+        let seen = Hashtbl.create 64 in
+        List.iter
+          (fun c ->
+            Array.iter
+              (fun (id : Node_id.t) -> Hashtbl.replace seen (Node_id.cluster id) ())
+              (Path_partition.class_entries partition c))
+          classes;
+        let pids = List.sort compare (Hashtbl.fold (fun pid () acc -> pid :: acc) seen []) in
+        let io, _ =
+          List.fold_left
+            (fun (acc, prev) pid ->
+              let cost =
+                match prev with
+                | Some p when pid = p + 1 -> config.Disk.transfer
+                | _ -> random_cost
+              in
+              (acc +. cost, Some pid))
+            (0.0, None) pids
+        in
+        io
+        +. (float_of_int est_pages *. random_cost /. 2.)
+        +. (float_of_int entries *. cpu_per_node)
+        +. (touched *. cpu_per_node)
+      end
+    | Some _ | None -> infinity
+  in
+  { touched_nodes; est_pages; cost_simple; cost_schedule; cost_scan; cost_index }
 
 let compile ?(choice = Auto) ?(context_is_root = true) store path =
   let downward = Path.is_downward path in
@@ -78,11 +135,19 @@ let compile ?(choice = Auto) ?(context_is_root = true) store path =
   | Force_scan ->
     if not downward then invalid_arg "Compile: XScan plans require downward axes only";
     Plan.xscan ~dslash ()
+  | Force_index ->
+    if not downward then invalid_arg "Compile: XIndex plans require downward axes only";
+    Plan.xindex ()
   | Auto ->
     if not downward then Plan.simple
     else begin
       let e = estimate store path in
-      if e.cost_scan < e.cost_schedule then Plan.xscan ~dslash () else Plan.xschedule ()
+      (* The partition's classes are anchored at the document root, so
+         index plans only apply to root-context evaluation. *)
+      if context_is_root && e.cost_index < e.cost_schedule && e.cost_index < e.cost_scan then
+        Plan.xindex ()
+      else if e.cost_scan < e.cost_schedule then Plan.xscan ~dslash ()
+      else Plan.xschedule ()
     end
 
 let plan_for ?choice ?(rewrite = false) ?context_is_root store path =
@@ -91,5 +156,5 @@ let plan_for ?choice ?(rewrite = false) ?context_is_root store path =
 
 let pp_estimate ppf e =
   Format.fprintf ppf
-    "touched~%d pages~%d | simple %.4fs, xschedule %.4fs, xscan %.4fs" e.touched_nodes
-    e.est_pages e.cost_simple e.cost_schedule e.cost_scan
+    "touched~%d pages~%d | simple %.4fs, xschedule %.4fs, xscan %.4fs, xindex %.4fs"
+    e.touched_nodes e.est_pages e.cost_simple e.cost_schedule e.cost_scan e.cost_index

@@ -20,9 +20,11 @@
     propagation over parent/child tag-pair statistics; otherwise a crude
     per-tag upper bound is used. Either way the model separates the
     regimes the paper's evaluation exhibits: low-selectivity paths (Q7)
-    go to XScan, selective paths (Q15) to XSchedule. *)
+    go to XScan, selective paths (Q15) to the structural index (or, with
+    no fresh partition, to XSchedule) — [cost_index] being the fourth
+    term, computed exactly from the partition's entry lists. *)
 
-type choice = Auto | Force_simple | Force_schedule | Force_scan
+type choice = Auto | Force_simple | Force_schedule | Force_scan | Force_index
 
 type estimate = {
   touched_nodes : int;  (** Upper bound on nodes enumerated by the steps. *)
@@ -30,6 +32,15 @@ type estimate = {
   cost_simple : float;
   cost_schedule : float;
   cost_scan : float;
+  cost_index : float;
+      (** Covering paths (pure self/child chains the summary resolves
+          exactly) cost only per-entry CPU — the partition carries id,
+          tag and ordpath, so no page is read. Paths with a residual
+          suffix pay an exact seed-cluster walk (consecutive clusters at
+          transfer cost, gaps at random cost) plus schedule-like
+          navigation, which [Auto] never prefers. [infinity] when the
+          store has no fresh partition or the path has non-downward
+          steps. *)
 }
 
 val estimate : Xnav_store.Store.t -> Xnav_xpath.Path.t -> estimate
@@ -45,8 +56,13 @@ val compile :
     downward axes; see {!Xnav_xml.Axis.is_downward}). [context_is_root]
     (default [true]) enables the [//] optimisation on scan plans.
 
-    @raise Invalid_argument if [Force_schedule]/[Force_scan] is requested
-    for a non-downward path. *)
+    [Auto] only considers the index plan when [context_is_root] — the
+    partition's classes are anchored at the document root — and when the
+    store's partition is fresh ([cost_index] is infinite otherwise, so a
+    post-update store re-plans to navigation automatically).
+
+    @raise Invalid_argument if [Force_schedule]/[Force_scan]/[Force_index]
+    is requested for a non-downward path. *)
 
 val plan_for :
   ?choice:choice ->

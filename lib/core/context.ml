@@ -54,6 +54,9 @@ type counters = {
   mutable scan_window_pages : int;
   mutable served_ticks : int;
   mutable starved_ticks : int;
+  mutable index_entries : int;
+  mutable index_clusters : int;
+  mutable index_residuals : int;
 }
 
 type t = {
@@ -93,6 +96,9 @@ let create ?(config = default_config) store =
         scan_window_pages = 0;
         served_ticks = 0;
         starved_ticks = 0;
+        index_entries = 0;
+        index_clusters = 0;
+        index_residuals = 0;
       };
   }
 

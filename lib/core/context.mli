@@ -96,6 +96,14 @@ type counters = {
   mutable starved_ticks : int;
       (** Scheduler turns this query sat runnable while another query
           was chosen. Always 0 for stand-alone runs. *)
+  mutable index_entries : int;
+      (** Instances seeded from the path partition's entry lists by the
+          XIndex operator. Always 0 for non-index plans. *)
+  mutable index_clusters : int;
+      (** Clusters the XIndex operator pinned to materialise seeds. *)
+  mutable index_residuals : int;
+      (** Border continuations served back through XIndex while the
+          XStep tail evaluated a residual suffix. *)
 }
 
 type t = {

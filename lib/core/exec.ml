@@ -34,6 +34,9 @@ type metrics = {
   clusters_visited : int;
   swizzle_hits : int;
   swizzle_misses : int;
+  index_entries : int;
+  index_clusters : int;
+  index_residuals : int;
   fell_back : bool;
 }
 
@@ -61,7 +64,7 @@ let pipeline ctx store path plan contexts =
         (fun producer step -> Unnest_map.create ctx ~step ~dedup:dedup_intermediate producer)
         (of_list infos) path
     in
-    (producer, None, None)
+    (producer, None, None, None)
   | Plan.Reordered { io; dslash } ->
     if not (Path.is_downward path) then
       invalid_arg "Exec.run: reordered plans require downward axes only";
@@ -71,16 +74,38 @@ let pipeline ctx store path plan contexts =
         (base, 1) path
       |> fst
     in
-    (match io with
-    | Plan.Io_schedule _ ->
+    let schedule_pipeline () =
       let sched = Xschedule.create ctx ~path_len ~contexts:(of_list contexts) in
       let top = chain (fun () -> Xschedule.next sched) in
-      (Xassembly.create ctx ~path_len ~xschedule:(Some sched) ~dslash:false top, Some sched, None)
+      (Xassembly.create ctx ~path_len ~xschedule:(Some sched) ~dslash:false top, Some sched, None, None)
+    in
+    (match io with
+    | Plan.Io_schedule _ -> schedule_pipeline ()
     | Plan.Io_scan ->
       let sorted = List.sort Node_id.compare contexts in
       let scan = Xscan.create ctx ~path_len ~contexts:(fun () -> of_list sorted) in
       let top = chain (fun () -> Xscan.next scan) in
-      (Xassembly.create ctx ~path_len ~xschedule:None ~dslash top, None, Some scan))
+      (Xassembly.create ctx ~path_len ~xschedule:None ~dslash top, None, Some scan, None)
+    | Plan.Io_index { resolve } ->
+      let can_index =
+        Store.stats_fresh store
+        && Option.is_some (Store.partition store)
+        && match contexts with [ c ] -> Node_id.equal c (Store.root store) | _ -> false
+      in
+      if can_index then begin
+        let index = Xindex.create ctx ~path ~resolve ~contexts:(fun () -> of_list contexts) in
+        let top = chain (fun () -> Xindex.next index) in
+        ( Xassembly.create ctx ~path_len ~xschedule:None ~xindex:index ~dslash:false top,
+          None,
+          None,
+          Some index )
+      end
+      else
+        (* Missing or stale partition — the entry lists no longer
+           describe the document — or non-root contexts, which the
+           partition's root-anchored classes cannot seed. Degrade to
+           the schedule shape: same results, no index counters. *)
+        schedule_pipeline ())
 
 let run ?config ?contexts ?trace ?(ordered = true) store path plan =
   if path = [] then invalid_arg "Exec.run: empty path";
@@ -102,7 +127,7 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
   let swiz_hits_before, swiz_misses_before = Store.swizzle_stats store in
   let cpu_before = Sys.time () in
 
-  let next, xschedule, xscan = pipeline ctx store path plan contexts in
+  let next, xschedule, xscan, xindex = pipeline ctx store path plan contexts in
   let out = Vec.create () in
   let drain next =
     let rec go () =
@@ -127,8 +152,9 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
          prescribes. *)
       Option.iter Xschedule.abandon xschedule;
       Option.iter Xscan.abandon xscan;
+      Option.iter Xindex.abandon xindex;
       Vec.clear out;
-      drain (let p, _, _ = pipeline ctx store path Plan.simple contexts in p);
+      drain (let p, _, _, _ = pipeline ctx store path Plan.simple contexts in p);
       true
   in
 
@@ -170,7 +196,7 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
       | Plan.Reordered _, false -> Some count
       | _ -> None
     in
-    Invariant.enforce ?xschedule ?results ctx
+    Invariant.enforce ?xschedule ?xindex ?results ctx
   end;
   {
     nodes;
@@ -205,6 +231,9 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
         clusters_visited = c.Context.clusters_visited;
         swizzle_hits = c.Context.swizzle_hits;
         swizzle_misses = c.Context.swizzle_misses;
+        index_entries = c.Context.index_entries;
+        index_clusters = c.Context.index_clusters;
+        index_residuals = c.Context.index_residuals;
         fell_back = Context.fallback ctx;
       };
   }
@@ -213,6 +242,7 @@ type stream = {
   next : unit -> Store.info option;
   stream_ctx : Context.t;
   stream_sched : Xschedule.t option;
+  stream_index : Xindex.t option;
   stream_abandon : unit -> unit;
 }
 
@@ -228,15 +258,17 @@ let prepare ?config ?contexts ?trace store path plan =
   in
   let ctx = Context.create ~config store in
   ctx.Context.trace <- trace;
-  let next, xschedule, xscan = pipeline ctx store path plan contexts in
+  let next, xschedule, xscan, xindex = pipeline ctx store path plan contexts in
   {
     next;
     stream_ctx = ctx;
     stream_sched = xschedule;
+    stream_index = xindex;
     stream_abandon =
       (fun () ->
         Option.iter Xschedule.abandon xschedule;
-        Option.iter Xscan.abandon xscan);
+        Option.iter Xscan.abandon xscan;
+        Option.iter Xindex.abandon xindex);
   }
 
 let stream_next stream = stream.next ()
@@ -250,7 +282,8 @@ let stream_demand stream =
 let stream_scan_window stream = Option.bind stream.stream_sched Xschedule.scan_window
 
 let stream_violations ?results stream =
-  Invariant.post_run ?xschedule:stream.stream_sched ?results stream.stream_ctx
+  Invariant.post_run ?xschedule:stream.stream_sched ?xindex:stream.stream_index ?results
+    stream.stream_ctx
 
 let cold_run ?config ?contexts ?trace ?ordered store path plan =
   let buffer = Store.buffer store in
@@ -270,13 +303,15 @@ let pp_metrics ppf m =
      buffer: lookups %d hits %d misses %d@,\
      instances %d crossings %d specs %d/%d/%d (S peak %d, Q peak %d)@,\
      queue: enqueued %d served %d@,\
+     index: entries %d clusters %d residuals %d@,\
      swizzle: hits %d misses %d (%.0f%% hit rate)@,\
      clusters visited %d%s@]"
     m.total_time m.io_time m.cpu_time m.page_reads m.sequential_reads m.random_reads
     m.seek_distance m.async_reads m.batched_reads m.batch_pages m.coalesce_runs m.scan_windows
     m.scan_window_pages m.buffer_lookups m.buffer_hits m.buffer_misses m.instances
     m.crossings m.specs_created m.specs_stored m.specs_resolved m.s_peak m.q_peak
-    m.q_enqueued m.q_served m.swizzle_hits m.swizzle_misses
+    m.q_enqueued m.q_served m.index_entries m.index_clusters m.index_residuals m.swizzle_hits
+    m.swizzle_misses
     (100. *. swizzle_hit_rate m)
     m.clusters_visited
     (if m.fell_back then " [fell back]" else "")

@@ -37,6 +37,9 @@ type metrics = {
   clusters_visited : int;
   swizzle_hits : int;  (** Swizzled decode-cache hits during the run. *)
   swizzle_misses : int;  (** First-decode misses (and post-update refills). *)
+  index_entries : int;  (** Instances seeded from partition entry lists. *)
+  index_clusters : int;  (** Clusters the XIndex operator pinned. *)
+  index_residuals : int;  (** Border continuations served back through XIndex. *)
   fell_back : bool;
 }
 

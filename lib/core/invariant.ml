@@ -2,7 +2,7 @@ module Store = Xnav_store.Store
 module Buffer_manager = Xnav_storage.Buffer_manager
 module Io_scheduler = Xnav_storage.Io_scheduler
 
-let post_run ?xschedule ?results ctx =
+let post_run ?xschedule ?xindex ?results ctx =
   let violations = ref [] in
   let fail fmt = Printf.ksprintf (fun msg -> violations := msg :: !violations) fmt in
   let buffer = Store.buffer ctx.Context.store in
@@ -35,6 +35,13 @@ let post_run ?xschedule ?results ctx =
     let r = Xschedule.refused_count sched in
     if r <> 0 then fail "xschedule: %d refused prefetches never retried" r);
 
+  (* XIndex: every residual continuation must have been served. *)
+  (match xindex with
+  | None -> ()
+  | Some index ->
+    let p = Xindex.pending_size index in
+    if p <> 0 then fail "xindex: %d continuations still pending after the run" p);
+
   (* Counter conservation. *)
   let non_negative =
     [
@@ -59,6 +66,9 @@ let post_run ?xschedule ?results ctx =
       ("scan_window_pages", c.Context.scan_window_pages);
       ("served_ticks", c.Context.served_ticks);
       ("starved_ticks", c.Context.starved_ticks);
+      ("index_entries", c.Context.index_entries);
+      ("index_clusters", c.Context.index_clusters);
+      ("index_residuals", c.Context.index_residuals);
     ]
   in
   List.iter (fun (name, v) -> if v < 0 then fail "counter %s is negative (%d)" name v) non_negative;
@@ -86,6 +96,14 @@ let post_run ?xschedule ?results ctx =
       c.Context.q_served c.Context.q_dropped;
   if c.Context.q_peak > c.Context.q_enqueued then
     fail "xschedule: q_peak %d exceeds total enqueued %d" c.Context.q_peak c.Context.q_enqueued;
+  (* Index accounting: residuals require a pinned cluster (covering
+     entries do not — they are served straight from the partition), and
+     clusters pinned by XIndex are a subset of all visits. *)
+  if c.Context.index_clusters > c.Context.clusters_visited then
+    fail "xindex: %d clusters pinned but only %d visited in total" c.Context.index_clusters
+      c.Context.clusters_visited;
+  if c.Context.index_clusters = 0 && c.Context.index_residuals > 0 then
+    fail "xindex: %d residuals served without pinning a cluster" c.Context.index_residuals;
 
   (* Result conservation (reordered plans): XAssembly's result set is
      duplicate-free, so the plan's final answer must have exactly
@@ -100,8 +118,8 @@ let post_run ?xschedule ?results ctx =
 
   List.rev !violations
 
-let enforce ?xschedule ?results ctx =
-  match post_run ?xschedule ?results ctx with
+let enforce ?xschedule ?xindex ?results ctx =
+  match post_run ?xschedule ?xindex ?results ctx with
   | [] -> ()
   | violations ->
     failwith (Printf.sprintf "invariant violation: %s" (String.concat "; " violations))

@@ -14,17 +14,22 @@
     - [Io_scheduler.pending_count = 0] and its pending/order structures
       agree — no dangling or dead requests;
     - [Xschedule.queue_size = 0] and no refused prefetch was stranded;
+    - [Xindex.pending_size = 0] — no residual continuation stranded —
+      and the index counters balance (clusters pinned by XIndex are a
+      subset of all visits; no seed without a pin);
     - counters are non-negative and conserve:
       [specs_resolved <= specs_stored], [s_peak <= specs_stored],
       [q_served = q_enqueued], and the final result count equals
       XAssembly's [results_emitted] (reordered plans emit
       duplicate-free). *)
 
-val post_run : ?xschedule:Xschedule.t -> ?results:int -> Context.t -> string list
+val post_run :
+  ?xschedule:Xschedule.t -> ?xindex:Xindex.t -> ?results:int -> Context.t -> string list
 (** All violations found, empty if the run state is consistent.
-    [xschedule] enables the queue checks; [results] (the plan's final
-    node count) enables the result-conservation check — pass it only for
-    reordered plans, whose emissions are duplicate-free. *)
+    [xschedule] / [xindex] enable the respective drain checks; [results]
+    (the plan's final node count) enables the result-conservation check
+    — pass it only for reordered plans, whose emissions are
+    duplicate-free. *)
 
-val enforce : ?xschedule:Xschedule.t -> ?results:int -> Context.t -> unit
+val enforce : ?xschedule:Xschedule.t -> ?xindex:Xindex.t -> ?results:int -> Context.t -> unit
 (** @raise Failure listing every violation, if any. *)

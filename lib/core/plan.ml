@@ -1,6 +1,9 @@
 module Path = Xnav_xpath.Path
 
-type io_operator = Io_schedule of { speculative : bool } | Io_scan
+type io_operator =
+  | Io_schedule of { speculative : bool }
+  | Io_scan
+  | Io_index of { resolve : int option }
 
 type t =
   | Simple of { dedup_intermediate : bool }
@@ -9,6 +12,7 @@ type t =
 let simple = Simple { dedup_intermediate = true }
 let xschedule ?(speculative = true) () = Reordered { io = Io_schedule { speculative }; dslash = false }
 let xscan ?(dslash = false) () = Reordered { io = Io_scan; dslash }
+let xindex ?resolve () = Reordered { io = Io_index { resolve }; dslash = false }
 
 let name = function
   | Simple _ -> "simple"
@@ -16,6 +20,7 @@ let name = function
   | Reordered { io = Io_schedule { speculative = true }; _ } -> "xschedule+spec"
   | Reordered { io = Io_scan; dslash = false } -> "xscan"
   | Reordered { io = Io_scan; dslash = true } -> "xscan+dslash"
+  | Reordered { io = Io_index _; _ } -> "xindex"
 
 let explain ppf (path, plan) =
   let steps = List.mapi (fun i s -> (i + 1, s)) path in
@@ -31,7 +36,10 @@ let explain ppf (path, plan) =
     Format.fprintf ppf "%s Contexts@]" (String.make (List.length steps + 1) ' ')
   | Reordered { io; dslash } ->
     Format.fprintf ppf "@[<v>XAssembly%s%s@,"
-      (match io with Io_schedule _ -> "(->XSchedule.Q)" | Io_scan -> "")
+      (match io with
+      | Io_schedule _ -> "(->XSchedule.Q)"
+      | Io_scan -> ""
+      | Io_index _ -> "(->XIndex.pending)")
       (if dslash then " //-opt" else "");
     List.iter
       (fun (i, s) -> Format.fprintf ppf "%s XStep[%d: %a]@," (String.make i ' ') i Path.pp_step s)
@@ -42,4 +50,8 @@ let explain ppf (path, plan) =
       Format.fprintf ppf "%s XSchedule[k, async I/O%s]@,%s  Contexts@]" pad
         (if speculative then ", speculative" else "")
         pad
-    | Io_scan -> Format.fprintf ppf "%s XScan[sequential]@,%s  Contexts(sorted)@]" pad pad)
+    | Io_scan -> Format.fprintf ppf "%s XScan[sequential]@,%s  Contexts(sorted)@]" pad pad
+    | Io_index { resolve } ->
+      Format.fprintf ppf "%s XIndex[partition entries%s]@,%s  PathClasses@]" pad
+        (match resolve with None -> "" | Some k -> Format.sprintf ", resolve<=%d" k)
+        pad)

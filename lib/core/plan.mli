@@ -9,6 +9,12 @@
 type io_operator =
   | Io_schedule of { speculative : bool }
   | Io_scan
+  | Io_index of { resolve : int option }
+      (** Seed instances from the path partition's entry lists instead
+          of navigating from the root. [resolve] caps how many leading
+          steps the path summary resolves ([None] = the whole downward
+          path); the XStep tail evaluates the residual suffix, with
+          border crossings served back through the index operator. *)
 
 type t =
   | Simple of { dedup_intermediate : bool }
@@ -20,6 +26,13 @@ type t =
 val simple : t
 val xschedule : ?speculative:bool -> unit -> t
 val xscan : ?dslash:bool -> unit -> t
+
+val xindex : ?resolve:int -> unit -> t
+(** The structural-index plan (requires a fresh {!Xnav_store.Store}
+    partition; {!Exec} degrades to the XSchedule shape when it is
+    missing or stale). [resolve] is clamped to [0 .. length path] at
+    execution time; values below the path length force residual XStep
+    navigation — mainly a test knob. *)
 
 val name : t -> string
 (** Short name as used in the paper's figures: "simple", "xschedule",

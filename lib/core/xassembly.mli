@@ -34,10 +34,14 @@ val create :
   Context.t ->
   path_len:int ->
   xschedule:Xschedule.t option ->
+  ?xindex:Xindex.t ->
   dslash:bool ->
   (unit -> Path_instance.t option) ->
   unit ->
   Xnav_store.Store.info option
 (** [create ctx ~path_len ~xschedule ~dslash producer] is the plan's
     result iterator: full path instances' result nodes, deduplicated,
-    in discovery order. *)
+    in discovery order. At most one of [xschedule] / [xindex] is given;
+    new reachable border targets are forwarded to it. An index plan
+    {e must} attach its operator here — unlike XScan, XIndex does not
+    sweep every cluster, so unforwarded crossings would lose results. *)

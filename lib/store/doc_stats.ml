@@ -16,32 +16,61 @@ type t = {
 let bump table key delta =
   Hashtbl.replace table key (delta + Option.value ~default:0 (Hashtbl.find_opt table key))
 
-let collect doc =
+let collect_full doc =
   let counts = Hashtbl.create 64 in
   let pairs = Hashtbl.create 256 in
   let subtree_totals = Hashtbl.create 64 in
-  let rec go node =
+  (* Path-summary trie: (parent class, tag) -> class id; -1 stands for
+     "above the root". Each distinct root-to-node tag sequence gets one
+     class. *)
+  let trie = Hashtbl.create 64 in
+  let seqs = ref [] (* newest class first; reversed tag sequences *) in
+  let nclasses = ref 0 in
+  let ids_rev = ref [] (* class per node, reverse preorder *) in
+  let intern parent_id parent_rev tag =
+    match Hashtbl.find_opt trie (parent_id, tag) with
+    | Some c -> (c, tag :: parent_rev)
+    | None ->
+      let c = !nclasses in
+      incr nclasses;
+      Hashtbl.add trie (parent_id, tag) c;
+      let rev = tag :: parent_rev in
+      seqs := rev :: !seqs;
+      (c, rev)
+  in
+  let rec go node (parent_id, parent_rev) =
+    let cls, rev_seq = intern parent_id parent_rev node.Tree.tag in
+    ids_rev := cls :: !ids_rev;
     bump counts node.Tree.tag 1;
     let size =
       Array.fold_left
         (fun acc child ->
           bump pairs (node.Tree.tag, child.Tree.tag) 1;
-          acc + go child)
+          acc + go child (cls, rev_seq))
         1 node.Tree.children
     in
     bump subtree_totals node.Tree.tag size;
     size
   in
-  let node_count = go doc in
-  {
-    node_count;
-    height = Tree.height doc;
-    root_tag = doc.Tree.tag;
-    tags = Hashtbl.fold (fun tag _ acc -> tag :: acc) counts [];
-    counts;
-    pairs;
-    subtree_totals;
-  }
+  let node_count = go doc (-1, []) in
+  let stats =
+    {
+      node_count;
+      height = Tree.height doc;
+      root_tag = doc.Tree.tag;
+      tags = Hashtbl.fold (fun tag _ acc -> tag :: acc) counts [];
+      counts;
+      pairs;
+      subtree_totals;
+    }
+  in
+  let classes = Array.of_list (List.rev_map (fun rev -> Array.of_list (List.rev rev)) !seqs) in
+  let class_of_pre = Array.of_list (List.rev !ids_rev) in
+  (stats, classes, class_of_pre)
+
+let collect doc =
+  let t, _, _ = collect_full doc in
+  t
 
 let node_count t = t.node_count
 let height t = t.height

@@ -20,6 +20,14 @@ type t
 val collect : Xnav_xml.Tree.t -> t
 (** One post-order pass over the document. *)
 
+val collect_full : Xnav_xml.Tree.t -> t * Xnav_xml.Tag.t array array * int array
+(** Same single pass as {!collect}, additionally building the path
+    summary behind the structural index: a trie of the distinct
+    root-to-node tag sequences. Returns [(stats, classes, class_of)]
+    where [classes.(c)] is class [c]'s root-first tag sequence and
+    [class_of.(p)] the class of the node with preorder rank [p] (ranks
+    as assigned by {!Xnav_xml.Tree.index}, i.e. document order). *)
+
 val node_count : t -> int
 val height : t -> int
 val root_tag : t -> Xnav_xml.Tag.t

@@ -84,11 +84,20 @@ let save path stores =
           add_string buf (Tag.to_string tag);
           add_u32 buf count)
         tags;
-      match Store.doc_stats store with
-      | Some stats ->
+      (* Stale synopses must not be reborn as fresh ones on load (the
+         loaded store's mutation stamp restarts at 0), so a mutated
+         store persists without stats or partition. *)
+      let fresh = Store.stats_fresh store in
+      (match Store.doc_stats store with
+      | Some stats when fresh ->
         add_u32 buf 1;
         Doc_stats.encode buf stats
-      | None -> add_u32 buf 0)
+      | Some _ | None -> add_u32 buf 0);
+      match Store.partition store with
+      | Some partition when fresh ->
+        add_u32 buf 1;
+        Path_partition.encode buf partition
+      | Some _ | None -> add_u32 buf 0)
     stores;
   let oc = open_out_bin path in
   Buffer.output_buffer oc buf;
@@ -152,5 +161,14 @@ let load ?(capacity = 1000) ?policy path =
            end
            else None
          in
-         Store.attach_meta ?doc_stats buffer ~root ~first_page ~page_count ~node_count ~height
-           ~tag_counts)
+         let has_partition = read_u32 r in
+         let partition =
+           if has_partition = 1 then begin
+             let partition, next = Path_partition.decode r.data r.pos in
+             r.pos <- next;
+             Some partition
+           end
+           else None
+         in
+         Store.attach_meta ?doc_stats ?partition buffer ~root ~first_page ~page_count ~node_count
+           ~height ~tag_counts)

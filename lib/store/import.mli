@@ -36,6 +36,9 @@ type result = {
   stats : Doc_stats.t;
       (** The full path synopsis collected during import (tag counts,
           parent/child pairs, subtree volumes). *)
+  partition : Path_partition.t;
+      (** The structural index built in the same pass: per path class,
+          the sorted (cluster, node) entry list. *)
   node_ids : Node_id.t array;
       (** Preorder rank -> core NodeID, for tests and context lookup. *)
 }

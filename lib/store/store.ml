@@ -12,8 +12,10 @@ type t = {
   tag_counts : (Xnav_xml.Tag.t * int) list;
   tag_table : (Xnav_xml.Tag.t, int) Hashtbl.t;
   doc_stats : Doc_stats.t option;
+  partition : Path_partition.t option;
   mutable swizzle : bool;
   mutable mutations : int;
+  stats_stamp : int;  (* [mutations] value the stats/partition describe *)
   mutable swizzle_hits : int;
   mutable swizzle_misses : int;
 }
@@ -34,13 +36,16 @@ let attach buffer (import : Import.result) =
     tag_counts = import.tag_counts;
     tag_table = tag_table_of import.tag_counts;
     doc_stats = Some import.stats;
+    partition = Some import.partition;
     swizzle = true;
     mutations = 0;
+    stats_stamp = 0;
     swizzle_hits = 0;
     swizzle_misses = 0;
   }
 
-let attach_meta ?doc_stats buffer ~root ~first_page ~page_count ~node_count ~height ~tag_counts =
+let attach_meta ?doc_stats ?partition buffer ~root ~first_page ~page_count ~node_count ~height
+    ~tag_counts =
   {
     buffer;
     root;
@@ -51,8 +56,10 @@ let attach_meta ?doc_stats buffer ~root ~first_page ~page_count ~node_count ~hei
     tag_counts;
     tag_table = tag_table_of tag_counts;
     doc_stats;
+    partition;
     swizzle = true;
     mutations = 0;
+    stats_stamp = 0;
     swizzle_hits = 0;
     swizzle_misses = 0;
   }
@@ -65,6 +72,8 @@ let page_count t = t.page_count
 let height t = t.height
 let tag_counts t = t.tag_counts
 let doc_stats t = t.doc_stats
+let partition t = t.partition
+let stats_fresh t = t.mutations = t.stats_stamp
 
 (* Bookkeeping hooks for the update layer. *)
 let note_new_page t = t.page_count <- t.page_count + 1

@@ -31,6 +31,7 @@ val attach : Xnav_storage.Buffer_manager.t -> Import.result -> t
 
 val attach_meta :
   ?doc_stats:Doc_stats.t ->
+  ?partition:Path_partition.t ->
   Xnav_storage.Buffer_manager.t ->
   root:Node_id.t ->
   first_page:int ->
@@ -52,6 +53,18 @@ val tag_counts : t -> (Xnav_xml.Tag.t * int) list
 val doc_stats : t -> Doc_stats.t option
 (** The import-time path synopsis, when available (imported or loaded
     stores have it; it is frozen — updates do not maintain it). *)
+
+val partition : t -> Path_partition.t option
+(** The import-time path partition (structural index), when available.
+    Like the synopsis, it is frozen: consult {!stats_fresh} before
+    seeding plans from it. *)
+
+val stats_fresh : t -> bool
+(** Whether {!doc_stats} / {!partition} still describe the store:
+    [true] until the first structural mutation ({!note_mutation}) after
+    attach. A stale partition must not seed index plans — {!Xnav_core}
+    falls back to navigation-only plans; re-import (or save and reload
+    a re-imported image) to refresh. *)
 
 val tag_count : t -> Xnav_xml.Tag.t -> int
 (** Number of nodes carrying the tag (0 if absent) — selectivity input

@@ -22,6 +22,42 @@ let from_root_element = function
   | { axis = Axis.Child; test } :: rest -> { axis = Axis.Self; test } :: rest
   | path -> path
 
+let prefix path n = List.filteri (fun i _ -> i < n) path
+
+(* How many leading steps the path summary resolves exactly: [self::]
+   and [child::] steps pin the position in a root-to-node tag sequence,
+   so a prefix of them selects whole path classes. The first descendant
+   step ends the prefix — its matches sit at arbitrary depths, which the
+   partition leaves to residual navigation. *)
+let indexable_prefix path =
+  let rec go n = function
+    | { axis = Axis.Self | Axis.Child; _ } :: rest -> go (n + 1) rest
+    | _ -> n
+  in
+  go 0 path
+
+(* Decide whether a node whose root-to-node tag sequence is [seq]
+   (index 0 = the evaluation context, last = the node itself) is
+   selected by the downward [path] evaluated from that context. The
+   sequence's interior positions are exactly the node's proper
+   ancestors below the context, so downward axes reduce to index
+   arithmetic over [seq]. Non-downward steps never match. *)
+let matches_sequence path seq =
+  let last = Array.length seq - 1 in
+  let rec go steps idx =
+    match steps with
+    | [] -> idx = last
+    | s :: rest -> (
+      let rec any j = j <= last && ((matches s.test seq.(j) && go rest j) || any (j + 1)) in
+      match s.axis with
+      | Axis.Self -> matches s.test seq.(idx) && go rest idx
+      | Axis.Child -> idx < last && matches s.test seq.(idx + 1) && go rest (idx + 1)
+      | Axis.Descendant -> any (idx + 1)
+      | Axis.Descendant_or_self -> any idx
+      | _ -> false)
+  in
+  last >= 0 && go path 0
+
 let starts_with_descendant_any = function
   | { axis = Axis.Descendant_or_self; test = Any_node } :: _ -> true
   | _ -> false

@@ -41,6 +41,27 @@ val from_root_element : t -> t
     differs from the document-node result only for the root element's
     own tag. *)
 
+val prefix : t -> int -> t
+(** The first [n] steps (the whole path when [n >= length path]). *)
+
+val indexable_prefix : t -> int
+(** Number of leading [self::]/[child::] steps — the prefix a path
+    summary resolves exactly (each such step pins one position in a
+    root-to-node tag sequence). The first descendant-axis step ends the
+    prefix: its matches sit at arbitrary depths and are left to residual
+    navigation by the structural index. *)
+
+val matches_sequence : t -> Xnav_xml.Tag.t array -> bool
+(** [matches_sequence path seq] decides whether a node whose
+    root-to-node tag sequence is [seq] — index 0 the evaluation
+    context's tag, the last element the node's own tag — is selected by
+    the downward [path] evaluated from that context. The interior
+    positions of [seq] are exactly the node's proper ancestors below
+    the context, so downward axes reduce to index arithmetic; steps
+    using any non-downward axis never match. This is the path-class
+    membership test behind the structural index (ISSUE 6 /
+    {!Xnav_store.Path_partition}). *)
+
 val starts_with_descendant_any : t -> bool
 (** Whether the path begins with [descendant-or-self::node()] — enables
     the paper's [//] optimisation for scan plans (Sec. 5.4.5.4). *)

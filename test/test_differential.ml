@@ -341,6 +341,63 @@ let workload_differential_sample () =
   in
   check Alcotest.(list string) "concurrent and serial runs agree" [] reproducers
 
+(* --- the structural index ------------------------------------------------- *)
+
+(* The index differential tier: reference evaluator, XSchedule and index
+   plans (covering and forced partial resolutions) must agree on every
+   sampled case. *)
+let index_differential_sample () =
+  let r = Differential.run_index ~seed:Gen.test_seed ~cases:200 () in
+  check Alcotest.int "cases run" 200 r.Differential.cases_run;
+  let reproducers =
+    List.map (fun f -> Differential.reproducer f.Differential.shrunk) r.Differential.failures
+  in
+  check Alcotest.(list string) "index plans agree with the reference evaluator" [] reproducers
+
+(* Border-seeded residual evaluation: on a store split into many tiny
+   clusters, an index plan forced to stop resolution mid-path must seed
+   partial instances at entry clusters, navigate the residual suffix
+   across borders (continuations served through Xindex.push), and still
+   produce the reference answer — while actually touching the residual
+   machinery. *)
+let index_residual_borders () =
+  let tree = doc () in
+  List.iter
+    (fun path_str ->
+      let path = Xpath_parser.parse path_str in
+      let store, import =
+        build ~capacity:4 ~policy:Io_scheduler.Elevator ~replacement:Buffer_manager.Lru tree
+      in
+      check Alcotest.bool "document spans multiple clusters" true (Store.page_count store > 2);
+      let expected = expected_ids tree import path in
+      List.iter
+        (fun resolve ->
+          let r =
+            Exec.cold_run ~config:validating store path (Plan.xindex ~resolve ())
+          in
+          let label = Printf.sprintf "%s at resolve<=%d" path_str resolve in
+          check id_list label expected (got_ids r);
+          check Alcotest.bool (label ^ ": residual machinery engaged") true
+            (r.Exec.metrics.Exec.index_clusters > 0))
+        [ 0; 1 ])
+    [ "/child::*/child::x"; "/child::*/child::y"; "/descendant::b" ]
+
+(* The covering regime reads nothing: a pure child chain on the same
+   multi-cluster store is answered entirely from the partition. *)
+let index_covering_reads_no_pages () =
+  let tree = doc () in
+  let store, import =
+    build ~capacity:4 ~policy:Io_scheduler.Elevator ~replacement:Buffer_manager.Lru tree
+  in
+  let path = Xpath_parser.parse "/child::*/child::x" in
+  let expected = expected_ids tree import path in
+  let r = Exec.cold_run ~config:validating store path (Plan.xindex ()) in
+  check id_list "covering answers match the reference" expected (got_ids r);
+  check Alcotest.int "covering entries = results" (List.length expected)
+    r.Exec.metrics.Exec.index_entries;
+  check Alcotest.int "no clusters pinned by the index" 0 r.Exec.metrics.Exec.index_clusters;
+  check Alcotest.int "no pages read at all" 0 r.Exec.metrics.Exec.page_reads
+
 let knobs_off =
   {
     validating with
@@ -443,6 +500,14 @@ let suite =
       [
         Alcotest.test_case "200 sampled cases: concurrent equals serial per query" `Slow
           workload_differential_sample;
+      ] );
+    ( "index differential",
+      [
+        Alcotest.test_case "200 sampled cases: index plans equal reference and xschedule" `Slow
+          index_differential_sample;
+        Alcotest.test_case "border-seeded residuals reproduce the reference answer" `Quick
+          index_residual_borders;
+        Alcotest.test_case "covering index reads no pages" `Quick index_covering_reads_no_pages;
       ] );
     ( "scheduler regressions",
       [

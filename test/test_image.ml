@@ -74,6 +74,42 @@ let tests =
         let loaded = List.hd (Image.load temp_path) in
         ignore (Update.insert_element loaded ~parent:(Store.root loaded) (Xnav_xml.Tag.of_string "late"));
         check int "grown" (Tree.size doc + 1) (Store.node_count loaded));
+    Alcotest.test_case "the path partition round-trips through the codec" `Quick (fun () ->
+        let doc = Gen.wide_tree ~children:60 () in
+        let _, import = Gen.import_store ~payload:220 doc in
+        let partition = import.Import.partition in
+        let buf = Buffer.create 1024 in
+        Xnav_store.Path_partition.encode buf partition;
+        let s = Buffer.contents buf in
+        let decoded, consumed = Xnav_store.Path_partition.decode s 0 in
+        check int "codec consumes exactly what it wrote" (String.length s) consumed;
+        check bool "decoded partition equals the original" true
+          (Xnav_store.Path_partition.equal partition decoded);
+        check int "entries cover every node" (Tree.size doc)
+          (Xnav_store.Path_partition.node_count decoded));
+    Alcotest.test_case "a fresh partition survives persistence, a stale one does not" `Quick
+      (fun () ->
+        let doc = Gen.wide_tree ~children:60 () in
+        let store, _ = Gen.import_store ~payload:220 doc in
+        Image.save temp_path [ store ];
+        let loaded = List.hd (Image.load ~capacity:32 temp_path) in
+        (match (Store.partition store, Store.partition loaded) with
+        | Some p, Some l ->
+          check bool "loaded partition equals the saved one" true
+            (Xnav_store.Path_partition.equal p l)
+        | _ -> Alcotest.fail "fresh save must carry the partition");
+        check bool "loaded partition is fresh" true (Store.stats_fresh loaded);
+        (* Index plans work on the loaded store. *)
+        let path = Xpath_parser.parse "/b/x" in
+        check int "covering index on the loaded store" (Eval_ref.count doc path)
+          (Exec.cold_run ~ordered:false loaded path (Plan.xindex ())).Exec.count;
+        (* Mutate, save again: the stale synopsis must not be reborn as a
+           fresh one on load. *)
+        ignore (Update.insert_element loaded ~parent:(Store.root loaded) (Xnav_xml.Tag.of_string "b"));
+        Image.save temp_path [ loaded ];
+        let reloaded = List.hd (Image.load ~capacity:32 temp_path) in
+        check bool "stale partition dropped on save" true (Store.partition reloaded = None);
+        check bool "stale synopsis dropped on save" true (Store.doc_stats reloaded = None));
     Alcotest.test_case "corrupt images are rejected" `Quick (fun () ->
         let oc = open_out_bin temp_path in
         output_string oc "NOTANIMAGE-----";

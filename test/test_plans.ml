@@ -318,6 +318,81 @@ let compile_tests =
         (match Compile.compile ~choice:Compile.Force_scan store (Xpath_parser.parse "//B/..") with
         | exception Invalid_argument _ -> ()
         | _ -> Alcotest.fail "expected Invalid_argument"));
+    Alcotest.test_case "auto picks the covering index for a selective child chain" `Quick
+      (fun () ->
+        let doc = Gen.wide_tree ~children:200 () in
+        let store, _ = Gen.import_store ~payload:220 doc in
+        let path = Xpath_parser.parse "/b/x" in
+        let e = Compile.estimate store path in
+        check bool "index beats schedule" true (e.Compile.cost_index < e.Compile.cost_schedule);
+        check bool "index beats scan" true (e.Compile.cost_index < e.Compile.cost_scan);
+        (match Compile.compile store path with
+        | Plan.Reordered { io = Plan.Io_index _; _ } -> ()
+        | plan -> Alcotest.failf "expected xindex, got %s" (Plan.name plan));
+        (* Non-root contexts cannot use the partition (its classes are
+           anchored at the document root). *)
+        match Compile.compile ~context_is_root:false store path with
+        | Plan.Reordered { io = Plan.Io_index _; _ } ->
+          Alcotest.fail "non-root context must not pick xindex"
+        | _ -> ());
+    Alcotest.test_case "auto never picks residual index seeding for // paths" `Quick (fun () ->
+        let doc = Gen.wide_tree ~children:200 () in
+        let store, _ = Gen.import_store ~payload:220 doc in
+        let e = Compile.estimate store (Xpath_parser.parse "//x") in
+        check bool "residual index costs at least a schedule" true
+          (e.Compile.cost_index >= e.Compile.cost_schedule);
+        match Compile.compile store (Xpath_parser.parse "//x") with
+        | Plan.Reordered { io = Plan.Io_index _; _ } ->
+          Alcotest.fail "// path must not pick xindex"
+        | _ -> ());
+  ]
+
+(* Satellite regression: with no synopsis the estimator's per-tag fold
+   could reach zero touched nodes (empty and all-upward paths fold over
+   no downward steps; absent tags count zero), collapsing every cost and
+   letting the tie-break silently pick XScan. The no-stats branch now
+   clamps to at least one touched node/page. *)
+let no_stats_store () =
+  let doc = Gen.wide_tree ~children:200 () in
+  let store, _ = Gen.import_store ~payload:220 doc in
+  Store.attach_meta (Store.buffer store) ~root:(Store.root store)
+    ~first_page:(Store.first_page store) ~page_count:(Store.page_count store)
+    ~node_count:(Store.node_count store) ~height:(Store.height store)
+    ~tag_counts:(Store.tag_counts store)
+
+let no_stats_tests =
+  [
+    Alcotest.test_case "estimate without stats clamps to one touched node" `Quick (fun () ->
+        let store = no_stats_store () in
+        check bool "no synopsis attached" true (Store.doc_stats store = None);
+        List.iter
+          (fun path ->
+            let e = Compile.estimate store path in
+            let label = Path.to_string path in
+            check bool (label ^ ": touched >= 1") true (e.Compile.touched_nodes >= 1);
+            check bool (label ^ ": est_pages >= 1") true (e.Compile.est_pages >= 1))
+          [
+            [];  (* depth 0: nothing to fold over *)
+            Xpath_parser.parse "//B/ancestor::A";  (* upward tail *)
+            Xpath_parser.parse "/zzz-missing/zzz-missing";  (* absent tags *)
+          ]);
+    Alcotest.test_case "no-stats narrow path schedules instead of scanning" `Quick (fun () ->
+        let store = no_stats_store () in
+        let e = Compile.estimate store (Xpath_parser.parse "/zzz-missing/zzz-missing") in
+        check bool "schedule wins narrow" true (e.Compile.cost_schedule < e.Compile.cost_scan);
+        match Compile.compile store (Xpath_parser.parse "/zzz-missing/zzz-missing") with
+        | Plan.Reordered { io = Plan.Io_schedule _; _ } -> ()
+        | plan -> Alcotest.failf "expected schedule, got %s" (Plan.name plan));
+    Alcotest.test_case "upward paths compile to simple with or without stats" `Quick (fun () ->
+        let path = Xpath_parser.parse "//B/ancestor::A" in
+        let with_stats, _ = Gen.import_store (Gen.sample_doc ()) in
+        let without = no_stats_store () in
+        List.iter
+          (fun store ->
+            match Compile.compile store path with
+            | Plan.Simple _ -> ()
+            | plan -> Alcotest.failf "expected simple, got %s" (Plan.name plan))
+          [ with_stats; without ]);
   ]
 
 let suite =
@@ -332,4 +407,5 @@ let suite =
     Gen.qsuite "plans.props" plan_props;
     ("plans.metrics", metric_tests);
     ("plans.compile", compile_tests);
+    ("plans.no-stats", no_stats_tests);
   ]

@@ -177,6 +177,37 @@ let unit_tests =
             let r = Exec.cold_run ~ordered:false store path plan in
             check int (Plan.name plan) (Eval_ref.count doc path) r.Exec.count)
           [ Plan.simple; Plan.xschedule (); Plan.xscan () ]);
+    Alcotest.test_case "inserts stale the synopsis and re-plan away from the index" `Quick
+      (fun () ->
+        let doc, store, import = fresh_setup () in
+        ignore (Tree.index doc);
+        let path = Xpath_parser.parse "/A/B" in
+        (* Fresh import: a pure child chain is answered by the covering
+           index. *)
+        check bool "stats fresh before update" true (Store.stats_fresh store);
+        (match Xnav_core.Compile.compile store path with
+        | Plan.Reordered { io = Plan.Io_index _; _ } -> ()
+        | plan -> Alcotest.failf "fresh store should pick xindex, got %s" (Plan.name plan));
+        (* Insert a new B under the first A: the frozen partition no
+           longer describes the store. *)
+        let first_a = doc.Tree.children.(0) in
+        let pid = import.Import.node_ids.(first_a.Tree.preorder) in
+        ignore (Update.insert_element store ~parent:pid (Tag.of_string "B"));
+        ignore (mirror_insert first_a (Array.length first_a.Tree.children) (Tag.of_string "B"));
+        check bool "stats stale after insert" false (Store.stats_fresh store);
+        let e = Xnav_core.Compile.estimate store path in
+        check bool "cost_index infinite when stale" true
+          (e.Xnav_core.Compile.cost_index = infinity);
+        (match Xnav_core.Compile.compile store path with
+        | Plan.Reordered { io = Plan.Io_index _; _ } ->
+          Alcotest.fail "stale store must not pick xindex"
+        | _ -> ());
+        (* A forced index plan degrades to the schedule pipeline — and
+           therefore sees the inserted node the partition missed. *)
+        let forced = Exec.cold_run ~ordered:false store path (Plan.xindex ()) in
+        check int "forced index sees the insert" (Eval_ref.count doc path) forced.Exec.count;
+        check int "index counters untouched in degraded mode" 0
+          forced.Exec.metrics.Exec.index_entries);
   ]
 
 (* --- randomised mirror workout -------------------------------------------------- *)
