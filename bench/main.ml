@@ -7,6 +7,7 @@
      dune exec bench/main.exe                 run every section
      dune exec bench/main.exe -- --filter fig9
      dune exec bench/main.exe -- --quick      smaller sweep
+     dune exec bench/main.exe -- --micro      fused vs iterator chain ns/extension
      dune exec bench/main.exe -- micro        Bechamel microbenches *)
 
 module Tree = Xnav_xml.Tree
@@ -116,6 +117,8 @@ let zero_metrics =
     index_entries = 0;
     index_clusters = 0;
     index_residuals = 0;
+    fused_transitions = 0;
+    fused_states = 0;
     fell_back = false;
   }
 
@@ -152,6 +155,8 @@ let add_metrics (a : Exec.metrics) (b : Exec.metrics) =
     index_entries = a.Exec.index_entries + b.Exec.index_entries;
     index_clusters = a.Exec.index_clusters + b.Exec.index_clusters;
     index_residuals = a.Exec.index_residuals + b.Exec.index_residuals;
+    fused_transitions = a.Exec.fused_transitions + b.Exec.fused_transitions;
+    fused_states = a.Exec.fused_states + b.Exec.fused_states;
     fell_back = a.Exec.fell_back || b.Exec.fell_back;
   }
 
@@ -832,6 +837,8 @@ let metrics_fields count (m : Exec.metrics) =
     ("index_entries", string_of_int m.Exec.index_entries);
     ("index_clusters", string_of_int m.Exec.index_clusters);
     ("index_residuals", string_of_int m.Exec.index_residuals);
+    ("fused_transitions", string_of_int m.Exec.fused_transitions);
+    ("fused_states", string_of_int m.Exec.fused_states);
     ("fell_back", if m.Exec.fell_back then "true" else "false");
   ]
 
@@ -849,6 +856,63 @@ let time_ns f =
     else dt *. 1e9 /. float_of_int iters
   in
   measure 1
+
+(* Per-extension CPU cost of the fused automaton vs the XStep iterator
+   chain, on synthetic deep paths whose evaluation is pure chain work
+   (warm buffer, scan I/O amortised away by the iteration count). The
+   denominator is the number of automaton transitions — one per cursor
+   emission, identical for both chain implementations by construction. *)
+let fused_micro_fixtures () =
+  let rec nest tag d = Tree.elt tag (if d = 0 then [] else [ nest tag (d - 1) ]) in
+  let deep = Tree.elt "root" (List.init 96 (fun _ -> nest "a" 11)) in
+  let bushy =
+    Tree.elt "root"
+      (List.init 64 (fun _ ->
+           Tree.elt "item" [ Tree.elt "name" []; Tree.elt "description" [ Tree.elt "text" [] ] ]))
+  in
+  let attach doc =
+    let disk = Disk.create ~config:{ Disk.default_config with Disk.page_size = 4096 } () in
+    let import = Import.run disk doc in
+    let buffer = Buffer_manager.create ~capacity:256 disk in
+    (Store.attach buffer import, import.Import.page_count)
+  in
+  let chain tag n =
+    List.init n (fun _ ->
+        { Path.axis = Xnav_xml.Axis.Child; Path.test = Path.Name (Xnav_xml.Tag.of_string tag) })
+  in
+  let descend tag =
+    [
+      { Path.axis = Xnav_xml.Axis.Descendant; Path.test = Path.Name (Xnav_xml.Tag.of_string tag) };
+    ]
+  in
+  [
+    ("deep-child-12", attach deep, chain "a" 12);
+    ("deep-child-6", attach deep, chain "a" 6);
+    ("bushy-descendant", attach bushy, descend "text");
+  ]
+
+let fused_micro_rows () =
+  List.map
+    (fun (name, (store, pages), path) ->
+      let run fused =
+        let config = Context.set_fused fused Context.default_config in
+        Exec.run ~config ~ordered:false store path (Plan.xscan ())
+      in
+      let transitions = (run true).Exec.metrics.Exec.fused_transitions in
+      let per_ext fused = time_ns (fun () -> run fused) /. float_of_int (max 1 transitions) in
+      let fused_ns = per_ext true in
+      let chain_ns = per_ext false in
+      jobj
+        [
+          ("name", jstring name);
+          ("pages", string_of_int pages);
+          ("steps", string_of_int (Path.length path));
+          ("transitions", string_of_int transitions);
+          ("fused_ns_per_ext", jfloat fused_ns);
+          ("chain_ns_per_ext", jfloat chain_ns);
+          ("speedup", jfloat (chain_ns /. Float.max 1e-9 fused_ns));
+        ])
+    (fused_micro_fixtures ())
 
 let swizzle_micro_rows () =
   List.concat_map
@@ -905,10 +969,11 @@ let json_mode ~profile cfg out_file =
         Queries.all)
     cfg.scale_factors;
   let micro_rows = swizzle_micro_rows () in
+  let fused_rows = fused_micro_rows () in
   let out =
     jobj
       [
-        ("schema", jstring "xnav-bench/4");
+        ("schema", jstring "xnav-bench/5");
         ("profile", jstring profile);
         ( "config",
           jobj
@@ -920,6 +985,7 @@ let json_mode ~profile cfg out_file =
             ] );
         ("rows", jarr (List.rev !rows));
         ("micro", jarr micro_rows);
+        ("micro_fused", jarr fused_rows);
       ]
   in
   check_json_shape out;
@@ -1054,7 +1120,7 @@ let workload_mode ~profile cfg ~clients out_file =
   let out =
     jobj
       [
-        ("schema", jstring "xnav-bench/4");
+        ("schema", jstring "xnav-bench/5");
         ("mode", jstring "workload");
         ("profile", jstring profile);
         ( "config",
@@ -1314,7 +1380,48 @@ let compare_with_baseline ~tolerance current baseline_file =
             end
           in
           gate "total_time" floor_s;
-          gate "io_time" 0.002
+          gate "io_time" 0.002;
+          (* cpu_time is process CPU (Sys.time), but cache/SMT
+             contention from co-running jobs still inflates it 50-100%
+             (e.g. when the compare runs under a parallel dune build),
+             so an absolute cross-run gate at the standard tolerance
+             flaps. Gate it (since xnav-bench/5) as the plan's CPU
+             relative to the Simple plan measured in the *same* run —
+             both inflate together under load, so the ratio isolates
+             plan-specific regressions such as losing the fused
+             automaton — plus a loose absolute backstop (5x tolerance)
+             that catches uniform slowdowns hitting every plan,
+             Simple included. *)
+          let cpu field = jnum_exn ("row." ^ field) in
+          let simple_cpu rows =
+            match List.find_opt (fun r -> key r = (q, "simple", sc)) rows with
+            | Some r -> cpu "cpu_time" (jget r "cpu_time")
+            | None -> 0.
+          in
+          let bt = cpu "cpu_time" (jget brow "cpu_time") in
+          let ct = cpu "cpu_time" (jget crow "cpu_time") in
+          let bs = simple_cpu base_rows and cs = simple_cpu current_rows in
+          if p <> "simple" && bs > 0. && cs > 0. then begin
+            let bratio = bt /. bs and cratio = ct /. cs in
+            if cratio > bratio *. (1. +. tolerance) && ct -. (bratio *. cs) > 0.005 then begin
+              incr failures;
+              Printf.printf
+                "compare: %-28s cpu_time/simple regressed %.3f -> %.3f (+%.0f%%, tolerance \
+                 %.0f%%)\n"
+                label bratio cratio
+                (100. *. (cratio -. bratio) /. bratio)
+                (100. *. tolerance)
+            end
+          end;
+          if ct > bt *. (1. +. (5. *. tolerance)) && ct -. bt > 0.01 then begin
+            incr failures;
+            Printf.printf
+              "compare: %-28s cpu_time regressed %.4fs -> %.4fs (+%.0f%%, backstop tolerance \
+               %.0f%%)\n"
+              label bt ct
+              (100. *. (ct -. bt) /. bt)
+              (100. *. 5. *. tolerance)
+          end
         end)
     base_rows;
   (* Index gate (since xnav-bench/4): the structural index must actually
@@ -1484,6 +1591,19 @@ let () =
     | j, _ -> j
   in
   if List.mem "micro" args then micro ()
+  else if List.mem "--micro" args then begin
+    (* The fused-chain micro tier on its own: per-extension CPU cost of
+       the fused automaton vs the XStep iterator chain. Exits non-zero
+       on non-finite measurements (jfloat raises) — the CI smoke step. *)
+    section_header "fused vs iterator chain (ns per extension)";
+    try
+      let rows = fused_micro_rows () in
+      List.iter print_endline rows;
+      check_json_shape (jarr rows)
+    with Malformed msg ->
+      Printf.eprintf "bench --micro: malformed output: %s\n" msg;
+      exit 1
+  end
   else begin
     let profile, cfg =
       if smoke then ("smoke", smoke_config)

@@ -121,6 +121,22 @@ let verbose =
 let rewrite_flag =
   Arg.(value & flag & info [ "rewrite" ] ~doc:"Normalise the path logically before planning.")
 
+let no_fused_flag =
+  Arg.(
+    value & flag
+    & info [ "no-fused" ]
+        ~doc:
+          "Evaluate reordered plans with the historical per-step XStep iterator chain instead \
+           of the fused automaton (same results and I/O, higher CPU).")
+
+(* Apply the --no-fused choice to a compiled plan (Simple has no chain). *)
+let apply_fused ~no_fused plan =
+  if not no_fused then plan
+  else
+    match plan with
+    | Plan.Reordered { io; dslash; fused = _ } -> Plan.Reordered { io; dslash; fused = false }
+    | p -> p
+
 (* --- document setup ------------------------------------------------------- *)
 
 let obtain_store ~image ~input ~scale ~fidelity ~seed ~page_size ~capacity ~policy ~strategy =
@@ -218,16 +234,18 @@ let stats_cmd =
 (* --- explain ----------------------------------------------------------------- *)
 
 let explain_cmd =
-  let run path_str choice rewrite store =
+  let run path_str choice rewrite no_fused store =
     let path = Path.from_root_element (Xpath_parser.parse path_str) in
     let path, plan = Compile.plan_for ~choice ~rewrite store path in
+    let plan = apply_fused ~no_fused plan in
     Format.printf "path:     %s@." (Path.to_string path);
-    Format.printf "estimate: %a@." Compile.pp_estimate (Compile.estimate store path);
+    Format.printf "estimate: %a@." Compile.pp_estimate
+      (Compile.estimate ~fused:(not no_fused) store path);
     Format.printf "chosen:   %s@.@.%a@." (Plan.name plan) Plan.explain (path, plan)
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the compiled plan and cost estimate for a path.")
-    Term.(const run $ path_arg $ plan_choice $ rewrite_flag $ common_store_term)
+    Term.(const run $ path_arg $ plan_choice $ rewrite_flag $ no_fused_flag $ common_store_term)
 
 (* --- query ---------------------------------------------------------------------- *)
 
@@ -268,18 +286,19 @@ let query_cmd =
       & info [ "serve-policy" ] ~docv:"POLICY"
           ~doc:"How XSchedule picks the next queued cluster: min-pid or cost.")
   in
-  let run path_str choice rewrite k budget coalesce_window serve_policy scan_threshold verbose
-      store =
+  let run path_str choice rewrite no_fused k budget coalesce_window serve_policy scan_threshold
+      verbose store =
     let query = Query.from_root_element (Xpath_parser.parse_query path_str) in
     let config =
-      {
-        Context.default_config with
-        Context.k;
-        memory_budget = budget;
-        coalesce_window;
-        serve_policy;
-        scan_threshold;
-      }
+      Context.set_fused (not no_fused)
+        {
+          Context.default_config with
+          Context.k;
+          memory_budget = budget;
+          coalesce_window;
+          serve_policy;
+          scan_threshold;
+        }
     in
     let print_nodes nodes =
       if verbose then
@@ -311,8 +330,8 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate a location path or extended query with cost metrics.")
     Term.(
-      const run $ path_arg $ plan_choice $ rewrite_flag $ k_arg $ budget $ coalesce_window
-      $ serve_policy $ scan_threshold $ verbose $ common_store_term)
+      const run $ path_arg $ plan_choice $ rewrite_flag $ no_fused_flag $ k_arg $ budget
+      $ coalesce_window $ serve_policy $ scan_threshold $ verbose $ common_store_term)
 
 (* --- check ------------------------------------------------------------------------ *)
 

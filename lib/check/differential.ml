@@ -440,6 +440,90 @@ let check_index_case case =
   let store, import = build_store ~doc case.physical in
   check_index_built ~doc ~store ~import case
 
+(* --- fused tier ----------------------------------------------------------- *)
+
+(* The fused automaton compiles the XStep chain away, but below
+   XAssembly it must be observationally equivalent: running each
+   fused-capable plan with the knob on and off — same store, cold —
+   must produce identical result node ids, the identical physical I/O
+   trace (page-by-page, in order), and identical scheduling and
+   speculation counters. The knob-off run must never touch the
+   automaton (zero fused counters); since the knob-on trace is checked
+   equal to it, knob-off also pins the automaton to the historical
+   chain regime. Swizzle counters are exempt: the automaton reads
+   packed navigation words where the chain decodes full records, so
+   the hit/miss split legitimately differs. [instances] is exempt for
+   the same reason — the chain materialises one instance per step
+   extension, the automaton only per crossing and per result. *)
+let fused_plans case =
+  [
+    ("xschedule", Plan.xschedule ~speculative:case.speculative ());
+    ("xscan", Plan.xscan ());
+    ("xindex", Plan.xindex ());
+    ("xindex[resolve=0]", Plan.xindex ~resolve:0 ());
+  ]
+  @
+  if Path.starts_with_descendant_any case.path then [ ("xscan-dslash", Plan.xscan ~dslash:true ()) ]
+  else []
+
+let check_fused_built ~store case =
+  let config = context_config case in
+  let disk = Buffer_manager.disk (Store.buffer store) in
+  let mismatches = ref [] in
+  let record plan detail = mismatches := { plan; detail } :: !mismatches in
+  let run_with plan fused =
+    Disk.set_trace disk true;
+    let r = Exec.cold_run ~config:{ config with Context.fused } store case.path plan in
+    let trace = Disk.trace disk in
+    Disk.set_trace disk false;
+    (r, trace)
+  in
+  List.iter
+    (fun (name, plan) ->
+      match
+        let on = run_with plan true in
+        let off = run_with plan false in
+        (on, off)
+      with
+      | (on, on_trace), (off, off_trace) ->
+        let on_ids = ids_of on.Exec.nodes and off_ids = ids_of off.Exec.nodes in
+        if on_ids <> off_ids then
+          record name
+            (Format.asprintf "fused: %d nodes %a, unfused: %d nodes %a" (List.length on_ids)
+               pp_ids on_ids (List.length off_ids) pp_ids off_ids);
+        if on_trace <> off_trace then
+          record name
+            (Printf.sprintf "I/O traces diverge: fused read %d pages, unfused %d"
+               (List.length on_trace) (List.length off_trace));
+        let mon = on.Exec.metrics and moff = off.Exec.metrics in
+        List.iter
+          (fun (label, proj) ->
+            let a = proj mon and b = proj moff in
+            if a <> b then
+              record name (Printf.sprintf "%s diverges: fused %d, unfused %d" label a b))
+          [
+            ("page_reads", fun m -> m.Exec.page_reads);
+            ("seek_distance", fun m -> m.Exec.seek_distance);
+            ("q_enqueued", fun m -> m.Exec.q_enqueued);
+            ("q_served", fun m -> m.Exec.q_served);
+            ("clusters_visited", fun m -> m.Exec.clusters_visited);
+            ("crossings", fun m -> m.Exec.crossings);
+            ("specs_created", fun m -> m.Exec.specs_created);
+            ("specs_resolved", fun m -> m.Exec.specs_resolved);
+          ];
+        if moff.Exec.fused_transitions <> 0 || moff.Exec.fused_states <> 0 then
+          record name
+            (Printf.sprintf "unfused run touched the automaton: %d transitions, %d states"
+               moff.Exec.fused_transitions moff.Exec.fused_states)
+      | exception e -> record name (Printf.sprintf "raised %s" (Printexc.to_string e)))
+    (fused_plans case);
+  List.rev !mismatches
+
+let check_fused_case case =
+  let doc = cached_document ~doc_seed:case.doc_seed ~fidelity:case.fidelity in
+  let store, _import = build_store ~doc case.physical in
+  check_fused_built ~store case
+
 (* --- shrinking ------------------------------------------------------------ *)
 
 (* Move one dimension of the case toward the default / a smaller input.
@@ -596,6 +680,12 @@ let run_workload ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(
     ~check_one:(fun ~doc:_ ~store ~import:_ case -> check_workload_built ~store case)
     ~runs_of:(fun case -> 2 * List.length (plans_for case))
     ~shrink_check:check_workload_case ~seed ~cases ~paths_per_store ~log
+
+let run_fused ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(log = ignore) () =
+  run_tier
+    ~check_one:(fun ~doc:_ ~store ~import:_ case -> check_fused_built ~store case)
+    ~runs_of:(fun case -> 2 * List.length (fused_plans case))
+    ~shrink_check:check_fused_case ~seed ~cases ~paths_per_store ~log
 
 let run_index ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(log = ignore) () =
   run_tier ~check_one:check_index_built

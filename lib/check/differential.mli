@@ -70,6 +70,17 @@ val check_workload_case : case -> mismatch list
     layer ends clean. Capacities sampled down to 1 exercise the
     serialising admission path. *)
 
+val check_fused_case : case -> mismatch list
+(** Differential check of the fused chain automaton: build the case's
+    store and run every fused-capable plan (XSchedule, XScan and its
+    //-variant, XIndex at full and zero resolution) twice —
+    {!Xnav_core.Context.config.fused} on, then off — asserting
+    identical result node ids, the identical physical I/O trace
+    (page-by-page, in order), identical scheduling and speculation
+    counters, and that the knob-off run left both fused counters at
+    zero. Trace equality pins the knob-off run — and therefore the
+    automaton — to the historical XStep-chain I/O behaviour. *)
+
 val check_index_case : case -> mismatch list
 (** Differential check of the structural index: build the case's store
     and compare the reference evaluator, the XSchedule plan, the default
@@ -139,6 +150,17 @@ val run_workload :
 (** Like {!run} but applying {!check_workload_case}'s serial/concurrent
     comparison to every sampled case (two executions per plan: one
     serial, one through the workload engine). *)
+
+val run_fused :
+  ?seed:int ->
+  ?cases:int ->
+  ?paths_per_store:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  report
+(** Like {!run} but applying {!check_fused_case}'s fused/unfused
+    comparison to every sampled case (two executions per fused-capable
+    plan). *)
 
 val run_index :
   ?seed:int ->

@@ -10,6 +10,7 @@ type choice = Auto | Force_simple | Force_schedule | Force_scan | Force_index
 type estimate = {
   touched_nodes : int;
   est_pages : int;
+  fused : bool;
   cost_simple : float;
   cost_schedule : float;
   cost_scan : float;
@@ -21,7 +22,20 @@ type estimate = {
 let cpu_per_node = 2e-6
 let cpu_per_spec = 1e-6
 
-let estimate store path =
+(* The fused automaton replaces one Path_instance allocation plus one
+   closure dispatch per extension with an array-indexed state push;
+   measured per-extension cost drops well over 2x (see bench --micro),
+   priced conservatively here. *)
+let cpu_per_node_fused = 8e-7
+
+(* Residual index seeding is only priced honestly when the seed prefix
+   actually prunes: if the tail would still walk (almost) the whole
+   document, seeding degenerates to plain navigation and keeps the
+   conservative >=-schedule price. *)
+let residual_selectivity = 0.8
+
+let estimate ?(fused = true) store path =
+  let chain_cpu = if fused then cpu_per_node_fused else cpu_per_node in
   let node_count = max 1 (Store.node_count store) in
   let page_count = max 1 (Store.page_count store) in
   let config = Disk.config (Buffer_manager.disk (Store.buffer store)) in
@@ -58,14 +72,16 @@ let estimate store path =
     |> max 1
   in
   let touched = float_of_int touched_nodes in
+  (* Reordered shapes run the (possibly fused) chain; the Simple method
+     always pays the full per-node iterator cost. *)
   let cost_scan =
     (float_of_int page_count *. config.Disk.transfer)
     +. (float_of_int node_count *. float_of_int (Path.length path) *. cpu_per_spec)
-    +. (touched *. cpu_per_node)
+    +. (touched *. chain_cpu)
   in
   let cost_schedule =
     (* Asynchronous reordering roughly halves the per-page random cost. *)
-    (float_of_int est_pages *. random_cost /. 2.) +. (touched *. cpu_per_node)
+    (float_of_int est_pages *. random_cost /. 2.) +. (touched *. chain_cpu)
   in
   let cost_simple =
     (* Every step re-fetches its share of pages at full random cost. *)
@@ -78,11 +94,17 @@ let estimate store path =
        pure per-entry CPU. A path with a residual suffix (a descendant
        step ends exact resolution) pays an exact seed-cluster walk
        (consecutive clusters at transfer cost, gaps at random cost) plus
-       schedule-like navigation over the touched share — i.e. at least
-       the schedule plan's cost, so Auto never prefers residual seeding;
-       it is reachable via [Force_index] and the [resolve] knob.
-       Infinite when no fresh partition exists or the path cannot be
-       index-seeded. *)
+       navigation of the tail. When the synopsis shows the tail confined
+       to a minority of the document (the seed prefix prunes — q6'-style
+       queries), that navigation is priced honestly: the residual
+       operator serves pending clusters smallest-pid-first and the
+       seeds' subtrees are contiguous under the depth-first cluster
+       layout, so the tail's page share is fetched at near-sequential
+       transfer cost. When the tail still spans (almost) the whole
+       document (frontier > [residual_selectivity] of the nodes — //x,
+       q7), seeding buys nothing and the term keeps the conservative
+       >=-schedule price, so Auto never prefers it there. Infinite when
+       no fresh partition exists or the path cannot be index-seeded. *)
     match Store.partition store with
     | Some partition when Store.stats_fresh store && Path.is_downward path && path <> [] ->
       let resolved = Path.indexable_prefix path in
@@ -114,14 +136,29 @@ let estimate store path =
               (acc +. cost, Some pid))
             (0.0, None) pids
         in
-        io
-        +. (float_of_int est_pages *. random_cost /. 2.)
-        +. (float_of_int entries *. cpu_per_node)
-        +. (touched *. cpu_per_node)
+        let tail_frontier, tail_work =
+          match Store.doc_stats store with
+          | Some stats ->
+            let per_step = Xnav_store.Doc_stats.estimate_path stats path in
+            let tail = List.filteri (fun i _ -> i >= resolved) per_step in
+            (List.fold_left max 0.0 tail, List.fold_left ( +. ) 0.0 tail)
+          | None -> (float_of_int node_count, touched)
+        in
+        let frac = tail_frontier /. float_of_int node_count in
+        if frac <= residual_selectivity then
+          io +. random_cost
+          +. (max 1.0 (ceil (frac *. float_of_int page_count)) *. config.Disk.transfer)
+          +. (float_of_int entries *. cpu_per_node)
+          +. (tail_work *. chain_cpu)
+        else
+          io
+          +. (float_of_int est_pages *. random_cost /. 2.)
+          +. (float_of_int entries *. cpu_per_node)
+          +. (touched *. chain_cpu)
       end
     | Some _ | None -> infinity
   in
-  { touched_nodes; est_pages; cost_simple; cost_schedule; cost_scan; cost_index }
+  { touched_nodes; est_pages; fused; cost_simple; cost_schedule; cost_scan; cost_index }
 
 let compile ?(choice = Auto) ?(context_is_root = true) store path =
   let downward = Path.is_downward path in
@@ -156,5 +193,7 @@ let plan_for ?choice ?(rewrite = false) ?context_is_root store path =
 
 let pp_estimate ppf e =
   Format.fprintf ppf
-    "touched~%d pages~%d | simple %.4fs, xschedule %.4fs, xscan %.4fs, xindex %.4fs"
+    "touched~%d pages~%d | simple %.4fs, xschedule %.4fs, xscan %.4fs, xindex %.4fs | chain %s @@ %.1e s/node"
     e.touched_nodes e.est_pages e.cost_simple e.cost_schedule e.cost_scan e.cost_index
+    (if e.fused then "fused" else "per-step")
+    (if e.fused then cpu_per_node_fused else cpu_per_node)

@@ -29,6 +29,10 @@ type choice = Auto | Force_simple | Force_schedule | Force_scan | Force_index
 type estimate = {
   touched_nodes : int;  (** Upper bound on nodes enumerated by the steps. *)
   est_pages : int;  (** Estimated distinct clusters a schedule plan loads. *)
+  fused : bool;
+      (** Whether the reordered-shape CPU terms assume the fused
+          automaton's reduced per-node cost (the default) or the
+          per-step iterator chain's. *)
   cost_simple : float;
   cost_schedule : float;
   cost_scan : float;
@@ -37,13 +41,20 @@ type estimate = {
           exactly) cost only per-entry CPU — the partition carries id,
           tag and ordpath, so no page is read. Paths with a residual
           suffix pay an exact seed-cluster walk (consecutive clusters at
-          transfer cost, gaps at random cost) plus schedule-like
-          navigation, which [Auto] never prefers. [infinity] when the
-          store has no fresh partition or the path has non-downward
-          steps. *)
+          transfer cost, gaps at random cost) plus tail navigation: when
+          the synopsis shows the seed prefix prunes the tail to a
+          minority of the document, the tail's page share is priced at
+          near-sequential transfer cost (the residual operator serves
+          pending clusters smallest-pid-first over contiguous seed
+          subtrees), so [Auto] can pick residual seeding for q6'-style
+          queries; otherwise the term keeps its conservative
+          [>= cost_schedule] price. [infinity] when the store has no
+          fresh partition or the path has non-downward steps. *)
 }
 
-val estimate : Xnav_store.Store.t -> Xnav_xpath.Path.t -> estimate
+val estimate : ?fused:bool -> Xnav_store.Store.t -> Xnav_xpath.Path.t -> estimate
+(** [fused] (default [true]) selects which per-node CPU constant the
+    reordered-shape terms charge. *)
 
 val compile :
   ?choice:choice ->

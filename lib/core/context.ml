@@ -16,6 +16,7 @@ type config = {
   coalesce_window : int;
   serve_policy : serve_policy;
   scan_threshold : float;
+  fused : bool;
 }
 
 let default_config =
@@ -28,7 +29,10 @@ let default_config =
     coalesce_window = 16;
     serve_policy = Serve_cost;
     scan_threshold = 0.5;
+    fused = true;
   }
+
+let set_fused fused config = { config with fused }
 
 type mode = Normal | Fallback
 
@@ -57,6 +61,8 @@ type counters = {
   mutable index_entries : int;
   mutable index_clusters : int;
   mutable index_residuals : int;
+  mutable fused_transitions : int;
+  mutable fused_states : int;
 }
 
 type t = {
@@ -99,6 +105,8 @@ let create ?(config = default_config) store =
         index_entries = 0;
         index_clusters = 0;
         index_residuals = 0;
+        fused_transitions = 0;
+        fused_states = 0;
       };
   }
 
@@ -111,4 +119,5 @@ let enter_fallback t =
 
 let fallback t = t.mode = Fallback
 
+let tracing t = match t.trace with None -> false | Some _ -> true
 let emit t msg = match t.trace with None -> () | Some f -> f (msg ())

@@ -51,12 +51,22 @@ type config = {
           page range) above which XSchedule opens a bounded sequential
           scan window just past its visited frontier instead of pure
           demand scheduling. [<= 0.0] disables the hybrid. *)
+  fused : bool;
+      (** Evaluate reordered plans' step chains with the fused automaton
+          ({!Fused}) instead of the per-step XStep iterator chain. Off
+          reproduces the historical per-step execution (and I/O trace)
+          exactly. Both this and the plan's own [fused] knob must be on
+          for the fused operator to run. *)
 }
 
 val default_config : config
 (** [k = 100], speculation on, a 1M-instance budget, intermediate
     duplicate elimination on; coalescing window 16, cost-sensitive serve,
-    scan threshold 0.5. *)
+    scan threshold 0.5, fused chains on. *)
+
+val set_fused : bool -> config -> config
+(** [set_fused false config] disables the fused automaton — reordered
+    plans fall back to the historical XStep iterator chain. *)
 
 type mode = Normal | Fallback
 
@@ -104,6 +114,14 @@ type counters = {
   mutable index_residuals : int;
       (** Border continuations served back through XIndex while the
           XStep tail evaluated a residual suffix. *)
+  mutable fused_transitions : int;
+      (** Automaton transitions the fused operator processed — one per
+          cursor emission consumed (reached node, crossing, or global
+          enumeration hit). Always 0 when fused evaluation is off. *)
+  mutable fused_states : int;
+      (** Automaton states entered — work-stack frames pushed by the
+          fused operator (one per partial match that opens the next
+          step's enumeration). Always 0 when fused evaluation is off. *)
 }
 
 type t = {
@@ -122,6 +140,11 @@ val enter_fallback : t -> unit
 (** Switch to fallback mode (idempotent; counted once). *)
 
 val fallback : t -> bool
+
+val tracing : t -> bool
+(** Whether a trace sink is installed. Hot paths test this before
+    calling {!emit} so that building the thunk itself (a closure
+    allocation per event) is skipped when tracing is off. *)
 
 val emit : t -> (unit -> string) -> unit
 (** Send an event to the trace sink, if any (the thunk is only forced

@@ -37,6 +37,8 @@ type metrics = {
   index_entries : int;
   index_clusters : int;
   index_residuals : int;
+  fused_transitions : int;
+  fused_states : int;
   fell_back : bool;
 }
 
@@ -65,14 +67,20 @@ let pipeline ctx store path plan contexts =
         (of_list infos) path
     in
     (producer, None, None, None)
-  | Plan.Reordered { io; dslash } ->
+  | Plan.Reordered { io; dslash; fused } ->
     if not (Path.is_downward path) then
       invalid_arg "Exec.run: reordered plans require downward axes only";
+    (* Both knobs must agree: the plan's [fused] field and the context
+       config's kill switch. Off reproduces the per-step chain (and its
+       counter stream) exactly. *)
+    let fused = fused && ctx.Context.config.Context.fused in
     let chain base =
-      List.fold_left
-        (fun (producer, i) step -> (Xstep.create ctx ~i ~step producer, i + 1))
-        (base, 1) path
-      |> fst
+      if fused then Fused.create ctx ~path base
+      else
+        List.fold_left
+          (fun (producer, i) step -> (Xstep.create ctx ~i ~step producer, i + 1))
+          (base, 1) path
+        |> fst
     in
     let schedule_pipeline () =
       let sched = Xschedule.create ctx ~path_len ~contexts:(of_list contexts) in
@@ -234,6 +242,8 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
         index_entries = c.Context.index_entries;
         index_clusters = c.Context.index_clusters;
         index_residuals = c.Context.index_residuals;
+        fused_transitions = c.Context.fused_transitions;
+        fused_states = c.Context.fused_states;
         fell_back = Context.fallback ctx;
       };
   }
@@ -304,13 +314,15 @@ let pp_metrics ppf m =
      instances %d crossings %d specs %d/%d/%d (S peak %d, Q peak %d)@,\
      queue: enqueued %d served %d@,\
      index: entries %d clusters %d residuals %d@,\
+     fused: transitions %d states %d@,\
      swizzle: hits %d misses %d (%.0f%% hit rate)@,\
      clusters visited %d%s@]"
     m.total_time m.io_time m.cpu_time m.page_reads m.sequential_reads m.random_reads
     m.seek_distance m.async_reads m.batched_reads m.batch_pages m.coalesce_runs m.scan_windows
     m.scan_window_pages m.buffer_lookups m.buffer_hits m.buffer_misses m.instances
     m.crossings m.specs_created m.specs_stored m.specs_resolved m.s_peak m.q_peak
-    m.q_enqueued m.q_served m.index_entries m.index_clusters m.index_residuals m.swizzle_hits
+    m.q_enqueued m.q_served m.index_entries m.index_clusters m.index_residuals
+    m.fused_transitions m.fused_states m.swizzle_hits
     m.swizzle_misses
     (100. *. swizzle_hit_rate m)
     m.clusters_visited

@@ -40,6 +40,10 @@ type metrics = {
   index_entries : int;  (** Instances seeded from partition entry lists. *)
   index_clusters : int;  (** Clusters the XIndex operator pinned. *)
   index_residuals : int;  (** Border continuations served back through XIndex. *)
+  fused_transitions : int;
+      (** Automaton transitions the fused chain processed (cursor
+          emissions consumed). 0 when fused evaluation is off. *)
+  fused_states : int;  (** Work-stack frames the fused chain pushed. *)
   fell_back : bool;
 }
 

@@ -69,6 +69,8 @@ let post_run ?xschedule ?xindex ?results ctx =
       ("index_entries", c.Context.index_entries);
       ("index_clusters", c.Context.index_clusters);
       ("index_residuals", c.Context.index_residuals);
+      ("fused_transitions", c.Context.fused_transitions);
+      ("fused_states", c.Context.fused_states);
     ]
   in
   List.iter (fun (name, v) -> if v < 0 then fail "counter %s is negative (%d)" name v) non_negative;
@@ -104,6 +106,14 @@ let post_run ?xschedule ?xindex ?results ctx =
       c.Context.clusters_visited;
   if c.Context.index_clusters = 0 && c.Context.index_residuals > 0 then
     fail "xindex: %d residuals served without pinning a cluster" c.Context.index_residuals;
+  (* Fused accounting: the automaton only runs when the config knob is
+     on — with it off, the per-step chain must leave both counters at 0
+     (that is what makes the fused-off differential trace meaningful). *)
+  if (not ctx.Context.config.Context.fused)
+     && c.Context.fused_transitions + c.Context.fused_states > 0
+  then
+    fail "fused: %d transitions / %d states recorded while fused evaluation is off"
+      c.Context.fused_transitions c.Context.fused_states;
 
   (* Result conservation (reordered plans): XAssembly's result set is
      duplicate-free, so the plan's final answer must have exactly

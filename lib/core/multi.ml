@@ -39,10 +39,14 @@ let make_lane ?config store ~context_is_root path =
   let feed = Queue.create () in
   let producer () = Queue.take_opt feed in
   let chain =
-    List.fold_left
-      (fun (producer, i) step -> (Xstep.create ctx ~i ~step producer, i + 1))
-      (producer, 1) path
-    |> fst
+    (* Shared-scan lanes honour the same chain knob as Exec (no Plan
+       here, so the config field alone decides). *)
+    if ctx.Context.config.Context.fused then Fused.create ctx ~path producer
+    else
+      List.fold_left
+        (fun (producer, i) step -> (Xstep.create ctx ~i ~step producer, i + 1))
+        (producer, 1) path
+      |> fst
   in
   let top = Xassembly.create ctx ~path_len ~xschedule:None ~dslash chain in
   { ctx; path; path_len; dslash; feed; top; nodes = Vec.create () }

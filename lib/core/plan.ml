@@ -7,19 +7,22 @@ type io_operator =
 
 type t =
   | Simple of { dedup_intermediate : bool }
-  | Reordered of { io : io_operator; dslash : bool }
+  | Reordered of { io : io_operator; dslash : bool; fused : bool }
 
 let simple = Simple { dedup_intermediate = true }
-let xschedule ?(speculative = true) () = Reordered { io = Io_schedule { speculative }; dslash = false }
-let xscan ?(dslash = false) () = Reordered { io = Io_scan; dslash }
-let xindex ?resolve () = Reordered { io = Io_index { resolve }; dslash = false }
+
+let xschedule ?(speculative = true) ?(fused = true) () =
+  Reordered { io = Io_schedule { speculative }; dslash = false; fused }
+
+let xscan ?(dslash = false) ?(fused = true) () = Reordered { io = Io_scan; dslash; fused }
+let xindex ?resolve ?(fused = true) () = Reordered { io = Io_index { resolve }; dslash = false; fused }
 
 let name = function
   | Simple _ -> "simple"
   | Reordered { io = Io_schedule { speculative = false }; _ } -> "xschedule"
   | Reordered { io = Io_schedule { speculative = true }; _ } -> "xschedule+spec"
-  | Reordered { io = Io_scan; dslash = false } -> "xscan"
-  | Reordered { io = Io_scan; dslash = true } -> "xscan+dslash"
+  | Reordered { io = Io_scan; dslash = false; _ } -> "xscan"
+  | Reordered { io = Io_scan; dslash = true; _ } -> "xscan+dslash"
   | Reordered { io = Io_index _; _ } -> "xindex"
 
 let explain ppf (path, plan) =
@@ -34,17 +37,32 @@ let explain ppf (path, plan) =
           (if dedup_intermediate then " dedup" else ""))
       (List.rev steps);
     Format.fprintf ppf "%s Contexts@]" (String.make (List.length steps + 1) ' ')
-  | Reordered { io; dslash } ->
+  | Reordered { io; dslash; fused } ->
     Format.fprintf ppf "@[<v>XAssembly%s%s@,"
       (match io with
       | Io_schedule _ -> "(->XSchedule.Q)"
       | Io_scan -> ""
       | Io_index _ -> "(->XIndex.pending)")
       (if dslash then " //-opt" else "");
-    List.iter
-      (fun (i, s) -> Format.fprintf ppf "%s XStep[%d: %a]@," (String.make i ' ') i Path.pp_step s)
-      (List.rev steps);
-    let pad = String.make (List.length steps + 1) ' ' in
+    let chain_depth =
+      if fused then begin
+        (* One fused operator stands in for the whole chain. *)
+        Format.fprintf ppf "  Fused[1..%d: %a]@," (List.length steps)
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+             (fun ppf (i, s) -> Format.fprintf ppf "%d: %a" i Path.pp_step s))
+          steps;
+        2
+      end
+      else begin
+        List.iter
+          (fun (i, s) ->
+            Format.fprintf ppf "%s XStep[%d: %a]@," (String.make i ' ') i Path.pp_step s)
+          (List.rev steps);
+        List.length steps + 1
+      end
+    in
+    let pad = String.make chain_depth ' ' in
     (match io with
     | Io_schedule { speculative } ->
       Format.fprintf ppf "%s XSchedule[k, async I/O%s]@,%s  Contexts@]" pad

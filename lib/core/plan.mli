@@ -18,16 +18,22 @@ type io_operator =
 
 type t =
   | Simple of { dedup_intermediate : bool }
-  | Reordered of { io : io_operator; dslash : bool }
+  | Reordered of { io : io_operator; dslash : bool; fused : bool }
       (** [dslash]: apply the [//]-prefix optimisation (only ever set on
           scan plans whose path starts with [descendant-or-self::node()]
-          and whose context is the document root). *)
+          and whose context is the document root).
+
+          [fused] (default [true]): evaluate the step chain with the
+          single fused automaton ({!Fused}) instead of per-step XStep
+          iterators. Same results, same I/O trace, less CPU; [false]
+          reproduces the historical per-step execution. The context's
+          {!Context.config.fused} must also be on. *)
 
 val simple : t
-val xschedule : ?speculative:bool -> unit -> t
-val xscan : ?dslash:bool -> unit -> t
+val xschedule : ?speculative:bool -> ?fused:bool -> unit -> t
+val xscan : ?dslash:bool -> ?fused:bool -> unit -> t
 
-val xindex : ?resolve:int -> unit -> t
+val xindex : ?resolve:int -> ?fused:bool -> unit -> t
 (** The structural-index plan (requires a fresh {!Xnav_store.Store}
     partition; {!Exec} degrades to the XSchedule shape when it is
     missing or stale). [resolve] is clamped to [0 .. length path] at

@@ -22,6 +22,13 @@ let get v i =
   if i < 0 || i >= v.len then invalid_arg "Vec.get: index out of bounds";
   v.data.(i)
 
+let top v = if v.len = 0 then invalid_arg "Vec.top: empty" else v.data.(v.len - 1)
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  v.data.(v.len)
+
 let iter f v =
   for i = 0 to v.len - 1 do
     f v.data.(i)

@@ -17,6 +17,16 @@ val clear : 'a t -> unit
 
 val push : 'a t -> 'a -> unit
 val get : 'a t -> int -> 'a
+
+val top : 'a t -> 'a
+(** Last pushed element. @raise Invalid_argument when empty. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the last pushed element — with {!push} this makes
+    a [Vec] the fused operator's work-stack. The slot is not cleared;
+    popped frames die when overwritten or when the stack itself does.
+    @raise Invalid_argument when empty. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 val to_array : 'a t -> 'a array
 val to_list : 'a t -> 'a list

@@ -25,8 +25,9 @@ let create ctx ~path_len ~xschedule ?xindex ~dslash producer =
     if not (Node_id.Tbl.mem r_result info.Store.id) then begin
       Node_id.Tbl.replace r_result info.Store.id ();
       counters.Context.results_emitted <- counters.Context.results_emitted + 1;
-      Context.emit ctx (fun () ->
-          Printf.sprintf "XAssembly: full path -> result %s" (Node_id.to_string info.Store.id));
+      if Context.tracing ctx then
+        Context.emit ctx (fun () ->
+            Printf.sprintf "XAssembly: full path -> result %s" (Node_id.to_string info.Store.id));
       Queue.add info resolved
     end
     else counters.Context.dedup_hits <- counters.Context.dedup_hits + 1
@@ -40,9 +41,10 @@ let create ctx ~path_len ~xschedule ?xindex ~dslash producer =
   let store_spec spec =
     if Context.fallback ctx then ()
     else begin
-      Context.emit ctx (fun () ->
-          Printf.sprintf "XAssembly: store speculation (if %s reachable at step %d)"
-            (Node_id.to_string spec.sp_n) spec.sp_l);
+      if Context.tracing ctx then
+        Context.emit ctx (fun () ->
+            Printf.sprintf "XAssembly: store speculation (if %s reachable at step %d)"
+              (Node_id.to_string spec.sp_n) spec.sp_l);
       let bucket = Option.value ~default:[] (Node_id.Tbl.find_opt s_store.(spec.sp_l) spec.sp_n) in
       Node_id.Tbl.replace s_store.(spec.sp_l) spec.sp_n (spec :: bucket);
       counters.Context.specs_stored <- counters.Context.specs_stored + 1;
@@ -77,9 +79,10 @@ let create ctx ~path_len ~xschedule ?xindex ~dslash producer =
         List.iter
           (fun spec ->
             counters.Context.specs_resolved <- counters.Context.specs_resolved + 1;
-            Context.emit ctx (fun () ->
-                Printf.sprintf "XAssembly: speculation at (%d,%s) discharged" s
-                  (Node_id.to_string target));
+            if Context.tracing ctx then
+              Context.emit ctx (fun () ->
+                  Printf.sprintf "XAssembly: speculation at (%d,%s) discharged" s
+                    (Node_id.to_string target));
             match spec.right with
             | Sr_result info -> emit_result info
             | Sr_entry (s_r, target') -> add_reachable s_r target')

@@ -122,7 +122,8 @@ let rec next t =
         t.scanned <- t.scanned + 1;
         t.ctx.Context.counters.Context.clusters_visited <-
           t.ctx.Context.counters.Context.clusters_visited + 1;
-        Context.emit t.ctx (fun () -> Printf.sprintf "XScan: scan cluster %d" pid);
+        if Context.tracing t.ctx then
+          Context.emit t.ctx (fun () -> Printf.sprintf "XScan: scan cluster %d" pid);
         let view = Store.view t.ctx.Context.store pid in
         t.view <- Some view;
         load_agenda t pid view;

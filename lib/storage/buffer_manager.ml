@@ -6,8 +6,6 @@ type stats = {
   evictions : int;
 }
 
-let empty_stats = { lookups = 0; hits = 0; misses = 0; async_reads = 0; evictions = 0 }
-
 type replacement = Lru | Mru | Fifo | Clock
 
 let replacement_to_string = function
@@ -37,12 +35,31 @@ type t = {
   replacement : replacement;
   table : (int, frame) Hashtbl.t;
   clock_ring : int Queue.t;  (* page ids, for Clock *)
+  (* (frame, last_use) snapshots, appended on every touch — the lazy
+     exact-LRU structure; see [lru_victim]. Parallel growable arrays
+     rather than a queue of tuples: a boxed cell per touch showed up in
+     Simple-plan profiles. Rows [lru_head .. lru_len - 1] are pending,
+     oldest first. *)
+  mutable lru_frames : frame array;
+  mutable lru_lus : int array;
+  mutable lru_head : int;
+  mutable lru_len : int;
+  mutable lru_deferred : (frame * int) list;
+      (* live snapshots that surfaced while pinned, oldest first; they
+         keep priority over everything still in the pending rows *)
   completed : (int * frame) Queue.t;
       (* Batch-installed pages not yet handed to the consumer. Each entry
          holds one pin, so the replacement policy cannot evict it before
          [await_one] delivers it. *)
   mutable tick : int;
-  mutable stats : stats;
+  (* Individually mutable counters: [fix] runs per page access and
+     copying a stats record 2-3 times per lookup showed up in scan
+     profiles. The public [stats] record is materialised on read. *)
+  mutable lookups : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable async_reads : int;
+  mutable evictions : int;
 }
 
 exception Buffer_full
@@ -56,19 +73,111 @@ let create ?(capacity = 1000) ?(policy = Io_scheduler.Elevator) ?(replacement = 
     replacement;
     table = Hashtbl.create (2 * capacity);
     clock_ring = Queue.create ();
+    lru_frames = [||];
+    lru_lus = [||];
+    lru_head = 0;
+    lru_len = 0;
+    lru_deferred = [];
     completed = Queue.create ();
     tick = 0;
-    stats = empty_stats;
+    lookups = 0;
+    hits = 0;
+    misses = 0;
+    async_reads = 0;
+    evictions = 0;
   }
 
 let capacity t = t.capacity
 let disk t = t.disk
 let scheduler t = t.sched
 
+(* A snapshot row is live when its frame is still resident under its pid
+   and has not been touched since the row was written. Each resident
+   frame therefore has at most one live row. *)
+let lru_live t frame lu =
+  frame.last_use = lu
+  && (match Hashtbl.find_opt t.table frame.pid with Some f -> f == frame | None -> false)
+
+(* Out of row space: compact the pending region down to its live rows
+   (order preserved), then double the arrays if still more than half
+   full. [seed] fills fresh cells — never read, rows past [lru_len] are
+   dead. *)
+let lru_grow t seed =
+  let live = ref 0 in
+  for i = t.lru_head to t.lru_len - 1 do
+    let f = t.lru_frames.(i) and lu = t.lru_lus.(i) in
+    if lru_live t f lu then begin
+      t.lru_frames.(!live) <- f;
+      t.lru_lus.(!live) <- lu;
+      incr live
+    end
+  done;
+  t.lru_head <- 0;
+  t.lru_len <- !live;
+  let n = Array.length t.lru_frames in
+  if n = 0 || t.lru_len > n / 2 then begin
+    let n' = max 64 (2 * n) in
+    let frames = Array.make n' seed and lus = Array.make n' 0 in
+    Array.blit t.lru_frames 0 frames 0 t.lru_len;
+    Array.blit t.lru_lus 0 lus 0 t.lru_len;
+    t.lru_frames <- frames;
+    t.lru_lus <- lus
+  end
+
 let touch t frame =
   t.tick <- t.tick + 1;
   frame.last_use <- t.tick;
-  frame.referenced <- true
+  frame.referenced <- true;
+  if t.replacement = Lru then begin
+    if t.lru_len = Array.length t.lru_frames then lru_grow t frame;
+    t.lru_frames.(t.lru_len) <- frame;
+    t.lru_lus.(t.lru_len) <- frame.last_use;
+    t.lru_len <- t.lru_len + 1
+  end
+
+(* Exact LRU in amortised O(1) — the old fold over every resident frame
+   per eviction dominated scan-shaped workloads (a full sweep evicts on
+   nearly every fix once the pool is smaller than the document).
+
+   Every touch appends a (frame, last_use) snapshot row, and rows
+   surface in last_use order — so the oldest live unpinned row names
+   precisely the frame the fold would have picked (last_use is unique:
+   the tick is monotonic). Pinned candidates park in [lru_deferred],
+   oldest first, keeping their priority over everything still pending. *)
+let lru_victim t =
+  let rec scan_deferred kept = function
+    | [] ->
+      t.lru_deferred <- List.rev kept;
+      None
+    | ((frame, lu) as e) :: rest ->
+      if not (lru_live t frame lu) then scan_deferred kept rest
+      else if frame.pins > 0 then scan_deferred (e :: kept) rest
+      else begin
+        t.lru_deferred <- List.rev_append kept rest;
+        Some frame
+      end
+  in
+  match scan_deferred [] t.lru_deferred with
+  | Some frame -> Some frame
+  | None ->
+    let rec pop () =
+      if t.lru_head >= t.lru_len then begin
+        t.lru_head <- 0;
+        t.lru_len <- 0;
+        None
+      end
+      else begin
+        let frame = t.lru_frames.(t.lru_head) and lu = t.lru_lus.(t.lru_head) in
+        t.lru_head <- t.lru_head + 1;
+        if not (lru_live t frame lu) then pop ()
+        else if frame.pins > 0 then begin
+          t.lru_deferred <- t.lru_deferred @ [ (frame, lu) ];
+          pop ()
+        end
+        else Some frame
+      end
+    in
+    pop ()
 
 (* Victim selection among unpinned frames, per the configured policy. *)
 let pick_victim t =
@@ -83,7 +192,7 @@ let pick_victim t =
       t.table None
   in
   match t.replacement with
-  | Lru -> by (fun frame -> frame.last_use)
+  | Lru -> lru_victim t
   | Mru -> by (fun frame -> -frame.last_use)
   | Fifo -> by (fun frame -> frame.loaded_at)
   | Clock ->
@@ -119,7 +228,7 @@ let evict_one t =
   | None -> raise Buffer_full
   | Some frame ->
     Hashtbl.remove t.table frame.pid;
-    t.stats <- { t.stats with evictions = t.stats.evictions + 1 }
+    t.evictions <- t.evictions + 1
 
 let ensure_room t = if Hashtbl.length t.table >= t.capacity then evict_one t
 
@@ -131,13 +240,11 @@ let install t pid bytes ~async =
   touch t frame;
   Hashtbl.replace t.table pid frame;
   if t.replacement = Clock then Queue.add pid t.clock_ring;
-  let s = t.stats in
-  t.stats <-
-    (if async then { s with async_reads = s.async_reads + 1 } else { s with misses = s.misses + 1 });
+  if async then t.async_reads <- t.async_reads + 1 else t.misses <- t.misses + 1;
   frame
 
 let lookup t pid =
-  t.stats <- { t.stats with lookups = t.stats.lookups + 1 };
+  t.lookups <- t.lookups + 1;
   Hashtbl.find_opt t.table pid
 
 let fix t pid =
@@ -145,7 +252,7 @@ let fix t pid =
   | Some frame ->
     frame.pins <- frame.pins + 1;
     touch t frame;
-    t.stats <- { t.stats with hits = t.stats.hits + 1 };
+    t.hits <- t.hits + 1;
     frame
   | None -> install t pid (Disk.read t.disk pid) ~async:false
 
@@ -221,7 +328,14 @@ let abort_async t =
 
 let resident_count t = Hashtbl.length t.table
 
-let stats t = t.stats
+let stats t =
+  {
+    lookups = t.lookups;
+    hits = t.hits;
+    misses = t.misses;
+    async_reads = t.async_reads;
+    evictions = t.evictions;
+  }
 
 let consistency_error t =
   let err = ref None in
@@ -248,10 +362,19 @@ let reset t =
     t.table;
   Hashtbl.reset t.table;
   Queue.clear t.clock_ring;
+  t.lru_frames <- [||];
+  t.lru_lus <- [||];
+  t.lru_head <- 0;
+  t.lru_len <- 0;
+  t.lru_deferred <- [];
   Io_scheduler.drain t.sched;
   t.tick <- 0;
-  t.stats <- empty_stats
+  t.lookups <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.async_reads <- 0;
+  t.evictions <- 0
 
-let pp_stats ppf s =
+let pp_stats ppf (s : stats) =
   Format.fprintf ppf "lookups=%d hits=%d misses=%d async=%d evictions=%d" s.lookups s.hits s.misses
     s.async_reads s.evictions

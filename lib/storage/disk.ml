@@ -30,25 +30,23 @@ type stats = {
   coalesce_runs : int;
 }
 
-let empty_stats =
-  {
-    reads = 0;
-    writes = 0;
-    sequential_reads = 0;
-    random_reads = 0;
-    seek_distance = 0;
-    batched_reads = 0;
-    batch_pages = 0;
-    coalesce_runs = 0;
-  }
-
 type t = {
   config : config;
   mutable pages : Bytes.t array;
   mutable count : int;
   mutable head : int;
   mutable clock : float;
-  mutable stats : stats;
+  (* Individually mutable counters: [account] runs once per page access,
+     and copying a stats record there showed up in scan profiles. The
+     public [stats] record is materialised on read. *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable sequential_reads : int;
+  mutable random_reads : int;
+  mutable seek_distance : int;
+  mutable batched_reads : int;
+  mutable batch_pages : int;
+  mutable coalesce_runs : int;
   mutable tracing : bool;
   mutable trace : int list;  (* newest first *)
 }
@@ -60,7 +58,14 @@ let create ?(config = default_config) () =
     count = 0;
     head = -1;
     clock = 0.0;
-    stats = empty_stats;
+    reads = 0;
+    writes = 0;
+    sequential_reads = 0;
+    random_reads = 0;
+    seek_distance = 0;
+    batched_reads = 0;
+    batch_pages = 0;
+    coalesce_runs = 0;
     tracing = false;
     trace = [];
   }
@@ -100,19 +105,15 @@ let is_sequential disk pid = disk.head = -1 || pid = disk.head || pid = disk.hea
 let account disk pid ~write =
   let cost = access_cost disk pid in
   let sequential = is_sequential disk pid in
-  let s = disk.stats in
-  let s =
-    if write then { s with writes = s.writes + 1 }
-    else if sequential then { s with reads = s.reads + 1; sequential_reads = s.sequential_reads + 1 }
-    else
-      {
-        s with
-        reads = s.reads + 1;
-        random_reads = s.random_reads + 1;
-        seek_distance = s.seek_distance + abs (pid - disk.head);
-      }
-  in
-  disk.stats <- s;
+  if write then disk.writes <- disk.writes + 1
+  else begin
+    disk.reads <- disk.reads + 1;
+    if sequential then disk.sequential_reads <- disk.sequential_reads + 1
+    else begin
+      disk.random_reads <- disk.random_reads + 1;
+      disk.seek_distance <- disk.seek_distance + abs (pid - disk.head)
+    end
+  end;
   disk.clock <- disk.clock +. cost;
   disk.head <- pid;
   if disk.tracing then disk.trace <- pid :: disk.trace
@@ -142,21 +143,16 @@ let read_batch disk pids =
     List.iter
       (fun pid ->
         let gap = pid - disk.head in
-        let s = disk.stats in
-        disk.stats <- { s with reads = s.reads + 1; sequential_reads = s.sequential_reads + 1 };
+        disk.reads <- disk.reads + 1;
+        disk.sequential_reads <- disk.sequential_reads + 1;
         disk.clock <- disk.clock +. (float_of_int gap *. disk.config.transfer);
         disk.head <- pid;
         if disk.tracing then disk.trace <- pid :: disk.trace)
       rest;
     let n = List.length pids in
-    let s = disk.stats in
-    disk.stats <-
-      {
-        s with
-        batched_reads = s.batched_reads + 1;
-        batch_pages = s.batch_pages + n;
-        coalesce_runs = (s.coalesce_runs + if n > 1 then 1 else 0);
-      };
+    disk.batched_reads <- disk.batched_reads + 1;
+    disk.batch_pages <- disk.batch_pages + n;
+    if n > 1 then disk.coalesce_runs <- disk.coalesce_runs + 1;
     List.map (fun pid -> (pid, Bytes.copy disk.pages.(pid))) pids
 
 let write disk pid bytes =
@@ -174,12 +170,30 @@ let read_cost disk pid =
 
 let head disk = disk.head
 let elapsed disk = disk.clock
-let stats disk = disk.stats
+
+let stats disk =
+  {
+    reads = disk.reads;
+    writes = disk.writes;
+    sequential_reads = disk.sequential_reads;
+    random_reads = disk.random_reads;
+    seek_distance = disk.seek_distance;
+    batched_reads = disk.batched_reads;
+    batch_pages = disk.batch_pages;
+    coalesce_runs = disk.coalesce_runs;
+  }
 
 let reset_clock disk =
   disk.clock <- 0.0;
   disk.head <- -1;
-  disk.stats <- empty_stats;
+  disk.reads <- 0;
+  disk.writes <- 0;
+  disk.sequential_reads <- 0;
+  disk.random_reads <- 0;
+  disk.seek_distance <- 0;
+  disk.batched_reads <- 0;
+  disk.batch_pages <- 0;
+  disk.coalesce_runs <- 0;
   disk.trace <- []
 
 let set_trace disk on =
@@ -188,7 +202,7 @@ let set_trace disk on =
 
 let trace disk = List.rev disk.trace
 
-let pp_stats ppf s =
+let pp_stats ppf (s : stats) =
   Format.fprintf ppf "reads=%d (seq=%d rnd=%d) writes=%d seek-dist=%d batches=%d/%dp (coalesced %d)"
     s.reads s.sequential_reads s.random_reads s.writes s.seek_distance s.batched_reads
     s.batch_pages s.coalesce_runs

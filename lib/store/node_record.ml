@@ -132,6 +132,68 @@ let decode s =
     Up { first_child; last_child; target; owner; continues = kind = '\003' }
   | c -> invalid_arg (Printf.sprintf "Node_record.decode: unknown kind %d" (Char.code c))
 
+(* --- Packed navigation words -------------------------------------------
+
+   Chain walking (the fused automaton) needs only four things from a
+   record: its kind, its tag, and its first-child / next-sibling links.
+   A full [decode] materialises ~90 heap words per record (the page-copy
+   string, five slot options, the ordpath) — by far the dominant CPU
+   cost of a scan. [nav_of_bytes] instead parses exactly those fields in
+   place, from the span {!Xnav_storage.Page.record_span} exposes, into
+   one unboxed int:
+
+   {v
+   bits 0..1    kind (1 = Core, 2 = Down, 3 = Up; 0 is never produced,
+                so it can serve as a cache sentinel)
+   bits 2..16   link1 + 1   (Core/Up first child; Down next sibling;
+                             0 = none)
+   bits 17..31  link2 + 1   (Core next sibling; Down target slot)
+   bits 32..62  high        (Core tag id; Down target pid)
+   v}
+
+   The 15-bit link fields are safe: a slot directory entry costs 4 bytes
+   and pages are capped at 65535 bytes, so slot numbers stay below
+   2^14. Tag ids and page ids are interned/allocated sequentially and
+   fit 31 bits. *)
+
+let nav_core = 1
+let nav_down = 2
+let nav_up = 3
+let nav_kind word = word land 3
+let nav_link1 word = ((word lsr 2) land 0x7fff) - 1
+let nav_link2 word = ((word lsr 17) land 0x7fff) - 1
+let nav_high word = word lsr 32
+
+let slot_field v = if v = none_slot then 0 else v + 1
+
+let read_u16_bytes b off = Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let read_varint_bytes b off =
+  let rec go off shift acc =
+    let byte = Char.code (Bytes.get b off) in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte < 0x80 then (acc, off + 1) else go (off + 1) (shift + 7) acc
+  in
+  go off 0 0
+
+let nav_of_bytes b off =
+  match Bytes.get b off with
+  | '\000' ->
+    let first_child = read_u16_bytes b (off + 3) in
+    let next_sibling = read_u16_bytes b (off + 7) in
+    let tag_id, _ = read_varint_bytes b (off + 11) in
+    nav_core lor (slot_field first_child lsl 2) lor (slot_field next_sibling lsl 17)
+    lor (tag_id lsl 32)
+  | '\001' ->
+    let next_sibling = read_u16_bytes b (off + 3) in
+    let pid, off' = read_varint_bytes b (off + 7) in
+    let slot, _ = read_varint_bytes b off' in
+    nav_down lor (slot_field next_sibling lsl 2) lor ((slot + 1) lsl 17) lor (pid lsl 32)
+  | '\002' | '\003' ->
+    let first_child = read_u16_bytes b (off + 1) in
+    nav_up lor (slot_field first_child lsl 2)
+  | c -> invalid_arg (Printf.sprintf "Node_record.nav_of_bytes: unknown kind %d" (Char.code c))
+
 let encoded_size record = String.length (encode record)
 
 (* Worst case chargeable to one node: it anchors a run (Up: 1 + 4 + two

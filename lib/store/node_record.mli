@@ -62,6 +62,39 @@ val target : t -> Node_id.t
 val encode : t -> string
 val decode : string -> t
 
+(** {2 Packed navigation words}
+
+    Chain walking needs only a record's kind, tag and first-child /
+    next-sibling links; a full {!decode} allocates ~90 heap words per
+    record (page copy, slot options, ordpath) and dominated scan CPU.
+    [nav_of_bytes] parses exactly those fields in place — from the span
+    {!Xnav_storage.Page.record_span} exposes — into one unboxed int the
+    fused automaton can test and follow without allocating. *)
+
+val nav_core : int
+val nav_down : int
+val nav_up : int
+
+val nav_of_bytes : Bytes.t -> int -> int
+(** [nav_of_bytes bytes off] packs the record encoded at [off]. Never
+    returns 0, so 0 can serve as a not-yet-parsed cache sentinel.
+    @raise Invalid_argument on an unknown record kind. *)
+
+val nav_kind : int -> int
+(** {!nav_core}, {!nav_down} or {!nav_up}. *)
+
+val nav_link1 : int -> int
+(** [Core]/[Up]: first-child slot; [Down]: next-sibling slot. [-1] when
+    absent. *)
+
+val nav_link2 : int -> int
+(** [Core]: next-sibling slot ([-1] when absent); [Down]: the target
+    [Up]'s slot. *)
+
+val nav_high : int -> int
+(** [Core]: tag id ({!Xnav_xml.Tag.id}); [Down]: the target [Up]'s page
+    id. *)
+
 val encoded_size : t -> int
 (** [encoded_size r = String.length (encode r)]. *)
 

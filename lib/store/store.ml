@@ -102,19 +102,25 @@ type view = {
   page : Page.t;
   owner : t;
   cache : Node_record.t option array;  (* [||] when swizzling is off *)
+  nav : int array;
+      (* packed navigation words ({!Node_record.nav_of_bytes}), 0 = not
+         yet parsed; [||] when swizzling is off *)
   mutable stamp : int;
   mutable live : bool;
 }
 
 let make_view t frame =
   let page = Buffer_manager.page frame in
-  let cache = if t.swizzle then Array.make (Page.slot_count page) None else [||] in
+  let slots = Page.slot_count page in
+  let cache = if t.swizzle then Array.make slots None else [||] in
+  let nav = if t.swizzle then Array.make slots 0 else [||] in
   {
     pid = Buffer_manager.frame_pid frame;
     frame;
     page;
     owner = t;
     cache;
+    nav;
     stamp = t.mutations;
     live = true;
   }
@@ -134,18 +140,22 @@ let check_live v =
   if not v.live then
     invalid_arg (Printf.sprintf "Store: swizzled view of page %d used after release" v.pid)
 
+(* The store changed under the pin: drop every cached decode (the page
+   bytes themselves are write-through, so a re-decode sees the updated
+   record). *)
+let revalidate v t =
+  if v.stamp <> t.mutations then begin
+    Array.fill v.cache 0 (Array.length v.cache) None;
+    Array.fill v.nav 0 (Array.length v.nav) 0;
+    v.stamp <- t.mutations
+  end
+
 let get v slot =
   check_live v;
   let t = v.owner in
   if not t.swizzle then Node_record.decode (Page.get v.page slot)
   else begin
-    if v.stamp <> t.mutations then begin
-      (* The store changed under the pin: drop every cached decode (the
-         page bytes themselves are write-through, so a re-decode sees
-         the updated record). *)
-      Array.fill v.cache 0 (Array.length v.cache) None;
-      v.stamp <- t.mutations
-    end;
+    revalidate v t;
     if slot >= 0 && slot < Array.length v.cache then begin
       match v.cache.(slot) with
       | Some record ->
@@ -161,6 +171,42 @@ let get v slot =
       (* Slots appended after the view was built: decode uncached. *)
       t.swizzle_misses <- t.swizzle_misses + 1;
       Node_record.decode (Page.get v.page slot)
+    end
+  end
+
+(* The fused automaton's record access: the packed navigation word,
+   parsed in place from the page span — no record string copy, no slot
+   options, no ordpath. Shares the swizzle counters and the mutation
+   stamp with [get]; a parsed word is cached per slot exactly like a
+   decoded record (0 marks an unparsed slot — [nav_of_bytes] never
+   returns it). *)
+let nav v slot =
+  check_live v;
+  let t = v.owner in
+  if not t.swizzle then begin
+    let bytes, off = Page.record_span v.page slot in
+    Node_record.nav_of_bytes bytes off
+  end
+  else begin
+    revalidate v t;
+    if slot >= 0 && slot < Array.length v.nav then begin
+      let word = v.nav.(slot) in
+      if word <> 0 then begin
+        t.swizzle_hits <- t.swizzle_hits + 1;
+        word
+      end
+      else begin
+        let bytes, off = Page.record_span v.page slot in
+        let word = Node_record.nav_of_bytes bytes off in
+        t.swizzle_misses <- t.swizzle_misses + 1;
+        v.nav.(slot) <- word;
+        word
+      end
+    end
+    else begin
+      t.swizzle_misses <- t.swizzle_misses + 1;
+      let bytes, off = Page.record_span v.page slot in
+      Node_record.nav_of_bytes bytes off
     end
   end
 

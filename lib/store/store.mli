@@ -121,6 +121,16 @@ val get : view -> int -> Node_record.t
 (** Decode the record in the slot. @raise Invalid_argument on a free or
     out-of-range slot. *)
 
+val nav : view -> int -> int
+(** [nav view slot] is the record's packed navigation word
+    ({!Node_record.nav_of_bytes}): kind, tag and child/sibling links in
+    one unboxed int, parsed in place from the page bytes. This is the
+    fused automaton's per-transition record access — it allocates
+    nothing, where {!get} materialises the full record (~90 heap words).
+    Cached per slot like {!get}'s decodes, sharing the swizzle counters
+    and mutation invalidation. @raise Invalid_argument on a free or
+    out-of-range slot. *)
+
 val id_of : view -> int -> Node_id.t
 
 val up_slots : view -> int list

@@ -398,6 +398,48 @@ let index_covering_reads_no_pages () =
   check Alcotest.int "no clusters pinned by the index" 0 r.Exec.metrics.Exec.index_clusters;
   check Alcotest.int "no pages read at all" 0 r.Exec.metrics.Exec.page_reads
 
+(* --- the fused chain automaton -------------------------------------------- *)
+
+(* The fused differential tier: every fused-capable plan with the
+   automaton on and off — identical answers, identical I/O traces,
+   identical scheduling counters. *)
+let fused_differential_sample () =
+  let r = Differential.run_fused ~seed:Gen.test_seed ~cases:200 () in
+  check Alcotest.int "cases run" 200 r.Differential.cases_run;
+  let reproducers =
+    List.map (fun f -> Differential.reproducer f.Differential.shrunk) r.Differential.failures
+  in
+  check Alcotest.(list string) "fused and unfused runs agree" [] reproducers
+
+(* The fused knob must be invisible in physical behaviour: with it off
+   the XStep chain replays its historical I/O trace (a pure function of
+   the inputs, untouched by the automaton), and with it on the fused
+   operator replays the very same trace while actually running. *)
+let fused_off_reproduces_chain_trace () =
+  let tree = doc () in
+  let path = Xpath_parser.parse "/child::*/child::x" in
+  let run_trace fused =
+    let store, import =
+      build ~capacity:2 ~policy:Io_scheduler.Elevator ~replacement:Buffer_manager.Lru tree
+    in
+    let disk = Buffer_manager.disk (Store.buffer store) in
+    Disk.set_trace disk true;
+    let r =
+      Exec.cold_run ~config:{ validating with Context.fused } store path (Plan.xscan ())
+    in
+    check id_list "answers match the reference" (expected_ids tree import path) (got_ids r);
+    (r.Exec.metrics, Disk.trace disk)
+  in
+  let m_off, trace_off = run_trace false in
+  let _, trace_off' = run_trace false in
+  let m_on, trace_on = run_trace true in
+  check Alcotest.int "fused-off: zero transitions" 0 m_off.Exec.fused_transitions;
+  check Alcotest.int "fused-off: zero states" 0 m_off.Exec.fused_states;
+  check Alcotest.bool "fused-on engages the automaton" true (m_on.Exec.fused_transitions > 0);
+  check Alcotest.bool "trace is non-trivial" true (List.length trace_off > 2);
+  check Alcotest.(list int) "fused-off trace is reproducible" trace_off trace_off';
+  check Alcotest.(list int) "fused-on replays the chain trace exactly" trace_off trace_on
+
 let knobs_off =
   {
     validating with
@@ -508,6 +550,13 @@ let suite =
         Alcotest.test_case "border-seeded residuals reproduce the reference answer" `Quick
           index_residual_borders;
         Alcotest.test_case "covering index reads no pages" `Quick index_covering_reads_no_pages;
+      ] );
+    ( "fused differential",
+      [
+        Alcotest.test_case "200 sampled cases: fused on/off is observationally equal" `Slow
+          fused_differential_sample;
+        Alcotest.test_case "fused off reproduces the chain's exact I/O trace" `Quick
+          fused_off_reproduces_chain_trace;
       ] );
     ( "scheduler regressions",
       [
