@@ -22,6 +22,8 @@ module Xpath_parser = Xnav_xpath.Xpath_parser
 module Plan = Xnav_core.Plan
 module Exec = Xnav_core.Exec
 module Context = Xnav_core.Context
+module Result_cache = Xnav_core.Result_cache
+module Bench_schema = Xnav_core.Bench_schema
 module Xmark = Xnav_xmark.Gen
 module Queries = Xnav_xmark.Queries
 module Workload = Xnav_workload.Workload
@@ -119,6 +121,10 @@ let zero_metrics =
     index_residuals = 0;
     fused_transitions = 0;
     fused_states = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
+    shared_demand = 0;
     fell_back = false;
   }
 
@@ -157,6 +163,10 @@ let add_metrics (a : Exec.metrics) (b : Exec.metrics) =
     index_residuals = a.Exec.index_residuals + b.Exec.index_residuals;
     fused_transitions = a.Exec.fused_transitions + b.Exec.fused_transitions;
     fused_states = a.Exec.fused_states + b.Exec.fused_states;
+    cache_hits = a.Exec.cache_hits + b.Exec.cache_hits;
+    cache_misses = a.Exec.cache_misses + b.Exec.cache_misses;
+    cache_evictions = a.Exec.cache_evictions + b.Exec.cache_evictions;
+    shared_demand = a.Exec.shared_demand + b.Exec.shared_demand;
     fell_back = a.Exec.fell_back || b.Exec.fell_back;
   }
 
@@ -839,6 +849,10 @@ let metrics_fields count (m : Exec.metrics) =
     ("index_residuals", string_of_int m.Exec.index_residuals);
     ("fused_transitions", string_of_int m.Exec.fused_transitions);
     ("fused_states", string_of_int m.Exec.fused_states);
+    ("cache_hits", string_of_int m.Exec.cache_hits);
+    ("cache_misses", string_of_int m.Exec.cache_misses);
+    ("cache_evictions", string_of_int m.Exec.cache_evictions);
+    ("shared_demand", string_of_int m.Exec.shared_demand);
     ("fell_back", if m.Exec.fell_back then "true" else "false");
   ]
 
@@ -936,6 +950,210 @@ let swizzle_micro_rows () =
         swizzle_axes)
     (swizzle_fixtures ())
 
+(* --- skewed repeat-query mix (--workload --skew) ------------------------------- *)
+
+(* The repeat-traffic benchmark: each path of q6'/q7/q15 is one statement
+   variant, and closed-loop clients draw from the variants with a
+   zipfian rank distribution — the hot statement dominates, the tail
+   reappears occasionally. This is the workload the result-cache front
+   door exists for: the same run is measured with the cache off (every
+   job plans and executes from scratch — the historical regime) and on
+   (repeats are served from the cache or deduped into in-flight
+   identical scans). *)
+let skew_variants () =
+  List.concat_map
+    (fun (q : Queries.t) ->
+      List.mapi
+        (fun i path -> (Printf.sprintf "%s.%d" q.Queries.name i, path))
+        q.Queries.paths)
+    [ Queries.q6'; Queries.q7; Queries.q15 ]
+
+let skew_exponent = 1.1
+
+(* Deterministic zipfian job queues: one list per client, sampled with a
+   fixed-seed LCG so every run (and CI) draws the same mix. *)
+let skew_mix ~clients ~per_client =
+  let variants = Array.of_list (skew_variants ()) in
+  let n = Array.length variants in
+  let weights = Array.init n (fun r -> 1.0 /. (float_of_int (r + 1) ** skew_exponent)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  (* The 48-bit drand48 LCG, seeded fixed. *)
+  let state = ref 0x1234ABCD330E in
+  let next () =
+    state := ((!state * 25214903917) + 11) land 0xFFFFFFFFFFFF;
+    float_of_int (!state lsr 17) /. float_of_int 0x80000000
+  in
+  Array.init clients (fun c ->
+      List.init per_client (fun j ->
+          let u = next () *. total in
+          let rec pick r acc =
+            let acc = acc +. weights.(r) in
+            if u <= acc || r = n - 1 then r else pick (r + 1) acc
+          in
+          let rank = pick 0 0.0 in
+          let label, path = variants.(rank) in
+          {
+            Workload.label = Printf.sprintf "%s#c%d.%d" label c j;
+            path;
+            plan = Plan.xschedule ~speculative:false ();
+            timeout = None;
+          }))
+
+type skew_summary = {
+  sk_clients : int;
+  sk_per_client : int;
+  sk_jobs : int;
+  sk_distinct : int;
+  sk_served_on : float;
+  sk_served_off : float;
+  sk_speedup : float;
+  sk_hits : int;
+  sk_shared : int;
+  sk_installs : int;
+  sk_reads_on : int;
+  sk_reads_off : int;
+  sk_time_on : float;
+  sk_time_off : float;
+}
+
+let skew_measure cfg ~clients ~per_client =
+  let doc =
+    Xmark.generate
+      ~config:{ Xmark.default_config with Xmark.scale = 1.0; fidelity = cfg.fidelity }
+      ()
+  in
+  let store, _import = make_store cfg doc in
+  let queues = skew_mix ~clients ~per_client in
+  let jobs = clients * per_client in
+  let distinct =
+    Array.to_list queues
+    |> List.concat_map (List.map (fun (s : Workload.spec) -> Path.to_string s.Workload.path))
+    |> List.sort_uniq compare |> List.length
+  in
+  let run cache =
+    Result_cache.clear ();
+    let config =
+      { Context.default_config with Context.validate = true; Context.result_cache = cache }
+    in
+    let r = Workload.run_clients ~config ~cold:true store queues in
+    if r.Workload.violations <> [] then begin
+      Printf.eprintf "bench --skew (cache %s): invariant violations:\n"
+        (if cache then "on" else "off");
+      List.iter (fun v -> Printf.eprintf "  %s\n" v) r.Workload.violations;
+      exit 1
+    end;
+    if List.length r.Workload.jobs <> jobs then begin
+      Printf.eprintf "bench --skew (cache %s): %d of %d jobs completed\n"
+        (if cache then "on" else "off")
+        (List.length r.Workload.jobs) jobs;
+      exit 1
+    end;
+    r
+  in
+  let off = run false in
+  if off.Workload.cache_hits + off.Workload.shared_jobs + off.Workload.cache_misses <> 0 then begin
+    Printf.eprintf "bench --skew: cache-off run touched the front door\n";
+    exit 1
+  end;
+  let on = run true in
+  Result_cache.clear ();
+  let served (r : Workload.result) =
+    if r.Workload.total_time > 0.0 then float_of_int jobs /. r.Workload.total_time else 0.0
+  in
+  let served_on = served on and served_off = served off in
+  {
+    sk_clients = clients;
+    sk_per_client = per_client;
+    sk_jobs = jobs;
+    sk_distinct = distinct;
+    sk_served_on = served_on;
+    sk_served_off = served_off;
+    sk_speedup = (if served_off > 0.0 then served_on /. served_off else 0.0);
+    sk_hits = on.Workload.cache_hits;
+    sk_shared = on.Workload.shared_jobs;
+    sk_installs = on.Workload.cache_misses;
+    sk_reads_on = on.Workload.page_reads;
+    sk_reads_off = off.Workload.page_reads;
+    sk_time_on = on.Workload.total_time;
+    sk_time_off = off.Workload.total_time;
+  }
+
+(* The front door must pay for itself by an order of magnitude on repeat
+   traffic — the within-run ratio is machine-independent (both runs use
+   the same simulated disk and the same host), so it is gated hard. *)
+let skew_gate_factor = 10.0
+
+let skew_check s =
+  if s.sk_speedup < skew_gate_factor then begin
+    Printf.eprintf
+      "bench --skew: cache-on served %.1f queries/s vs %.1f off — %.1fx, below the %.0fx gate\n"
+      s.sk_served_on s.sk_served_off s.sk_speedup skew_gate_factor;
+    exit 1
+  end
+
+let skew_fields s =
+  [
+    ("clients", string_of_int s.sk_clients);
+    ("jobs_per_client", string_of_int s.sk_per_client);
+    ("jobs", string_of_int s.sk_jobs);
+    ("distinct_paths", string_of_int s.sk_distinct);
+    ("exponent", jfloat skew_exponent);
+    ("served_per_sec_cache_on", jfloat s.sk_served_on);
+    ("served_per_sec_cache_off", jfloat s.sk_served_off);
+    ("speedup", jfloat s.sk_speedup);
+    ("cache_hits", string_of_int s.sk_hits);
+    ("shared_jobs", string_of_int s.sk_shared);
+    ("cache_installs", string_of_int s.sk_installs);
+    ("page_reads_cache_on", string_of_int s.sk_reads_on);
+    ("page_reads_cache_off", string_of_int s.sk_reads_off);
+    ("total_time_cache_on", jfloat s.sk_time_on);
+    ("total_time_cache_off", jfloat s.sk_time_off);
+  ]
+
+(* Enough repeats that the fixed cost of first-executing each distinct
+   statement — and its cold I/O, which both regimes pay — stops
+   dominating the ratio. The tiny smoke store needs more repeats than
+   the quick/full stores, whose per-execution work is bigger relative
+   to the front door's per-hit overhead. *)
+let skew_per_client ~smoke = if smoke then 128 else 32
+
+let skew_mode ~profile ~smoke cfg ~clients out_file =
+  section_header
+    (Printf.sprintf "skewed repeat-query mix — %d clients, zipf(%.1f) over the q6'/q7/q15 variants"
+       clients skew_exponent);
+  let s = skew_measure cfg ~clients ~per_client:(skew_per_client ~smoke) in
+  Printf.printf "%d jobs over %d distinct statements\n" s.sk_jobs s.sk_distinct;
+  Printf.printf "cache off: %8.1f served/s  (%d page reads, %.4fs)\n" s.sk_served_off s.sk_reads_off
+    s.sk_time_off;
+  Printf.printf "cache on:  %8.1f served/s  (%d page reads, %.4fs)\n" s.sk_served_on s.sk_reads_on
+    s.sk_time_on;
+  Printf.printf "speedup %.1fx — %d hits, %d shared scans, %d installs\n" s.sk_speedup s.sk_hits
+    s.sk_shared s.sk_installs;
+  skew_check s;
+  let out =
+    jobj
+      [
+        ("schema", jstring Bench_schema.version);
+        ("mode", jstring "workload-skew");
+        ("profile", jstring profile);
+        ( "config",
+          jobj
+            [
+              ("fidelity", jfloat cfg.fidelity);
+              ("page_size", string_of_int cfg.page_size);
+              ("buffer", string_of_int cfg.buffer);
+              ("scale", jfloat 1.0);
+            ] );
+        ("skew", jobj (skew_fields s));
+      ]
+  in
+  check_json_shape out;
+  let oc = open_out out_file in
+  output_string oc out;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote skew summary to %s\n" out_file
+
 let json_mode ~profile cfg out_file =
   let rows = ref [] in
   List.iter
@@ -970,10 +1188,14 @@ let json_mode ~profile cfg out_file =
     cfg.scale_factors;
   let micro_rows = swizzle_micro_rows () in
   let fused_rows = fused_micro_rows () in
+  (* The skewed repeat-query summary rides along in every --json run, so
+     the committed baseline carries the front door's served/s figures and
+     --compare can gate them. *)
+  let skew = skew_measure cfg ~clients:8 ~per_client:(skew_per_client ~smoke:(profile = "smoke")) in
   let out =
     jobj
       [
-        ("schema", jstring "xnav-bench/5");
+        ("schema", jstring Bench_schema.version);
         ("profile", jstring profile);
         ( "config",
           jobj
@@ -986,6 +1208,7 @@ let json_mode ~profile cfg out_file =
         ("rows", jarr (List.rev !rows));
         ("micro", jarr micro_rows);
         ("micro_fused", jarr fused_rows);
+        ("skew", jobj (skew_fields skew));
       ]
   in
   check_json_shape out;
@@ -1120,7 +1343,7 @@ let workload_mode ~profile cfg ~clients out_file =
   let out =
     jobj
       [
-        ("schema", jstring "xnav-bench/5");
+        ("schema", jstring Bench_schema.version);
         ("mode", jstring "workload");
         ("profile", jstring profile);
         ( "config",
@@ -1340,7 +1563,8 @@ let rows_of_json what j =
 let compare_with_baseline ~tolerance current baseline_file =
   let baseline = parse_json (String.trim (read_file baseline_file)) in
   let base_rows = rows_of_json baseline_file baseline in
-  let current_rows = rows_of_json "current run" (parse_json (String.trim current)) in
+  let current_json = parse_json (String.trim current) in
+  let current_rows = rows_of_json "current run" current_json in
   let key row =
     ( jstr_exn "row.query" (jget row "query"),
       jstr_exn "row.plan" (jget row "plan"),
@@ -1452,6 +1676,34 @@ let compare_with_baseline ~tolerance current baseline_file =
         end
       | _ -> ())
     index_scales;
+  (* Skew gate (since xnav-bench/6): the result-cache front door must
+     serve the skewed repeat-query mix at least [skew_gate_factor] times
+     faster than cache-off. The within-run ratio is gated hard (both
+     runs share the simulated disk and the host, so it is stable); the
+     cross-run comparison against the baseline's ratio only backstops at
+     a loose 5x tolerance, because served/s includes wall-clock CPU. *)
+  (match jget current_json "skew" with
+  | None ->
+    incr failures;
+    Printf.printf "compare: current run has no skew section (schema %s)\n" Bench_schema.version
+  | Some skew ->
+    let speedup = jnum_exn "skew.speedup" (jget skew "speedup") in
+    if speedup < skew_gate_factor then begin
+      incr failures;
+      Printf.printf "compare: skew speedup %.1fx below the %.0fx front-door gate\n" speedup
+        skew_gate_factor
+    end;
+    (match jget baseline "skew" with
+    | None -> ()
+    | Some bskew ->
+      let bspeedup = jnum_exn "skew.speedup" (jget bskew "speedup") in
+      if speedup < bspeedup /. (1. +. (5. *. tolerance)) then begin
+        incr failures;
+        Printf.printf
+          "compare: skew speedup regressed %.1fx -> %.1fx (backstop tolerance %.0f%%)\n" bspeedup
+          speedup
+          (100. *. 5. *. tolerance)
+      end));
   if !failures = 0 then
     Printf.printf "compare: no regressions vs %s (%d rows, tolerance %.0f%%)\n" baseline_file
       (List.length base_rows) (100. *. tolerance)
@@ -1622,7 +1874,9 @@ let () =
             exit 1)
       in
       let out_file = Option.value (find_value "--json" args) ~default:"bench-workload.json" in
-      try workload_mode ~profile cfg ~clients out_file
+      try
+        if List.mem "--skew" args then skew_mode ~profile ~smoke cfg ~clients out_file
+        else workload_mode ~profile cfg ~clients out_file
       with Malformed msg ->
         Printf.eprintf "bench --workload: malformed output: %s\n" msg;
         exit 1

@@ -129,6 +129,15 @@ let no_fused_flag =
           "Evaluate reordered plans with the historical per-step XStep iterator chain instead \
            of the fused automaton (same results and I/O, higher CPU).")
 
+let no_cache_flag =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the repeat-traffic front door: no result-cache consultation before planning \
+           and (for workloads) no cross-client shared-scan dedup. Every statement re-executes \
+           from scratch, reproducing the historical engine exactly.")
+
 (* Apply the --no-fused choice to a compiled plan (Simple has no chain). *)
 let apply_fused ~no_fused plan =
   if not no_fused then plan
@@ -234,18 +243,24 @@ let stats_cmd =
 (* --- explain ----------------------------------------------------------------- *)
 
 let explain_cmd =
-  let run path_str choice rewrite no_fused store =
+  let run path_str choice rewrite no_fused no_cache store =
     let path = Path.from_root_element (Xpath_parser.parse path_str) in
     let path, plan = Compile.plan_for ~choice ~rewrite store path in
     let plan = apply_fused ~no_fused plan in
     Format.printf "path:     %s@." (Path.to_string path);
     Format.printf "estimate: %a@." Compile.pp_estimate
       (Compile.estimate ~fused:(not no_fused) store path);
+    if no_cache then Format.printf "cache:    off (--no-cache)@."
+    else
+      Format.printf "cache:    result cache on — key %S @@ mutation stamp %d@."
+        (Path.to_string path) (Store.mutation_stamp store);
     Format.printf "chosen:   %s@.@.%a@." (Plan.name plan) Plan.explain (path, plan)
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the compiled plan and cost estimate for a path.")
-    Term.(const run $ path_arg $ plan_choice $ rewrite_flag $ no_fused_flag $ common_store_term)
+    Term.(
+      const run $ path_arg $ plan_choice $ rewrite_flag $ no_fused_flag $ no_cache_flag
+      $ common_store_term)
 
 (* --- query ---------------------------------------------------------------------- *)
 
@@ -286,19 +301,20 @@ let query_cmd =
       & info [ "serve-policy" ] ~docv:"POLICY"
           ~doc:"How XSchedule picks the next queued cluster: min-pid or cost.")
   in
-  let run path_str choice rewrite no_fused k budget coalesce_window serve_policy scan_threshold
-      verbose store =
+  let run path_str choice rewrite no_fused no_cache k budget coalesce_window serve_policy
+      scan_threshold verbose store =
     let query = Query.from_root_element (Xpath_parser.parse_query path_str) in
     let config =
-      Context.set_fused (not no_fused)
-        {
-          Context.default_config with
-          Context.k;
-          memory_budget = budget;
-          coalesce_window;
-          serve_policy;
-          scan_threshold;
-        }
+      Context.set_result_cache (not no_cache)
+        (Context.set_fused (not no_fused)
+           {
+             Context.default_config with
+             Context.k;
+             memory_budget = budget;
+             coalesce_window;
+             serve_policy;
+             scan_threshold;
+           })
     in
     let print_nodes nodes =
       if verbose then
@@ -330,8 +346,8 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate a location path or extended query with cost metrics.")
     Term.(
-      const run $ path_arg $ plan_choice $ rewrite_flag $ no_fused_flag $ k_arg $ budget
-      $ coalesce_window $ serve_policy $ scan_threshold $ verbose $ common_store_term)
+      const run $ path_arg $ plan_choice $ rewrite_flag $ no_fused_flag $ no_cache_flag $ k_arg
+      $ budget $ coalesce_window $ serve_policy $ scan_threshold $ verbose $ common_store_term)
 
 (* --- check ------------------------------------------------------------------------ *)
 
@@ -488,7 +504,7 @@ let workload_cmd =
       & opt float 0.004
       & info [ "quantum" ] ~docv:"SECONDS" ~doc:"Per-turn cost credit in simulated seconds.")
   in
-  let run paths clients rounds timeout plan quantum store =
+  let run paths clients rounds timeout plan quantum no_cache store =
     if clients < 1 || rounds < 1 then begin
       prerr_endline "xnav workload: --clients and --rounds must be positive";
       exit 2
@@ -510,7 +526,8 @@ let workload_cmd =
       Array.init clients (fun i ->
           List.concat (List.init rounds (fun _ -> List.map spec (rotate i parsed))))
     in
-    let r = Workload.run_clients ~quantum ~cold:true store queues in
+    let config = Context.set_result_cache (not no_cache) Context.default_config in
+    let r = Workload.run_clients ~config ~quantum ~cold:true store queues in
     let count_status st =
       List.length (List.filter (fun (j : Workload.job) -> j.Workload.status = st) r.Workload.jobs)
     in
@@ -530,6 +547,9 @@ let workload_cmd =
     Printf.printf "io %.4fs  page reads %d  seek %d  batched %d reads / %d pages in %d runs\n"
       r.Workload.io_time r.Workload.page_reads r.Workload.seek_distance r.Workload.batched_reads
       r.Workload.batch_pages r.Workload.coalesce_runs;
+    Printf.printf "front door: %s — %d cache hits, %d installs, %d shared scans\n"
+      (if no_cache then "off" else "on")
+      r.Workload.cache_hits r.Workload.cache_misses r.Workload.shared_jobs;
     Printf.printf "fairness per path:\n";
     Printf.printf "  %-28s %5s %9s %9s %7s %8s %7s %7s\n" "path" "jobs" "mean-lat" "pin-wait"
       "served" "starved" "yields" "boosts";
@@ -562,7 +582,7 @@ let workload_cmd =
           latency percentiles and fairness counters.")
     Term.(
       const run $ paths_arg $ clients_arg $ rounds_arg $ timeout_arg $ wplan $ quantum_arg
-      $ common_store_term)
+      $ no_cache_flag $ common_store_term)
 
 (* --- export ----------------------------------------------------------------------- *)
 

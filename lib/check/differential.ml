@@ -15,6 +15,7 @@ module Multi = Xnav_core.Multi
 module Interleave = Xnav_core.Interleave
 module Workload = Xnav_workload.Workload
 module Context = Xnav_core.Context
+module Result_cache = Xnav_core.Result_cache
 module Xmark_gen = Xnav_xmark.Gen
 
 (* --- deterministic sampling ---------------------------------------------- *)
@@ -524,6 +525,130 @@ let check_fused_case case =
   let store, _import = build_store ~doc case.physical in
   check_fused_built ~store case
 
+(* --- cache tier ----------------------------------------------------------- *)
+
+(* The result cache must be semantically invisible. Per plan, three cold
+   runs: cache off (the historical baseline), cache on against an empty
+   cache (a miss — the consult-and-install machinery must not perturb a
+   single execution counter), cache on again (a hit — the same answer
+   with zero I/O and zero operator work). Then level 2: every plan of
+   the case at once through the workload engine with the front door on,
+   which dedupes the identical statements into one shared scan — each
+   job must still report exactly the serial cache-off node set. *)
+let check_cache_built ~store case =
+  let config = context_config case in
+  let cache_on = { config with Context.result_cache = true } in
+  let mismatches = ref [] in
+  let record plan detail = mismatches := { plan; detail } :: !mismatches in
+  List.iter
+    (fun (name, plan) ->
+      Result_cache.clear ();
+      match
+        let off = Exec.cold_run ~config store case.path plan in
+        let miss = Exec.cold_run ~config:cache_on store case.path plan in
+        let hit = Exec.cold_run ~config:cache_on store case.path plan in
+        (off, miss, hit)
+      with
+      | off, miss, hit ->
+        let off_ids = ids_of off.Exec.nodes in
+        let miss_ids = ids_of miss.Exec.nodes in
+        let hit_ids = ids_of hit.Exec.nodes in
+        if miss_ids <> off_ids then
+          record name
+            (Format.asprintf "miss run: %d nodes %a, cache-off: %d nodes %a"
+               (List.length miss_ids) pp_ids miss_ids (List.length off_ids) pp_ids off_ids);
+        if hit_ids <> off_ids then
+          record name
+            (Format.asprintf "hit run: %d nodes %a, cache-off: %d nodes %a"
+               (List.length hit_ids) pp_ids hit_ids (List.length off_ids) pp_ids off_ids);
+        let moff = off.Exec.metrics and mmiss = miss.Exec.metrics and mhit = hit.Exec.metrics in
+        (* The miss is the cache machinery being invisible: every
+           execution counter equals the cache-off run. *)
+        List.iter
+          (fun (label, proj) ->
+            let a = proj moff and b = proj mmiss in
+            if a <> b then
+              record name (Printf.sprintf "%s diverges: cache-off %d, miss %d" label a b))
+          [
+            ("page_reads", fun m -> m.Exec.page_reads);
+            ("seek_distance", fun m -> m.Exec.seek_distance);
+            ("q_enqueued", fun m -> m.Exec.q_enqueued);
+            ("q_served", fun m -> m.Exec.q_served);
+            ("clusters_visited", fun m -> m.Exec.clusters_visited);
+            ("crossings", fun m -> m.Exec.crossings);
+            ("instances", fun m -> m.Exec.instances);
+            ("specs_created", fun m -> m.Exec.specs_created);
+            ("specs_stored", fun m -> m.Exec.specs_stored);
+            ("specs_resolved", fun m -> m.Exec.specs_resolved);
+            ("fused_transitions", fun m -> m.Exec.fused_transitions);
+            ("fused_states", fun m -> m.Exec.fused_states);
+          ];
+        if moff.Exec.cache_hits + moff.Exec.cache_misses + moff.Exec.cache_evictions > 0 then
+          record name
+            (Printf.sprintf "cache-off run touched the cache: hits %d misses %d evictions %d"
+               moff.Exec.cache_hits moff.Exec.cache_misses moff.Exec.cache_evictions);
+        if mmiss.Exec.cache_misses <> 1 || mmiss.Exec.cache_hits <> 0 then
+          record name
+            (Printf.sprintf "miss run counted hits %d / misses %d (want 0/1)"
+               mmiss.Exec.cache_hits mmiss.Exec.cache_misses);
+        if mhit.Exec.cache_hits <> 1 || mhit.Exec.cache_misses <> 0 then
+          record name
+            (Printf.sprintf "hit run counted hits %d / misses %d (want 1/0)" mhit.Exec.cache_hits
+               mhit.Exec.cache_misses);
+        if mhit.Exec.page_reads <> 0 || mhit.Exec.clusters_visited <> 0 || mhit.Exec.instances <> 0
+        then
+          record name
+            (Printf.sprintf "hit run executed: %d reads, %d clusters, %d instances"
+               mhit.Exec.page_reads mhit.Exec.clusters_visited mhit.Exec.instances)
+      | exception e -> record name (Printf.sprintf "raised %s" (Printexc.to_string e)))
+    (plans_for case);
+  (* Level 2: identical concurrent statements share one scan. *)
+  Result_cache.clear ();
+  let plans = plans_for case in
+  let serial =
+    List.map
+      (fun (name, plan) ->
+        (name, ids_of (Exec.cold_run ~config store case.path plan).Exec.nodes))
+      plans
+  in
+  let specs =
+    List.map
+      (fun (name, plan) -> { Workload.label = name; path = case.path; plan; timeout = None })
+      plans
+  in
+  Result_cache.clear ();
+  (match Workload.run ~config:cache_on ~cold:true store specs with
+  | r ->
+    List.iter
+      (fun (job : Workload.job) ->
+        let expected = List.assoc job.Workload.job_label serial in
+        let got = ids_of job.Workload.nodes in
+        if got <> expected then
+          record job.Workload.job_label
+            (Format.asprintf "serial: %d nodes %a, shared (%s%s): %d nodes %a"
+               (List.length expected) pp_ids expected
+               (Workload.status_to_string job.Workload.status)
+               (if job.Workload.shared then ", follower" else "")
+               (List.length got) pp_ids got))
+      r.Workload.jobs;
+    if List.length plans >= 2 && r.Workload.shared_jobs + r.Workload.cache_hits = 0 then
+      record "workload"
+        (Printf.sprintf "%d identical statements ran concurrently but none was deduped or \
+                         served from cache"
+           (List.length plans));
+    List.iter (fun msg -> record "workload" msg) r.Workload.violations;
+    (match storage_clean store with
+    | None -> ()
+    | Some msg -> record "workload" msg)
+  | exception e -> record "workload" (Printf.sprintf "raised %s" (Printexc.to_string e)));
+  Result_cache.clear ();
+  List.rev !mismatches
+
+let check_cache_case case =
+  let doc = cached_document ~doc_seed:case.doc_seed ~fidelity:case.fidelity in
+  let store, _import = build_store ~doc case.physical in
+  check_cache_built ~store case
+
 (* --- shrinking ------------------------------------------------------------ *)
 
 (* Move one dimension of the case toward the default / a smaller input.
@@ -686,6 +811,12 @@ let run_fused ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(log
     ~check_one:(fun ~doc:_ ~store ~import:_ case -> check_fused_built ~store case)
     ~runs_of:(fun case -> 2 * List.length (fused_plans case))
     ~shrink_check:check_fused_case ~seed ~cases ~paths_per_store ~log
+
+let run_cache ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(log = ignore) () =
+  run_tier
+    ~check_one:(fun ~doc:_ ~store ~import:_ case -> check_cache_built ~store case)
+    ~runs_of:(fun case -> 4 * List.length (plans_for case) + 1)
+    ~shrink_check:check_cache_case ~seed ~cases ~paths_per_store ~log
 
 let run_index ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(log = ignore) () =
   run_tier ~check_one:check_index_built

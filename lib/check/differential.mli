@@ -81,6 +81,19 @@ val check_fused_case : case -> mismatch list
     zero. Trace equality pins the knob-off run — and therefore the
     automaton — to the historical XStep-chain I/O behaviour. *)
 
+val check_cache_case : case -> mismatch list
+(** Differential check of the result-cache front door: build the case's
+    store and run every plan three times cold — cache off (the
+    historical baseline), cache on against an empty cache (the miss run
+    must reproduce every execution counter of the baseline exactly),
+    and cache on again (the hit run must return the identical node set
+    with zero I/O and zero operator work) — then run all the case's
+    plans {e at once} through {!Xnav_workload.Workload.run} with the
+    front door on, asserting each deduped/shared job still reports the
+    serial cache-off answer and that identical concurrent statements
+    were in fact shared. The process-wide cache is cleared before and
+    after. *)
+
 val check_index_case : case -> mismatch list
 (** Differential check of the structural index: build the case's store
     and compare the reference evaluator, the XSchedule plan, the default
@@ -161,6 +174,17 @@ val run_fused :
 (** Like {!run} but applying {!check_fused_case}'s fused/unfused
     comparison to every sampled case (two executions per fused-capable
     plan). *)
+
+val run_cache :
+  ?seed:int ->
+  ?cases:int ->
+  ?paths_per_store:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  report
+(** Like {!run} but applying {!check_cache_case}'s off/miss/hit and
+    shared-workload comparison to every sampled case (four executions
+    per plan plus one workload run). *)
 
 val run_index :
   ?seed:int ->

@@ -1,0 +1,15 @@
+(** The bench JSON schema tag, in one place.
+
+    Every [bench] JSON emitter stamps its output with this string, the
+    committed [BENCH_results.json] baseline must carry it, and the test
+    suite asserts that it does — so a schema bump is a one-line change
+    here instead of a copy-paste hunt.
+
+    History (see EXPERIMENTS.md for what each revision added):
+    [/1] per-plan metrics, [/2] batched I/O counters, [/3] workload
+    mode, [/4] structural-index counters, [/5] fused-chain counters +
+    micro tier, [/6] result-cache / shared-demand counters + the skewed
+    repeat-query workload section. *)
+
+val version : string
+(** ["xnav-bench/6"]. *)

@@ -17,6 +17,7 @@ type config = {
   serve_policy : serve_policy;
   scan_threshold : float;
   fused : bool;
+  result_cache : bool;
 }
 
 let default_config =
@@ -30,9 +31,11 @@ let default_config =
     serve_policy = Serve_cost;
     scan_threshold = 0.5;
     fused = true;
+    result_cache = false;
   }
 
 let set_fused fused config = { config with fused }
+let set_result_cache result_cache config = { config with result_cache }
 
 type mode = Normal | Fallback
 
@@ -63,6 +66,10 @@ type counters = {
   mutable index_residuals : int;
   mutable fused_transitions : int;
   mutable fused_states : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
+  mutable shared_demand : int;
 }
 
 type t = {
@@ -107,6 +114,10 @@ let create ?(config = default_config) store =
         index_residuals = 0;
         fused_transitions = 0;
         fused_states = 0;
+        cache_hits = 0;
+        cache_misses = 0;
+        cache_evictions = 0;
+        shared_demand = 0;
       };
   }
 

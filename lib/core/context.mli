@@ -57,16 +57,28 @@ type config = {
           reproduces the historical per-step execution (and I/O trace)
           exactly. Both this and the plan's own [fused] knob must be on
           for the fused operator to run. *)
+  result_cache : bool;
+      (** Consult the process-wide {!Result_cache} before planning a
+          root-context run, and install the answer after a miss. In the
+          workload engine the same knob additionally enables cross-client
+          shared-scan dedup. Off by default: library callers get the
+          historical from-scratch execution (and I/O trace) byte for
+          byte; the [xnav] front end and the bench harness enable it. *)
 }
 
 val default_config : config
 (** [k = 100], speculation on, a 1M-instance budget, intermediate
     duplicate elimination on; coalescing window 16, cost-sensitive serve,
-    scan threshold 0.5, fused chains on. *)
+    scan threshold 0.5, fused chains on, result cache off. *)
 
 val set_fused : bool -> config -> config
 (** [set_fused false config] disables the fused automaton — reordered
     plans fall back to the historical XStep iterator chain. *)
+
+val set_result_cache : bool -> config -> config
+(** [set_result_cache true config] enables the repeat-traffic front
+    door: {!Result_cache} consultation in {!Exec.run} (and, through it,
+    {!Query_exec}) plus shared-scan dedup in the workload engine. *)
 
 type mode = Normal | Fallback
 
@@ -122,6 +134,19 @@ type counters = {
       (** Automaton states entered — work-stack frames pushed by the
           fused operator (one per partial match that opens the next
           step's enumeration). Always 0 when fused evaluation is off. *)
+  mutable cache_hits : int;
+      (** Result-cache hits: the run (or workload job) was answered from
+          {!Result_cache} without planning or I/O. Always 0 with
+          [config.result_cache] off. *)
+  mutable cache_misses : int;
+      (** Cacheable runs that had to execute (no entry, or the entry was
+          staled by a store mutation) and installed their answer. *)
+  mutable cache_evictions : int;
+      (** LRU evictions this run's installation caused. *)
+  mutable shared_demand : int;
+      (** Workload-only: jobs whose pending cluster demand was deduped
+          into another client's identical in-flight scan instead of
+          evaluating independently. Always 0 for stand-alone runs. *)
 }
 
 type t = {

@@ -39,6 +39,10 @@ type metrics = {
   index_residuals : int;
   fused_transitions : int;
   fused_states : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  shared_demand : int;
   fell_back : bool;
 }
 
@@ -135,6 +139,70 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
   let swiz_hits_before, swiz_misses_before = Store.swizzle_stats store in
   let cpu_before = Sys.time () in
 
+  (* The repeat-traffic front door: root-context statements are answered
+     from the result cache before any planning or I/O happens. Only the
+     root context is cacheable — that is what repeated statements are —
+     and the stamp check inside [Result_cache.find] guarantees an
+     updated store never serves a stale answer. *)
+  let cache_key =
+    if
+      config.Context.result_cache
+      && (match contexts with [ c ] -> Node_id.equal c (Store.root store) | _ -> false)
+    then Some (Path.to_string path)
+    else None
+  in
+  match (match cache_key with Some key -> Result_cache.find store key | None -> None) with
+  | Some entry ->
+    let c = ctx.Context.counters in
+    c.Context.cache_hits <- 1;
+    let cpu_time = Sys.time () -. cpu_before in
+    {
+      nodes = Result_cache.nodes entry;
+      count = Result_cache.count entry;
+      metrics =
+        {
+          io_time = 0.0;
+          cpu_time;
+          total_time = cpu_time;
+          page_reads = 0;
+          sequential_reads = 0;
+          random_reads = 0;
+          seek_distance = 0;
+          buffer_lookups = 0;
+          buffer_hits = 0;
+          buffer_misses = 0;
+          async_reads = 0;
+          batched_reads = 0;
+          batch_pages = 0;
+          coalesce_runs = 0;
+          scan_windows = 0;
+          scan_window_pages = 0;
+          instances = 0;
+          crossings = 0;
+          specs_created = 0;
+          specs_stored = 0;
+          specs_resolved = 0;
+          s_peak = 0;
+          q_peak = 0;
+          q_enqueued = 0;
+          q_served = 0;
+          clusters_visited = 0;
+          swizzle_hits = 0;
+          swizzle_misses = 0;
+          index_entries = 0;
+          index_clusters = 0;
+          index_residuals = 0;
+          fused_transitions = 0;
+          fused_states = 0;
+          cache_hits = 1;
+          cache_misses = 0;
+          cache_evictions = 0;
+          shared_demand = 0;
+          fell_back = false;
+        };
+    }
+  | None ->
+
   let next, xschedule, xscan, xindex = pipeline ctx store path plan contexts in
   let out = Vec.create () in
   let drain next =
@@ -195,6 +263,19 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
   let count = Vec.length distinct in
   let nodes = Vec.to_list distinct in
 
+  (* Cache fill after a miss. Entries always hold document order so a
+     hit can serve ordered and unordered callers alike. *)
+  (match cache_key with
+  | None -> ()
+  | Some key ->
+    c.Context.cache_misses <- 1;
+    let sorted =
+      if ordered then nodes
+      else
+        List.sort (fun (a : Store.info) b -> Ordpath.compare a.ordpath b.ordpath) nodes
+    in
+    c.Context.cache_evictions <- Result_cache.add store key ~count sorted);
+
   if config.Context.validate then begin
     (* Result conservation only applies when XAssembly produced the
        final answer — not after a restart, which leaves its counters at
@@ -244,6 +325,10 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
         index_residuals = c.Context.index_residuals;
         fused_transitions = c.Context.fused_transitions;
         fused_states = c.Context.fused_states;
+        cache_hits = c.Context.cache_hits;
+        cache_misses = c.Context.cache_misses;
+        cache_evictions = c.Context.cache_evictions;
+        shared_demand = c.Context.shared_demand;
         fell_back = Context.fallback ctx;
       };
   }
@@ -315,6 +400,7 @@ let pp_metrics ppf m =
      queue: enqueued %d served %d@,\
      index: entries %d clusters %d residuals %d@,\
      fused: transitions %d states %d@,\
+     cache: hits %d misses %d evictions %d shared %d@,\
      swizzle: hits %d misses %d (%.0f%% hit rate)@,\
      clusters visited %d%s@]"
     m.total_time m.io_time m.cpu_time m.page_reads m.sequential_reads m.random_reads
@@ -322,7 +408,8 @@ let pp_metrics ppf m =
     m.scan_window_pages m.buffer_lookups m.buffer_hits m.buffer_misses m.instances
     m.crossings m.specs_created m.specs_stored m.specs_resolved m.s_peak m.q_peak
     m.q_enqueued m.q_served m.index_entries m.index_clusters m.index_residuals
-    m.fused_transitions m.fused_states m.swizzle_hits
+    m.fused_transitions m.fused_states m.cache_hits m.cache_misses m.cache_evictions
+    m.shared_demand m.swizzle_hits
     m.swizzle_misses
     (100. *. swizzle_hit_rate m)
     m.clusters_visited

@@ -44,6 +44,17 @@ type metrics = {
       (** Automaton transitions the fused chain processed (cursor
           emissions consumed). 0 when fused evaluation is off. *)
   fused_states : int;  (** Work-stack frames the fused chain pushed. *)
+  cache_hits : int;
+      (** 1 when this run was answered from {!Result_cache} (every other
+          counter is then 0 — no planning, no I/O). Requires
+          [config.result_cache]. *)
+  cache_misses : int;
+      (** 1 when this run was cacheable but had to execute; its answer
+          was installed for the next identical statement. *)
+  cache_evictions : int;  (** LRU evictions the installation caused. *)
+  shared_demand : int;
+      (** Workload-only: 1 when this job was deduped into another
+          client's identical in-flight scan. 0 for stand-alone runs. *)
   fell_back : bool;
 }
 
@@ -72,6 +83,13 @@ val run :
     document root). [ordered] (default [true]) re-establishes document
     order by sorting on ordpaths (Sec. 5.5) — pass [false] for
     aggregates like [count()] where order is irrelevant.
+
+    With [config.result_cache] set, a root-context run first consults
+    {!Result_cache} (keyed on the path text, validated against the
+    store's mutation stamp): a hit skips planning and I/O entirely and
+    reports [cache_hits = 1] with every other metric zero; a miss
+    executes normally and installs its answer. {!Query_exec} inherits
+    this per trunk segment. Non-root contexts always execute.
 
     @raise Invalid_argument if [path] is empty, or a reordered plan is
     requested for a path with non-downward axes.

@@ -71,6 +71,10 @@ let post_run ?xschedule ?xindex ?results ctx =
       ("index_residuals", c.Context.index_residuals);
       ("fused_transitions", c.Context.fused_transitions);
       ("fused_states", c.Context.fused_states);
+      ("cache_hits", c.Context.cache_hits);
+      ("cache_misses", c.Context.cache_misses);
+      ("cache_evictions", c.Context.cache_evictions);
+      ("shared_demand", c.Context.shared_demand);
     ]
   in
   List.iter (fun (name, v) -> if v < 0 then fail "counter %s is negative (%d)" name v) non_negative;
@@ -114,6 +118,27 @@ let post_run ?xschedule ?xindex ?results ctx =
   then
     fail "fused: %d transitions / %d states recorded while fused evaluation is off"
       c.Context.fused_transitions c.Context.fused_states;
+  (* Result-cache accounting: with the front door off no run may touch
+     the cache (that is what makes cache-off the historical regime), a
+     single run is a hit or a miss but never both, and a hit answers
+     without executing — so it cannot coexist with any I/O or operator
+     work in the same context. *)
+  if (not ctx.Context.config.Context.result_cache)
+     && c.Context.cache_hits + c.Context.cache_misses + c.Context.cache_evictions
+        + c.Context.shared_demand
+        > 0
+  then
+    fail "cache: hits %d / misses %d / evictions %d / shared %d recorded while the result cache \
+          is off"
+      c.Context.cache_hits c.Context.cache_misses c.Context.cache_evictions
+      c.Context.shared_demand;
+  if c.Context.cache_hits > 0 && c.Context.cache_misses > 0 then
+    fail "cache: %d hits and %d misses in one run" c.Context.cache_hits c.Context.cache_misses;
+  if c.Context.cache_evictions > 0 && c.Context.cache_misses = 0 then
+    fail "cache: %d evictions without a miss installing an entry" c.Context.cache_evictions;
+  if c.Context.cache_hits > 0 && c.Context.clusters_visited + c.Context.instances > 0 then
+    fail "cache: a hit (%d) coexists with executed work (%d clusters, %d instances)"
+      c.Context.cache_hits c.Context.clusters_visited c.Context.instances;
 
   (* Result conservation (reordered plans): XAssembly's result set is
      duplicate-free, so the plan's final answer must have exactly

@@ -1,0 +1,125 @@
+module Store = Xnav_store.Store
+
+(* One process-wide statement+result cache. Entries live on an intrusive
+   circular doubly-linked LRU list threaded through a sentinel: a hit is
+   pure pointer surgery (unlink + relink at the MRU end), so serving
+   repeat traffic allocates nothing beyond the [Some] cell the lookup
+   returns. The hash table is keyed by (store uid, normalized path); the
+   mutation stamp is validated on every hit rather than folded into the
+   key, so a store update lazily drops exactly the entries it staled. *)
+
+type entry = {
+  key : int * string;
+  mutable stamp : int;
+  mutable nodes : Store.info list;  (* distinct, document order *)
+  mutable count : int;
+  mutable prev : entry;
+  mutable next : entry;
+}
+
+type stats = { hits : int; misses : int; evictions : int; stales : int }
+
+let default_capacity = 256
+
+let table : (int * string, entry) Hashtbl.t = Hashtbl.create 512
+let capacity_ref = ref default_capacity
+let size_ref = ref 0
+let hits_ref = ref 0
+let misses_ref = ref 0
+let evictions_ref = ref 0
+let stales_ref = ref 0
+
+let rec sentinel =
+  { key = (-1, ""); stamp = -1; nodes = []; count = 0; prev = sentinel; next = sentinel }
+
+let unlink e =
+  e.prev.next <- e.next;
+  e.next.prev <- e.prev
+
+let push_front e =
+  e.prev <- sentinel;
+  e.next <- sentinel.next;
+  sentinel.next.prev <- e;
+  sentinel.next <- e
+
+let drop e =
+  unlink e;
+  Hashtbl.remove table e.key;
+  decr size_ref
+
+(* Evict from the LRU end until the size fits. *)
+let rec trim evicted =
+  if !size_ref <= !capacity_ref || !size_ref = 0 then evicted
+  else begin
+    drop sentinel.prev;
+    incr evictions_ref;
+    trim (evicted + 1)
+  end
+
+let capacity () = !capacity_ref
+
+let set_capacity n =
+  if n < 0 then invalid_arg "Result_cache.set_capacity";
+  capacity_ref := n;
+  ignore (trim 0)
+
+let size () = !size_ref
+let nodes e = e.nodes
+let count e = e.count
+
+let find store path =
+  match Hashtbl.find_opt table (Store.uid store, path) with
+  | None ->
+    incr misses_ref;
+    None
+  | Some e ->
+    if e.stamp <> Store.mutation_stamp store then begin
+      (* The store mutated since this answer was computed; the entry can
+         never become valid again (stamps only grow), so drop it now. *)
+      drop e;
+      incr stales_ref;
+      incr misses_ref;
+      None
+    end
+    else begin
+      unlink e;
+      push_front e;
+      incr hits_ref;
+      Some e
+    end
+
+let add store path ~count:n nodes =
+  if !capacity_ref = 0 then 0
+  else begin
+    let key = (Store.uid store, path) in
+    let stamp = Store.mutation_stamp store in
+    match Hashtbl.find_opt table key with
+    | Some e ->
+      e.stamp <- stamp;
+      e.nodes <- nodes;
+      e.count <- n;
+      unlink e;
+      push_front e;
+      0
+    | None ->
+      let e = { key; stamp; nodes; count = n; prev = sentinel; next = sentinel } in
+      Hashtbl.replace table key e;
+      incr size_ref;
+      push_front e;
+      trim 0
+  end
+
+let clear () =
+  Hashtbl.reset table;
+  sentinel.next <- sentinel;
+  sentinel.prev <- sentinel;
+  size_ref := 0
+
+let stats () =
+  { hits = !hits_ref; misses = !misses_ref; evictions = !evictions_ref; stales = !stales_ref }
+
+let reset_stats () =
+  hits_ref := 0;
+  misses_ref := 0;
+  evictions_ref := 0;
+  stales_ref := 0

@@ -1,0 +1,66 @@
+(** Statement + result cache: the repeat-traffic front door.
+
+    Production path workloads are dominated by repeated statements; the
+    paper's engine re-plans and re-navigates each one from scratch. This
+    module memoizes the final answer of a root-context location-path
+    run, keyed on the {e normalized path text} and validated against the
+    store's {!Xnav_store.Store.mutation_stamp} — the same freshness
+    discipline that stales the path partition, so an
+    {!Xnav_store.Update.insert} invisibly invalidates every affected
+    entry without any write-side bookkeeping beyond the existing
+    [note_mutation].
+
+    The cache is process-wide and bounded: entries from different
+    stores are disambiguated by {!Xnav_store.Store.uid}, least-recently
+    used entries are evicted once {!capacity} is exceeded, and a hit is
+    allocation-free (intrusive LRU relink; the cached node list is
+    returned without copying).
+
+    Consultation is governed by {!Context.config.result_cache} — off by
+    default in the library so every historical execution path is
+    byte-for-byte unchanged; the [xnav] front end and the workload/bench
+    harnesses switch it on. Only root-context runs are cached: those are
+    the repeated statements, and restricting the key to the path text
+    keeps hits cheap. *)
+
+type entry
+(** A live cache entry. Valid until the next structural mutation of its
+    store; do not retain across updates — re-{!find} instead. *)
+
+val nodes : entry -> Xnav_store.Store.info list
+(** The cached answer: distinct nodes in document order. *)
+
+val count : entry -> int
+
+val find : Xnav_store.Store.t -> string -> entry option
+(** [find store path] looks up the answer for normalized [path] text.
+    A stale entry (computed under an older mutation stamp) is dropped
+    and reported as a miss — stamps only grow, so it could never become
+    valid again. A hit moves the entry to the MRU position. *)
+
+val add : Xnav_store.Store.t -> string -> count:int -> Xnav_store.Store.info list -> int
+(** [add store path ~count nodes] installs (or refreshes) the answer
+    under the store's current mutation stamp and returns the number of
+    LRU evictions that made room (0 or 1 in steady state; a no-op
+    returning 0 when {!capacity} is 0). [nodes] must be distinct and in
+    document order. *)
+
+val capacity : unit -> int
+
+val set_capacity : int -> unit
+(** Bound the entry count (default 256), evicting LRU entries if the
+    cache currently exceeds it. [0] disables insertion entirely. *)
+
+val size : unit -> int
+
+val clear : unit -> unit
+(** Drop every entry (cumulative statistics are kept; see
+    {!reset_stats}). The differential harness clears between cases. *)
+
+type stats = { hits : int; misses : int; evictions : int; stales : int }
+
+val stats : unit -> stats
+(** Cumulative since process start (or {!reset_stats}): [stales] counts
+    the subset of [misses] caused by mutation-stamp invalidation. *)
+
+val reset_stats : unit -> unit

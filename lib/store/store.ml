@@ -3,6 +3,7 @@ module Buffer_manager = Xnav_storage.Buffer_manager
 module Page = Xnav_storage.Page
 
 type t = {
+  uid : int;  (* process-unique attach stamp; cache keys across stores *)
   buffer : Buffer_manager.t;
   root : Node_id.t;
   first_page : int;
@@ -25,8 +26,15 @@ let tag_table_of tag_counts =
   List.iter (fun (tag, n) -> Hashtbl.replace table tag n) tag_counts;
   table
 
+let next_uid = ref 0
+
+let fresh_uid () =
+  incr next_uid;
+  !next_uid
+
 let attach buffer (import : Import.result) =
   {
+    uid = fresh_uid ();
     buffer;
     root = import.root;
     first_page = import.first_page;
@@ -47,6 +55,7 @@ let attach buffer (import : Import.result) =
 let attach_meta ?doc_stats ?partition buffer ~root ~first_page ~page_count ~node_count ~height
     ~tag_counts =
   {
+    uid = fresh_uid ();
     buffer;
     root;
     first_page;
@@ -74,6 +83,8 @@ let tag_counts t = t.tag_counts
 let doc_stats t = t.doc_stats
 let partition t = t.partition
 let stats_fresh t = t.mutations = t.stats_stamp
+let uid t = t.uid
+let mutation_stamp t = t.mutations
 
 (* Bookkeeping hooks for the update layer. *)
 let note_new_page t = t.page_count <- t.page_count + 1

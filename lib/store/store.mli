@@ -66,6 +66,19 @@ val stats_fresh : t -> bool
     falls back to navigation-only plans; re-import (or save and reload
     a re-imported image) to refresh. *)
 
+val uid : t -> int
+(** Process-unique identity assigned at attach time. Caches layered
+    above the store (e.g. {!Xnav_core}'s result cache) key on it so
+    entries from different stores — including a reload of the same
+    image — can never alias. *)
+
+val mutation_stamp : t -> int
+(** Monotonic count of structural mutations ({!note_mutation}) since
+    attach. A cached derivation of the document (query result, decoded
+    record, partition seed) is valid exactly while the stamp it was
+    computed under still equals the current one — the same freshness
+    discipline {!stats_fresh} applies to the import-time synopsis. *)
+
 val tag_count : t -> Xnav_xml.Tag.t -> int
 (** Number of nodes carrying the tag (0 if absent) — selectivity input
     for the cost-based plan chooser, answered from a hash table built at

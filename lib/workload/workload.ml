@@ -4,9 +4,11 @@ module Disk = Xnav_storage.Disk
 module Buffer_manager = Xnav_storage.Buffer_manager
 module Io_scheduler = Xnav_storage.Io_scheduler
 module Ordpath = Xnav_xml.Ordpath
+module Path = Xnav_xpath.Path
 module Context = Xnav_core.Context
 module Plan = Xnav_core.Plan
 module Exec = Xnav_core.Exec
+module Result_cache = Xnav_core.Result_cache
 module Vec = Xnav_core.Vec
 
 type spec = {
@@ -38,6 +40,8 @@ type job = {
   starved_ticks : int;
   yields : int;
   boosts : int;
+  shared : bool;
+  cache_hit : bool;
   fell_back : bool;
 }
 
@@ -53,6 +57,9 @@ type result = {
   coalesce_runs : int;
   max_concurrent : int;
   turns : int;
+  shared_jobs : int;
+  cache_hits : int;
+  cache_misses : int;
   violations : string list;
 }
 
@@ -61,9 +68,18 @@ type lane = {
   client : int;
   submitted_at : float;
   started_at : float;
-  stream : Exec.stream;
+  ctx : Context.t;  (* counter holder; the stream's context when one exists *)
+  stream : Exec.stream option;
+      (* [None] for jobs that never execute: answered from the result
+         cache at admission, or riding another client's identical
+         in-flight scan as a follower. *)
+  mutable followers : lane list;
   seen : unit Node_id.Tbl.t;
   nodes : Store.info Vec.t;  (* arrival order *)
+  mutable sorted : Store.info list option;
+      (* the answer already in document order — set when it came from
+         the result cache or a shared scan, so serving a repeat is a
+         pointer copy, not a per-job copy-and-sort *)
   mutable yields : int;
   mutable boosts : int;
   mutable status : status;
@@ -77,7 +93,8 @@ type lane = {
    each operator means a query never needs both at once for itself, but
    a crossing momentarily touches the next cluster while the batch
    installer may hold completion-queue pins — two frames per query is
-   the bound under which no schedule can wedge the pool. *)
+   the bound under which no schedule can wedge the pool. Followers and
+   cache hits pin nothing and are exempt from admission. *)
 let demand_frames = 2
 
 let percentile xs p =
@@ -87,6 +104,8 @@ let percentile xs p =
     let n = List.length sorted in
     let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
     List.nth sorted (min (n - 1) (max 0 (rank - 1)))
+
+let doc_order (a : Store.info) (b : Store.info) = Ordpath.compare a.ordpath b.ordpath
 
 let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients =
   if Array.length clients = 0 then invalid_arg "Workload.run_clients: no clients";
@@ -102,6 +121,11 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
   let cpu_before = Sys.time () in
   let now () = Disk.elapsed disk in
   let capacity = Buffer_manager.capacity buffer in
+  let cfg = match config with Some c -> c | None -> Context.default_config in
+  (* The front door: both levels — result-cache consultation at admission
+     and cross-client shared-scan dedup — ride the one knob, so knob-off
+     reproduces the historical engine exactly. *)
+  let front_door = cfg.Context.result_cache in
 
   (* Closed-loop clients: each entry is the client's remaining jobs; a
      client's next job is submitted the moment the previous finishes. *)
@@ -121,35 +145,40 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
   let max_concurrent = ref 0 in
   let turns = ref 0 in
 
-  let admit () =
-    let stop = ref false in
-    while (not !stop) && not (Queue.is_empty waiting) do
-      let n = List.length !active in
-      (* Alone is always admissible — the single-query engine makes
-         progress on any pool down to one frame (and recovers through the
-         fallback restart if it cannot). Company needs headroom. *)
-      if n = 0 || demand_frames * (n + 1) <= capacity then begin
-        let client, spec, submitted_at = Queue.pop waiting in
-        let lane =
-          {
-            spec;
-            client;
-            submitted_at;
-            started_at = now ();
-            stream = Exec.prepare ?config store spec.path spec.plan;
-            seen = Node_id.Tbl.create 64;
-            nodes = Vec.create ();
-            yields = 0;
-            boosts = 0;
-            status = Completed;
-            done_at = 0.0;
-          }
-        in
-        active := !active @ [ lane ];
-        if List.length !active > !max_concurrent then max_concurrent := List.length !active
-      end
-      else stop := true
-    done
+  let make_lane ~client ~spec ~submitted_at ~stream =
+    {
+      spec;
+      client;
+      submitted_at;
+      started_at = now ();
+      ctx =
+        (match stream with
+        | Some s -> Exec.stream_ctx s
+        | None -> Context.create ~config:cfg store);
+      stream;
+      followers = [];
+      seen = Node_id.Tbl.create 64;
+      nodes = Vec.create ();
+      sorted = None;
+      yields = 0;
+      boosts = 0;
+      status = Completed;
+      done_at = 0.0;
+    }
+  in
+
+  (* Install a completed stream job's answer for the next identical
+     statement. Streams always run from the root context, so every
+     completed job is cacheable. *)
+  let cache_fill lane =
+    if front_door then begin
+      let nodes = Vec.sorted_to_list doc_order lane.nodes in
+      lane.sorted <- Some nodes;
+      let c = lane.ctx.Context.counters in
+      c.Context.cache_misses <- 1;
+      c.Context.cache_evictions <-
+        Result_cache.add store (Path.to_string lane.spec.path) ~count:(List.length nodes) nodes
+    end
   in
 
   let finish lane status =
@@ -157,7 +186,80 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
     lane.status <- status;
     lane.done_at <- now ();
     finished := lane :: !finished;
+    (match (status, lane.stream) with Completed, Some _ -> cache_fill lane | _ -> ());
+    (* A completed shared scan answers every follower at the same
+       instant; a recovered one sends them to the same serial recompute
+       (where the leader's recomputed answer is already cached). *)
+    List.iter
+      (fun f ->
+        (if status = Completed then
+           match lane.sorted with
+           | Some _ -> f.sorted <- lane.sorted
+           | None ->
+             Vec.clear f.nodes;
+             Vec.iter (Vec.push f.nodes) lane.nodes);
+        f.status <- status;
+        f.done_at <- now ();
+        finished := f :: !finished;
+        submit f.client)
+      lane.followers;
+    lane.followers <- [];
     submit lane.client
+  in
+
+  (* Shared-scan dedup (level 2): an identical statement already
+     in flight means this job's cluster demand is a subset of work the
+     pool is about to do anyway — attach it as a follower instead of
+     issuing a second scan. Deadline-carrying jobs keep their own lane
+     (a follower's fate is its leader's). *)
+  let find_leader spec =
+    if (not front_door) || spec.timeout <> None then None
+    else
+      let key = Path.to_string spec.path in
+      List.find_opt
+        (fun l ->
+          l.stream <> None && l.spec.timeout = None && Path.to_string l.spec.path = key)
+        !active
+  in
+
+  let admit () =
+    let stop = ref false in
+    while (not !stop) && not (Queue.is_empty waiting) do
+      let client, spec, submitted_at = Queue.peek waiting in
+      match find_leader spec with
+      | Some leader ->
+        ignore (Queue.pop waiting);
+        let lane = make_lane ~client ~spec ~submitted_at ~stream:None in
+        lane.ctx.Context.counters.Context.shared_demand <- 1;
+        leader.followers <- lane :: leader.followers
+      | None -> (
+        match
+          if front_door then Result_cache.find store (Path.to_string spec.path) else None
+        with
+        | Some entry ->
+          (* Level 1 hit: the job completes at admission, no lane slot,
+             no planning, no I/O. *)
+          ignore (Queue.pop waiting);
+          let lane = make_lane ~client ~spec ~submitted_at ~stream:None in
+          lane.ctx.Context.counters.Context.cache_hits <- 1;
+          lane.sorted <- Some (Result_cache.nodes entry);
+          lane.done_at <- now ();
+          finished := lane :: !finished;
+          submit lane.client
+        | None ->
+          let n = List.length !active in
+          (* Alone is always admissible — the single-query engine makes
+             progress on any pool down to one frame (and recovers through
+             the fallback restart if it cannot). Company needs headroom. *)
+          if n = 0 || demand_frames * (n + 1) <= capacity then begin
+            ignore (Queue.pop waiting);
+            let stream = Exec.prepare ?config store spec.path spec.plan in
+            let lane = make_lane ~client ~spec ~submitted_at ~stream:(Some stream) in
+            active := !active @ [ lane ];
+            if List.length !active > !max_concurrent then max_concurrent := List.length !active
+          end
+          else stop := true)
+    done
   in
 
   (* A query is boosted when some cluster it has queued demand for is
@@ -166,21 +268,25 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
      now converts another query's work (or the scheduler's batching) into
      this query's progress — the cross-query coalescing of the tentpole. *)
   let boosted all lane =
-    match Exec.stream_demand lane.stream with
-    | [] -> false
-    | demand ->
-      let windows =
-        List.filter_map
-          (fun l -> if l == lane then None else Exec.stream_scan_window l.stream)
-          all
-      in
-      List.exists
-        (fun pid ->
-          Buffer_manager.resident buffer pid
-          || (Io_scheduler.is_pending sched pid
-             && (Io_scheduler.is_pending sched (pid - 1) || Io_scheduler.is_pending sched (pid + 1)))
-          || List.exists (fun (lo, hi) -> pid >= lo && pid <= hi) windows)
-        demand
+    match lane.stream with
+    | None -> false
+    | Some stream -> (
+      match Exec.stream_demand stream with
+      | [] -> false
+      | demand ->
+        let windows =
+          List.filter_map
+            (fun l ->
+              if l == lane then None else Option.bind l.stream Exec.stream_scan_window)
+            all
+        in
+        List.exists
+          (fun pid ->
+            Buffer_manager.resident buffer pid
+            || (Io_scheduler.is_pending sched pid
+               && (Io_scheduler.is_pending sched (pid - 1) || Io_scheduler.is_pending sched (pid + 1)))
+            || List.exists (fun (lo, hi) -> pid >= lo && pid <= hi) windows)
+          demand)
   in
 
   (* Serve one cost credit: run until the quantum's worth of simulated
@@ -191,34 +297,37 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
      resident advances no simulated time at all). *)
   let step_cap = 256 in
   let serve lane =
-    let start = now () in
-    let steps = ref 0 in
-    let running = ref true in
-    while !running do
-      let rnd0 = (Disk.stats disk).Disk.random_reads in
-      match Exec.stream_next lane.stream with
-      | None ->
-        finish lane Completed;
-        running := false
-      | Some info ->
-        incr steps;
-        if not (Node_id.Tbl.mem lane.seen info.Store.id) then begin
-          Node_id.Tbl.replace lane.seen info.Store.id ();
-          Vec.push lane.nodes info
-        end;
-        if (Disk.stats disk).Disk.random_reads > rnd0 then begin
-          lane.yields <- lane.yields + 1;
+    match lane.stream with
+    | None -> ()
+    | Some stream ->
+      let start = now () in
+      let steps = ref 0 in
+      let running = ref true in
+      while !running do
+        let rnd0 = (Disk.stats disk).Disk.random_reads in
+        match Exec.stream_next stream with
+        | None ->
+          finish lane Completed;
           running := false
-        end
-        else if now () -. start >= quantum || !steps >= step_cap then running := false
-      | exception Buffer_manager.Buffer_full ->
-        (* The pool is exhausted under contention (or this lane wedged
-           post-fallback). Unwind its async state and recompute the
-           answer with the Simple plan once everything has drained. *)
-        Exec.stream_abandon lane.stream;
-        finish lane Recovered;
-        running := false
-    done
+        | Some info ->
+          incr steps;
+          if not (Node_id.Tbl.mem lane.seen info.Store.id) then begin
+            Node_id.Tbl.replace lane.seen info.Store.id ();
+            Vec.push lane.nodes info
+          end;
+          if (Disk.stats disk).Disk.random_reads > rnd0 then begin
+            lane.yields <- lane.yields + 1;
+            running := false
+          end
+          else if now () -. start >= quantum || !steps >= step_cap then running := false
+        | exception Buffer_manager.Buffer_full ->
+          (* The pool is exhausted under contention (or this lane wedged
+             post-fallback). Unwind its async state and recompute the
+             answer with the Simple plan once everything has drained. *)
+          Exec.stream_abandon stream;
+          finish lane Recovered;
+          running := false
+      done
   in
 
   let rr = ref 0 in
@@ -230,9 +339,9 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
     let t = now () in
     List.iter
       (fun lane ->
-        match lane.spec.timeout with
-        | Some dt when t -. lane.started_at >= dt ->
-          Exec.stream_abandon lane.stream;
+        match (lane.spec.timeout, lane.stream) with
+        | Some dt, Some stream when t -. lane.started_at >= dt ->
+          Exec.stream_abandon stream;
           finish lane Timed_out
         | _ -> ())
       !active;
@@ -252,12 +361,17 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
           if b != head then b.boosts <- b.boosts + 1;
           b
       in
-      let c = (Exec.stream_ctx lane.stream).Context.counters in
-      c.Context.served_ticks <- c.Context.served_ticks + 1;
+      let credit l = l.ctx.Context.counters.Context.served_ticks <-
+        l.ctx.Context.counters.Context.served_ticks + 1
+      in
+      credit lane;
+      (* Fairness credits are charged to every sharer: a follower is
+         being served whenever its leader's scan advances. *)
+      List.iter credit lane.followers;
       List.iter
         (fun l ->
           if l != lane then begin
-            let c = (Exec.stream_ctx l.stream).Context.counters in
+            let c = l.ctx.Context.counters in
             c.Context.starved_ticks <- c.Context.starved_ticks + 1
           end)
         lanes;
@@ -266,7 +380,9 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
 
   (* The pool is quiescent now: recompute abandoned queries serially with
      the Simple plan (the paper's fallback answer path). The recompute's
-     simulated time is charged to the job's latency. *)
+     simulated time is charged to the job's latency. With the front door
+     on, a recovered leader's recompute installs its answer and its
+     recovered followers hit the cache immediately after. *)
   List.iter
     (fun lane ->
       if lane.status = Recovered then begin
@@ -296,9 +412,12 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
     if validate then
       List.iter
         (fun lane ->
-          List.iter
-            (fun msg -> fail "%s [%s]" msg lane.spec.label)
-            (Exec.stream_violations lane.stream))
+          match lane.stream with
+          | None -> ()
+          | Some stream ->
+            List.iter
+              (fun msg -> fail "%s [%s]" msg lane.spec.label)
+              (Exec.stream_violations stream))
         !finished;
     List.rev !v
   in
@@ -311,11 +430,13 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
   let to_job lane =
     let nodes =
       if lane.status = Timed_out then []
-      else if ordered then
-        Vec.sorted_to_list (fun (a : Store.info) b -> Ordpath.compare a.ordpath b.ordpath) lane.nodes
-      else Vec.to_list lane.nodes
+      else
+        match lane.sorted with
+        | Some ns -> ns
+        | None ->
+          if ordered then Vec.sorted_to_list doc_order lane.nodes else Vec.to_list lane.nodes
     in
-    let c = (Exec.stream_ctx lane.stream).Context.counters in
+    let c = lane.ctx.Context.counters in
     {
       job_label = lane.spec.label;
       client = lane.client;
@@ -331,11 +452,14 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
       starved_ticks = c.Context.starved_ticks;
       yields = lane.yields;
       boosts = lane.boosts;
-      fell_back = Exec.stream_fell_back lane.stream;
+      shared = c.Context.shared_demand > 0;
+      cache_hit = c.Context.cache_hits > 0;
+      fell_back = (match lane.stream with Some s -> Exec.stream_fell_back s | None -> false);
     }
   in
+  let jobs = List.rev_map to_job !finished in
   {
-    jobs = List.rev_map to_job !finished;
+    jobs;
     io_time;
     cpu_time;
     total_time = io_time +. cpu_time;
@@ -346,6 +470,12 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
     coalesce_runs = disk_after.Disk.coalesce_runs - disk_before.Disk.coalesce_runs;
     max_concurrent = !max_concurrent;
     turns = !turns;
+    shared_jobs = List.length (List.filter (fun j -> j.shared) jobs);
+    cache_hits = List.length (List.filter (fun j -> j.cache_hit) jobs);
+    cache_misses =
+      List.fold_left
+        (fun a lane -> a + lane.ctx.Context.counters.Context.cache_misses)
+        0 !finished;
     violations;
   }
 

@@ -40,6 +40,26 @@
     {!Xnav_storage.Buffer_manager.abort_async} and is recomputed serially
     once the pool is quiescent (status {!constructor:Recovered}).
 
+    {2 The repeat-traffic front door}
+
+    With {!Xnav_core.Context.config.result_cache} set the engine serves
+    repeated statements without re-executing them, at two levels.
+    {e Level 1}: admission consults the process-wide
+    {!Xnav_core.Result_cache} — a hit completes the job instantly (no
+    lane, no planning, no I/O), and every completed stream job installs
+    its answer for the next identical statement. {e Level 2}: if an
+    identical statement is already in flight, the new job's pending
+    cluster demand would duplicate work the pool is about to do anyway —
+    it attaches as a {e follower} of the in-flight {e leader} lane and
+    receives the leader's answer the instant the shared scan completes.
+    Followers pin nothing and bypass admission; fairness credits
+    ([served_ticks]) are charged to all sharers each time the leader is
+    served, and each deduped job reports
+    {!Xnav_core.Context.counters.shared_demand}. Jobs with a [timeout]
+    never share (a follower's fate is its leader's). With the knob off
+    (the default) both levels are inert and the engine reproduces the
+    historical execution byte for byte.
+
     {2 Clocks}
 
     All latencies ([submitted]/[started]/[finished], and the derived
@@ -83,6 +103,12 @@ type job = {
   starved_ticks : int;
   yields : int;  (** Turns this job ended early by triggering a random I/O. *)
   boosts : int;  (** Turns this job was served ahead of round-robin order. *)
+  shared : bool;
+      (** The job was deduped into another client's identical in-flight
+          scan (level 2) instead of executing its own. *)
+  cache_hit : bool;
+      (** The job was answered from the result cache at admission
+          (level 1) — it never held a lane slot. *)
   fell_back : bool;
 }
 
@@ -98,6 +124,11 @@ type result = {
   coalesce_runs : int;
   max_concurrent : int;  (** High-water mark of simultaneously admitted queries. *)
   turns : int;  (** Scheduling turns taken. *)
+  shared_jobs : int;  (** Jobs deduped into a leader's shared scan. *)
+  cache_hits : int;  (** Jobs answered from the result cache at admission. *)
+  cache_misses : int;
+      (** Completed stream jobs that installed their answer into the
+          cache (0 with the front door off). *)
   violations : string list;
       (** Invariant violations found by the end-of-run sweep (always
           checked; a non-empty list here is an engine bug). With

@@ -18,6 +18,9 @@ module Xpath_parser = Xnav_xpath.Xpath_parser
 module Plan = Xnav_core.Plan
 module Exec = Xnav_core.Exec
 module Context = Xnav_core.Context
+module Result_cache = Xnav_core.Result_cache
+module Update = Xnav_store.Update
+module Tag = Xnav_xml.Tag
 
 let check = Alcotest.check
 
@@ -398,6 +401,90 @@ let index_covering_reads_no_pages () =
   check Alcotest.int "no clusters pinned by the index" 0 r.Exec.metrics.Exec.index_clusters;
   check Alcotest.int "no pages read at all" 0 r.Exec.metrics.Exec.page_reads
 
+(* --- the result cache ----------------------------------------------------- *)
+
+(* The cache differential tier: every plan run cache-off, cache-on miss
+   and cache-on hit, plus the case's plans deduped through the workload
+   front door — identical answers throughout, and the miss run must not
+   perturb a single execution counter. *)
+let cache_differential_sample () =
+  let r = Differential.run_cache ~seed:Gen.test_seed ~cases:200 () in
+  check Alcotest.int "cases run" 200 r.Differential.cases_run;
+  let reproducers =
+    List.map (fun f -> Differential.reproducer f.Differential.shrunk) r.Differential.failures
+  in
+  check Alcotest.(list string) "cache-on and cache-off runs agree" [] reproducers
+
+let caching = { validating with Context.result_cache = true }
+
+(* Freshness: an insert bumps the store's mutation stamp, which must
+   stale the cached result — the next run recomputes (and sees the new
+   node), and only then does the key serve hits again. *)
+let insert_stales_cached_result () =
+  let tree = doc () in
+  let store, import =
+    build ~capacity:8 ~policy:Io_scheduler.Elevator ~replacement:Buffer_manager.Lru tree
+  in
+  let path = Xpath_parser.parse "/child::*/child::x" in
+  Result_cache.clear ();
+  Result_cache.reset_stats ();
+  let r1 = Exec.cold_run ~config:caching store path (Plan.xschedule ()) in
+  check id_list "first run matches the reference" (expected_ids tree import path) (got_ids r1);
+  check Alcotest.int "first run is a miss" 1 r1.Exec.metrics.Exec.cache_misses;
+  let r2 = Exec.cold_run ~config:caching store path (Plan.xschedule ()) in
+  check Alcotest.int "second run is a hit" 1 r2.Exec.metrics.Exec.cache_hits;
+  check Alcotest.int "the hit reads no pages" 0 r2.Exec.metrics.Exec.page_reads;
+  check id_list "the hit serves the cached answer" (got_ids r1) (got_ids r2);
+  let stamp = Store.mutation_stamp store in
+  let parent =
+    (List.hd (Exec.cold_run ~config:validating store (Xpath_parser.parse "/child::*") Plan.simple)
+       .Exec.nodes)
+      .Store.id
+  in
+  let fresh = Update.insert_element store ~parent (Tag.of_string "x") in
+  check Alcotest.bool "the insert advanced the mutation stamp" true
+    (Store.mutation_stamp store > stamp);
+  let r3 = Exec.cold_run ~config:caching store path (Plan.xschedule ()) in
+  check Alcotest.int "post-insert run is not served the stale answer" 0
+    r3.Exec.metrics.Exec.cache_hits;
+  check Alcotest.int "post-insert run recomputes" 1 r3.Exec.metrics.Exec.cache_misses;
+  check Alcotest.bool "the recomputation sees the inserted node" true
+    (List.exists (fun (i : Store.info) -> Node_id.equal i.Store.id fresh) r3.Exec.nodes);
+  check Alcotest.int "exactly one stale entry was dropped" 1 (Result_cache.stats ()).Result_cache.stales;
+  let r4 = Exec.cold_run ~config:caching store path (Plan.xschedule ()) in
+  check Alcotest.int "the fresh stamp serves hits again" 1 r4.Exec.metrics.Exec.cache_hits;
+  check id_list "the new hit equals the recomputed answer" (got_ids r3) (got_ids r4);
+  Result_cache.clear ()
+
+(* Bounded capacity, LRU order: at capacity 2, touching an entry saves
+   it and the least-recently-used one is evicted instead. *)
+let cache_evicts_least_recently_used () =
+  let tree = doc () in
+  let store, _ =
+    build ~capacity:4 ~policy:Io_scheduler.Elevator ~replacement:Buffer_manager.Lru tree
+  in
+  let saved = Result_cache.capacity () in
+  Result_cache.clear ();
+  Result_cache.reset_stats ();
+  Result_cache.set_capacity 2;
+  let resident key =
+    match Result_cache.find store key with
+    | Some _ -> true
+    | None -> false
+  in
+  check Alcotest.int "no eviction below capacity" 0 (Result_cache.add store "/a" ~count:0 []);
+  check Alcotest.int "no eviction at capacity" 0 (Result_cache.add store "/b" ~count:0 []);
+  check Alcotest.bool "touch /a to make it most recent" true (resident "/a");
+  check Alcotest.int "inserting over capacity evicts one entry" 1
+    (Result_cache.add store "/c" ~count:0 []);
+  check Alcotest.int "size stays at capacity" 2 (Result_cache.size ());
+  check Alcotest.bool "the touched entry survives" true (resident "/a");
+  check Alcotest.bool "the least-recently-used entry was evicted" false (resident "/b");
+  check Alcotest.bool "the new entry is resident" true (resident "/c");
+  Result_cache.set_capacity saved;
+  Result_cache.clear ();
+  Result_cache.reset_stats ()
+
 (* --- the fused chain automaton -------------------------------------------- *)
 
 (* The fused differential tier: every fused-capable plan with the
@@ -550,6 +637,14 @@ let suite =
         Alcotest.test_case "border-seeded residuals reproduce the reference answer" `Quick
           index_residual_borders;
         Alcotest.test_case "covering index reads no pages" `Quick index_covering_reads_no_pages;
+      ] );
+    ( "result cache",
+      [
+        Alcotest.test_case "200 sampled cases: cache on/off is observationally equal" `Slow
+          cache_differential_sample;
+        Alcotest.test_case "an insert stales the cached result" `Quick insert_stales_cached_result;
+        Alcotest.test_case "eviction is bounded and least-recently-used" `Quick
+          cache_evicts_least_recently_used;
       ] );
     ( "fused differential",
       [

@@ -108,6 +108,23 @@ let tests =
         check bool "stays in its range" true
           (List.for_all (fun pid -> pid >= i2.Import.first_page) (Disk.trace disk));
         ignore i1);
+    Alcotest.test_case "committed bench baseline carries the current schema tag" `Quick
+      (fun () ->
+        (* The schema string lives in one place (Bench_schema.version);
+           the committed baseline must have been regenerated against it,
+           or `bench --compare` gates against stale numbers. *)
+        let ic = open_in "../BENCH_results.json" in
+        let contents = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let needle = Printf.sprintf "%S" Xnav_core.Bench_schema.version in
+        let contains s sub =
+          let n = String.length s and m = String.length sub in
+          let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+          scan 0
+        in
+        check bool
+          (Printf.sprintf "baseline mentions %s" needle)
+          true (contains contents needle));
   ]
 
 let suite = [ ("misc", tests) ]
