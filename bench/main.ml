@@ -125,6 +125,10 @@ let zero_metrics =
     cache_misses = 0;
     cache_evictions = 0;
     shared_demand = 0;
+    writer_commits = 0;
+    latch_waits = 0;
+    snapshot_retries = 0;
+    cluster_stales = 0;
     fell_back = false;
   }
 
@@ -167,6 +171,10 @@ let add_metrics (a : Exec.metrics) (b : Exec.metrics) =
     cache_misses = a.Exec.cache_misses + b.Exec.cache_misses;
     cache_evictions = a.Exec.cache_evictions + b.Exec.cache_evictions;
     shared_demand = a.Exec.shared_demand + b.Exec.shared_demand;
+    writer_commits = a.Exec.writer_commits + b.Exec.writer_commits;
+    latch_waits = a.Exec.latch_waits + b.Exec.latch_waits;
+    snapshot_retries = a.Exec.snapshot_retries + b.Exec.snapshot_retries;
+    cluster_stales = a.Exec.cluster_stales + b.Exec.cluster_stales;
     fell_back = a.Exec.fell_back || b.Exec.fell_back;
   }
 
@@ -997,6 +1005,7 @@ let skew_mix ~clients ~per_client =
             path;
             plan = Plan.xschedule ~speculative:false ();
             timeout = None;
+            ops = [];
           }))
 
 type skew_summary = {
@@ -1235,13 +1244,16 @@ let workload_mix () =
             path;
             plan = Plan.xschedule ~speculative:false ();
             timeout = None;
+            ops = [];
           })
         q.Queries.paths)
     [ Queries.q6'; Queries.q7; Queries.q15 ]
 
-let workload_mode ~profile cfg ~clients out_file =
+let workload_mode ~profile cfg ~clients ?(writers = 0) out_file =
   section_header
-    (Printf.sprintf "concurrent workload — %d closed-loop clients over the q6'/q7/q15 mix" clients);
+    (Printf.sprintf "concurrent workload — %d closed-loop clients over the q6'/q7/q15 mix%s"
+       clients
+       (if writers > 0 then Printf.sprintf ", %d writer clients" writers else ""));
   let doc =
     Xmark.generate
       ~config:{ Xmark.default_config with Xmark.scale = 1.0; fidelity = cfg.fidelity }
@@ -1249,6 +1261,12 @@ let workload_mode ~profile cfg ~clients out_file =
   in
   let store, import = make_store cfg doc in
   let config = { Context.default_config with Context.validate = true } in
+  (* With writers, the front door rides along so the run exercises
+     cluster-granular invalidation (a commit stales only the cache
+     entries whose footprint it wrote). *)
+  let config_run =
+    if writers > 0 then { config with Context.result_cache = true } else config
+  in
   let mix = workload_mix () in
   (* Serial baseline: each job of the mix run alone, started cold. The
      concurrent run must beat [clients] independent serial passes, or the
@@ -1272,7 +1290,60 @@ let workload_mode ~profile cfg ~clients out_file =
     go k [] xs
   in
   let queues = Array.init clients (fun i -> rotate i mix) in
-  let r = Workload.run_clients ~config ~cold:true store queues in
+  (* Writer clients: deterministic in-place insert/delete schedules over
+     the imported NodeIDs (an LCG keeps the sample CI-stable). *)
+  let writer_specs =
+    if writers = 0 then []
+    else begin
+      let ids = import.Import.node_ids in
+      let n = Array.length ids in
+      let tags = Array.of_list (List.map fst (Store.tag_counts store)) in
+      let state = ref 0x5DEECE66D in
+      let rand bound =
+        state := ((!state * 25214903917) + 11) land 0x3FFFFFFFFFFF;
+        !state mod bound
+      in
+      List.init writers (fun w ->
+          let ops =
+            List.init
+              (4 + rand 4)
+              (fun _ ->
+                if n > 1 && rand 2 = 0 then Workload.Delete_subtree ids.(1 + rand (n - 1))
+                else
+                  Workload.Insert_child
+                    { parent = ids.(rand n); tag = tags.(rand (Array.length tags)) })
+          in
+          {
+            Workload.label = Printf.sprintf "writer.%d" w;
+            path = (List.hd mix).Workload.path;
+            plan = Plan.simple;
+            timeout = None;
+            ops;
+          })
+    end
+  in
+  let is_writer (j : Workload.job) =
+    List.exists (fun (s : Workload.spec) -> s.Workload.label = j.Workload.job_label) writer_specs
+  in
+  (* With writers, first measure the same reader mix without them (same
+     config, pristine store — writers only run afterwards) to bound the
+     latency cost the writer traffic may impose on readers. *)
+  let baseline_reader_p99 =
+    if writers = 0 then None
+    else begin
+      Result_cache.clear ();
+      let r0 = Workload.run_clients ~config:config_run ~cold:true store queues in
+      Result_cache.clear ();
+      Some
+        (Workload.percentile
+           (List.map (fun (j : Workload.job) -> j.Workload.latency) r0.Workload.jobs)
+           99.0)
+    end
+  in
+  let queues =
+    Array.append queues (Array.of_list (List.map (fun s -> [ s ]) writer_specs))
+  in
+  let r = Workload.run_clients ~config:config_run ~cold:true store queues in
   if r.Workload.violations <> [] then begin
     Printf.eprintf "bench --workload: invariant violations after the run:\n";
     List.iter (fun v -> Printf.eprintf "  %s\n" v) r.Workload.violations;
@@ -1284,10 +1355,33 @@ let workload_mode ~profile cfg ~clients out_file =
     exit 1
   end;
   let total_jobs = List.length r.Workload.jobs in
-  let expected_jobs = clients * List.length mix in
+  let expected_jobs = (clients * List.length mix) + writers in
   if total_jobs <> expected_jobs then begin
     Printf.eprintf "bench --workload: %d of %d jobs completed\n" total_jobs expected_jobs;
     exit 1
+  end;
+  (* Writer gates: the writers must actually commit, and reader tail
+     latency must stay within an order of magnitude of the writer-free
+     run — a livelocked latch or restart storm fails loudly here. *)
+  let reader_p99 =
+    Workload.percentile
+      (List.filter_map
+         (fun (j : Workload.job) -> if is_writer j then None else Some j.Workload.latency)
+         r.Workload.jobs)
+      99.0
+  in
+  if writers > 0 then begin
+    if r.Workload.writer_commits = 0 then begin
+      Printf.eprintf "bench --workload --writers: no writer op committed\n";
+      exit 1
+    end;
+    match baseline_reader_p99 with
+    | Some base when reader_p99 > (10.0 *. base) +. 1.0 ->
+      Printf.eprintf
+        "bench --workload --writers: reader p99 %.4fs blew past the writer-free baseline %.4fs\n"
+        reader_p99 base;
+      exit 1
+    | _ -> ()
   end;
   let read_budget = clients * serial_reads in
   if serial_reads > 0 && r.Workload.page_reads >= read_budget then begin
@@ -1318,6 +1412,13 @@ let workload_mode ~profile cfg ~clients out_file =
     (float_of_int read_budget /. float_of_int (max 1 r.Workload.page_reads));
   Printf.printf "coalescing: %d batched reads over %d pages in %d runs; %d yields, %d boosts\n"
     r.Workload.batched_reads r.Workload.batch_pages r.Workload.coalesce_runs yields boosts;
+  if writers > 0 then
+    Printf.printf
+      "writers: %d commits, %d latch waits, %d snapshot retries, %d cluster stales; reader p99 \
+       %.4fs (writer-free %.4fs)\n"
+      r.Workload.writer_commits r.Workload.latch_waits r.Workload.snapshot_retries
+      r.Workload.cluster_stales reader_p99
+      (Option.value baseline_reader_p99 ~default:0.0);
   let job_rows =
     List.map
       (fun (j : Workload.job) ->
@@ -1336,6 +1437,10 @@ let workload_mode ~profile cfg ~clients out_file =
             ("starved_ticks", string_of_int j.Workload.starved_ticks);
             ("yields", string_of_int j.Workload.yields);
             ("boosts", string_of_int j.Workload.boosts);
+            ("writer_commits", string_of_int j.Workload.writer_commits);
+            ("latch_waits", string_of_int j.Workload.latch_waits);
+            ("snapshot_retries", string_of_int j.Workload.snapshot_retries);
+            ("finish_commit", string_of_int j.Workload.finish_commit);
             ("fell_back", if j.Workload.fell_back then "true" else "false");
           ])
       r.Workload.jobs
@@ -1383,6 +1488,12 @@ let workload_mode ~profile cfg ~clients out_file =
               ("turns", string_of_int r.Workload.turns);
               ("yields", string_of_int yields);
               ("boosts", string_of_int boosts);
+              ("writers", string_of_int writers);
+              ("writer_commits", string_of_int r.Workload.writer_commits);
+              ("latch_waits", string_of_int r.Workload.latch_waits);
+              ("snapshot_retries", string_of_int r.Workload.snapshot_retries);
+              ("cluster_stales", string_of_int r.Workload.cluster_stales);
+              ("reader_p99", jfloat reader_p99);
             ] );
         ("jobs", jarr job_rows);
       ]
@@ -1873,10 +1984,20 @@ let () =
             Printf.eprintf "bench --clients: not a positive integer: %s\n" v;
             exit 1)
       in
+      let writers =
+        match find_value "--writers" args with
+        | None -> 0
+        | Some v -> (
+          match int_of_string_opt v with
+          | Some n when n >= 0 -> n
+          | _ ->
+            Printf.eprintf "bench --writers: not a non-negative integer: %s\n" v;
+            exit 1)
+      in
       let out_file = Option.value (find_value "--json" args) ~default:"bench-workload.json" in
       try
         if List.mem "--skew" args then skew_mode ~profile ~smoke cfg ~clients out_file
-        else workload_mode ~profile cfg ~clients out_file
+        else workload_mode ~profile cfg ~clients ~writers out_file
       with Malformed msg ->
         Printf.eprintf "bench --workload: malformed output: %s\n" msg;
         exit 1

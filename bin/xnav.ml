@@ -410,26 +410,82 @@ let check_cmd =
       & opt (some string) None
       & info [ "path" ] ~docv:"PATH" ~doc:"Location path of the replayed case.")
   in
+  let tier_arg =
+    Arg.(
+      value
+      & opt string "base"
+      & info [ "tier" ] ~docv:"TIER"
+          ~doc:
+            "Differential tier to sample: base, swizzle, batching, workload, writers, fused, \
+             cache, index, or all. Only meaningful in sampling mode (without $(b,--path)).")
+  in
+  let tiers_of = function
+    | "base" -> Some [ ("base", D.run) ]
+    | "swizzle" -> Some [ ("swizzle", D.run_swizzle) ]
+    | "batching" -> Some [ ("batching", D.run_batching) ]
+    | "workload" -> Some [ ("workload", D.run_workload) ]
+    | "writers" -> Some [ ("writers", D.run_writers) ]
+    | "fused" -> Some [ ("fused", D.run_fused) ]
+    | "cache" -> Some [ ("cache", D.run_cache) ]
+    | "index" -> Some [ ("index", D.run_index) ]
+    | "all" ->
+      Some
+        [
+          ("base", D.run);
+          ("swizzle", D.run_swizzle);
+          ("batching", D.run_batching);
+          ("workload", D.run_workload);
+          ("writers", D.run_writers);
+          ("fused", D.run_fused);
+          ("cache", D.run_cache);
+          ("index", D.run_index);
+        ]
+    | _ -> None
+  in
   let run cases seed doc_seed fidelity strategy page_size payload capacity policy replacement k
-      budget no_speculation path_str =
+      budget no_speculation tier path_str =
     match (path_str : string option) with
     | None ->
       (* Sampling mode. *)
-      let report = D.run ~seed ~cases ~log:print_endline () in
-      Printf.printf "checked %d cases (%d plan executions) against the reference evaluator\n"
-        report.D.cases_run report.D.plan_runs;
-      if report.D.failures = [] then print_endline "all plans agree; all invariants hold"
-      else begin
-        Printf.printf "%d FAILING case(s); minimal reproducers:\n"
-          (List.length report.D.failures);
-        List.iter
-          (fun f ->
-            Format.printf "@.%a@." D.pp_case f.D.shrunk;
-            List.iter (fun m -> Printf.printf "  [%s] %s\n" m.D.plan m.D.detail) f.D.mismatches;
-            Printf.printf "  %s\n" (D.reproducer f.D.shrunk))
-          report.D.failures;
-        exit 1
-      end
+      let tiers =
+        match tiers_of tier with
+        | Some ts -> ts
+        | None ->
+          Printf.eprintf "xnav check: unknown tier %S\n" tier;
+          exit 2
+      in
+      let failed = ref false in
+      List.iter
+        (fun
+          ( name,
+            (runner :
+              ?seed:int ->
+              ?cases:int ->
+              ?paths_per_store:int ->
+              ?log:(string -> unit) ->
+              unit ->
+              D.report) )
+        ->
+          let report = runner ~seed ~cases ~log:print_endline () in
+          Printf.printf "[%s] checked %d cases (%d plan executions)\n" name report.D.cases_run
+            report.D.plan_runs;
+          if report.D.failures = [] then
+            Printf.printf "[%s] all plans agree; all invariants hold\n" name
+          else begin
+            failed := true;
+            Printf.printf "[%s] %d FAILING case(s); minimal reproducers:\n" name
+              (List.length report.D.failures);
+            List.iter
+              (fun f ->
+                Format.printf "@.%a@." D.pp_case f.D.shrunk;
+                List.iter
+                  (fun m -> Printf.printf "  [%s] %s\n" m.D.plan m.D.detail)
+                  f.D.mismatches;
+                Printf.printf "  %s\n" (D.reproducer f.D.shrunk))
+              report.D.failures
+          end)
+        tiers;
+      if !failed then exit 1
     | Some path_str ->
       (* Reproducer mode: one fully specified case. *)
       let doc_seed = Option.value ~default:20050614 doc_seed in
@@ -460,7 +516,7 @@ let check_cmd =
           reference evaluator.")
     Term.(
       const run $ cases $ check_seed $ doc_seed $ check_fidelity $ strategy $ page_size $ payload
-      $ capacity $ policy $ replacement $ k_arg $ budget $ no_speculation $ path_opt)
+      $ capacity $ policy $ replacement $ k_arg $ budget $ no_speculation $ tier_arg $ path_opt)
 
 (* --- workload --------------------------------------------------------------------- *)
 
@@ -504,13 +560,26 @@ let workload_cmd =
       & opt float 0.004
       & info [ "quantum" ] ~docv:"SECONDS" ~doc:"Per-turn cost credit in simulated seconds.")
   in
-  let run paths clients rounds timeout plan quantum no_cache store =
+  let writers_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "writers" ] ~docv:"K"
+          ~doc:
+            "Writer clients applying sampled in-place inserts and deletes alongside the readers \
+             (cluster latches, snapshot reads, cluster-granular cache invalidation).")
+  in
+  let run paths clients rounds timeout plan quantum writers no_cache store =
     if clients < 1 || rounds < 1 then begin
       prerr_endline "xnav workload: --clients and --rounds must be positive";
       exit 2
     end;
+    if writers < 0 then begin
+      prerr_endline "xnav workload: --writers must be non-negative";
+      exit 2
+    end;
     let parsed = List.map (fun p -> (p, Xpath_parser.parse p)) paths in
-    let spec (label, path) = { Workload.label; path; plan; timeout } in
+    let spec (label, path) = { Workload.label; path; plan; timeout; ops = [] } in
     (* Clients start out of phase (each rotates the path list by its
        index) so every path sees contention from the others. *)
     let rotate k xs =
@@ -525,6 +594,54 @@ let workload_cmd =
     let queues =
       Array.init clients (fun i ->
           List.concat (List.init rounds (fun _ -> List.map spec (rotate i parsed))))
+    in
+    (* Writer clients: sampled in-place ops over the stored elements (a
+       fixed LCG keeps the schedule reproducible for a given store). *)
+    let queues =
+      if writers = 0 then queues
+      else begin
+        let elements =
+          (Exec.run ~ordered:false store (Xpath_parser.parse "//*") Plan.simple).Exec.nodes
+        in
+        let targets =
+          Array.of_list (List.map (fun (i : Store.info) -> i.Store.id) elements)
+        in
+        let parents =
+          if Array.length targets = 0 then [| Store.root store |] else targets
+        in
+        let tags = Array.of_list (List.map fst (Store.tag_counts store)) in
+        let state = ref 0x5DEECE66D in
+        let rand b =
+          state := ((!state * 25214903917) + 11) land 0x3FFFFFFFFFFF;
+          !state mod b
+        in
+        let writer_queues =
+          Array.init writers (fun w ->
+              let ops =
+                List.init
+                  (2 + rand 3)
+                  (fun _ ->
+                    if Array.length targets > 0 && rand 2 = 0 then
+                      Workload.Delete_subtree targets.(rand (Array.length targets))
+                    else
+                      Workload.Insert_child
+                        {
+                          parent = parents.(rand (Array.length parents));
+                          tag = tags.(rand (Array.length tags));
+                        })
+              in
+              [
+                {
+                  Workload.label = Printf.sprintf "writer.%d" w;
+                  path = snd (List.hd parsed);
+                  plan;
+                  timeout = None;
+                  ops;
+                };
+              ])
+        in
+        Array.append queues writer_queues
+      end
     in
     let config = Context.set_result_cache (not no_cache) Context.default_config in
     let r = Workload.run_clients ~config ~quantum ~cold:true store queues in
@@ -550,6 +667,12 @@ let workload_cmd =
     Printf.printf "front door: %s — %d cache hits, %d installs, %d shared scans\n"
       (if no_cache then "off" else "on")
       r.Workload.cache_hits r.Workload.cache_misses r.Workload.shared_jobs;
+    if writers > 0 then
+      Printf.printf
+        "writers: %d clients — %d commits, %d latch waits, %d snapshot retries, %d cluster \
+         stales\n"
+        writers r.Workload.writer_commits r.Workload.latch_waits r.Workload.snapshot_retries
+        r.Workload.cluster_stales;
     Printf.printf "fairness per path:\n";
     Printf.printf "  %-28s %5s %9s %9s %7s %8s %7s %7s\n" "path" "jobs" "mean-lat" "pin-wait"
       "served" "starved" "yields" "boosts";
@@ -582,7 +705,7 @@ let workload_cmd =
           latency percentiles and fairness counters.")
     Term.(
       const run $ paths_arg $ clients_arg $ rounds_arg $ timeout_arg $ wplan $ quantum_arg
-      $ no_cache_flag $ common_store_term)
+      $ writers_arg $ no_cache_flag $ common_store_term)
 
 (* --- export ----------------------------------------------------------------------- *)
 

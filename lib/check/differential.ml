@@ -14,6 +14,7 @@ module Exec = Xnav_core.Exec
 module Multi = Xnav_core.Multi
 module Interleave = Xnav_core.Interleave
 module Workload = Xnav_workload.Workload
+module Update = Xnav_store.Update
 module Context = Xnav_core.Context
 module Result_cache = Xnav_core.Result_cache
 module Xmark_gen = Xnav_xmark.Gen
@@ -361,7 +362,8 @@ let check_workload_built ~store case =
   in
   let specs =
     List.map
-      (fun (name, plan) -> { Workload.label = name; path = case.path; plan; timeout = None })
+      (fun (name, plan) ->
+        { Workload.label = name; path = case.path; plan; timeout = None; ops = [] })
       plans
   in
   (match Workload.run ~config ~cold:true store specs with
@@ -392,6 +394,140 @@ let check_workload_case case =
   let doc = cached_document ~doc_seed:case.doc_seed ~fidelity:case.fidelity in
   let store, _import = build_store ~doc case.physical in
   check_workload_built ~store case
+
+(* --- writers tier --------------------------------------------------------- *)
+
+(* Concurrent reads and in-place writes must equal a serial replay of the
+   same commit schedule. The engine reports each reader's [finish_commit]
+   (how many writer ops had committed when it finished) and the
+   [commit_log] (the committed ops in serial order); on a twin store —
+   the deterministic import gives it identical physical NodeIDs — we
+   apply the log prefix up to each reader's finish point and evaluate its
+   statement serially. The snapshot rule makes the reader's concurrent
+   answer exactly that serial answer; after the full log, both stores
+   must hold the identical document (id/tag/ordpath fingerprint). *)
+let everything = [ Path.step Axis.Descendant_or_self Path.Any_node ]
+
+let fingerprint ~config store =
+  (Exec.run ~config ~ordered:true store everything Plan.simple).Exec.nodes
+  |> List.map (fun (i : Store.info) -> (i.Store.id, i.Store.tag, i.Store.ordpath))
+
+let fingerprint_equal a b =
+  List.equal
+    (fun (ida, ta, oa) (idb, tb, ob) ->
+      Node_id.equal ida idb && Tag.equal ta tb && Xnav_xml.Ordpath.compare oa ob = 0)
+    a b
+
+let apply_op store = function
+  | Workload.Insert_child { parent; tag } -> ignore (Update.insert_element store ~parent tag)
+  | Workload.Delete_subtree victim -> ignore (Update.delete_subtree store victim)
+
+let sample_ops prng (import : Import.result) tags =
+  let ids = import.Import.node_ids in
+  let n = Array.length ids in
+  let count = 2 + Prng.int prng 3 in
+  List.init count (fun _ ->
+      if n <= 1 || Prng.bool prng then
+        Workload.Insert_child { parent = ids.(Prng.int prng n); tag = Prng.pick prng tags }
+      else Workload.Delete_subtree ids.(1 + Prng.int prng (n - 1)))
+
+let check_writers_built ~doc ~import case =
+  (* Writers mutate the store, so this tier never touches the batch's
+     shared one: the concurrent run and the serial replay each get a
+     fresh, identically-imported twin. *)
+  let store, _ = build_store ~doc case.physical in
+  let twin, _ = build_store ~doc case.physical in
+  let config = context_config case in
+  let mismatches = ref [] in
+  let record plan detail = mismatches := { plan; detail } :: !mismatches in
+  let tags = Array.of_list (List.map fst (Store.tag_counts store)) in
+  (* Ops are a pure function of the case (not of global sampling state),
+     so a shrunk case replays the same schedule. *)
+  let prng =
+    Prng.create (case.doc_seed lxor (31 * List.length case.path) lxor (997 * case.k))
+  in
+  let writers =
+    List.init
+      (1 + Prng.int prng 2)
+      (fun i ->
+        {
+          Workload.label = Printf.sprintf "writer-%d" i;
+          path = case.path;
+          plan = Plan.simple;
+          timeout = None;
+          ops = sample_ops prng import tags;
+        })
+  in
+  let readers =
+    List.map
+      (fun (name, plan) ->
+        { Workload.label = name; path = case.path; plan; timeout = None; ops = [] })
+      (plans_for case)
+  in
+  let clients = Array.of_list (List.map (fun s -> [ s ]) (readers @ writers)) in
+  (match Workload.run_clients ~config ~cold:true store clients with
+  | r ->
+    List.iter (fun msg -> record "writers" msg) r.Workload.violations;
+    (match storage_clean store with
+    | None -> ()
+    | Some msg -> record "writers" msg);
+    (* Serial replay: walk the readers in finish order, applying the
+       commit log up to each one's finish point before evaluating. *)
+    let applied = ref 0 in
+    let log = ref r.Workload.commit_log in
+    let advance_to k =
+      while !applied < k do
+        (match !log with
+        | op :: rest ->
+          log := rest;
+          apply_op twin op
+        | [] -> failwith "commit log shorter than a finish_commit point");
+        incr applied
+      done
+    in
+    let reader_jobs =
+      List.filter
+        (fun (j : Workload.job) ->
+          not
+            (List.exists
+               (fun (w : Workload.spec) -> w.Workload.label = j.Workload.job_label)
+               writers))
+        r.Workload.jobs
+    in
+    List.iter
+      (fun (j : Workload.job) ->
+        match advance_to j.Workload.finish_commit with
+        | () ->
+          let expected =
+            ids_of (Exec.run ~config ~ordered:false twin case.path Plan.simple).Exec.nodes
+          in
+          let got = ids_of j.Workload.nodes in
+          if got <> expected then
+            record j.Workload.job_label
+              (Format.asprintf
+                 "serial replay at commit %d: %d nodes %a, concurrent (%s): %d nodes %a"
+                 j.Workload.finish_commit (List.length expected) pp_ids expected
+                 (Workload.status_to_string j.Workload.status)
+                 (List.length got) pp_ids got)
+        | exception e ->
+          record j.Workload.job_label
+            (Printf.sprintf "replay raised %s" (Printexc.to_string e)))
+      (List.sort
+         (fun (a : Workload.job) b -> compare a.Workload.finish_commit b.Workload.finish_commit)
+         reader_jobs);
+    (* Drain the rest of the log and compare the final documents. *)
+    (match advance_to r.Workload.writer_commits with
+    | () ->
+      if not (fingerprint_equal (fingerprint ~config store) (fingerprint ~config twin)) then
+        record "writers" "final documents diverge between the concurrent store and the replay"
+    | exception e -> record "writers" (Printf.sprintf "final replay raised %s" (Printexc.to_string e)))
+  | exception e -> record "writers" (Printf.sprintf "raised %s" (Printexc.to_string e)));
+  List.rev !mismatches
+
+let check_writers_case case =
+  let doc = cached_document ~doc_seed:case.doc_seed ~fidelity:case.fidelity in
+  let _, import = build_store ~doc case.physical in
+  check_writers_built ~doc ~import case
 
 (* --- index tier ----------------------------------------------------------- *)
 
@@ -613,7 +749,8 @@ let check_cache_built ~store case =
   in
   let specs =
     List.map
-      (fun (name, plan) -> { Workload.label = name; path = case.path; plan; timeout = None })
+      (fun (name, plan) ->
+        { Workload.label = name; path = case.path; plan; timeout = None; ops = [] })
       plans
   in
   Result_cache.clear ();
@@ -805,6 +942,12 @@ let run_workload ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(
     ~check_one:(fun ~doc:_ ~store ~import:_ case -> check_workload_built ~store case)
     ~runs_of:(fun case -> 2 * List.length (plans_for case))
     ~shrink_check:check_workload_case ~seed ~cases ~paths_per_store ~log
+
+let run_writers ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(log = ignore) () =
+  run_tier
+    ~check_one:(fun ~doc ~store:_ ~import case -> check_writers_built ~doc ~import case)
+    ~runs_of:(fun case -> (2 * List.length (plans_for case)) + 2)
+    ~shrink_check:check_writers_case ~seed ~cases ~paths_per_store ~log
 
 let run_fused ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(log = ignore) () =
   run_tier

@@ -164,6 +164,23 @@ val run_workload :
     comparison to every sampled case (two executions per plan: one
     serial, one through the workload engine). *)
 
+val run_writers :
+  ?seed:int ->
+  ?cases:int ->
+  ?paths_per_store:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  report
+(** Like {!run} but mixing writer jobs into the workload: every plan of
+    the case runs concurrently with one or two writer clients applying
+    sampled in-place inserts and deletes through the engine's
+    latch/snapshot protocol. Each reader's concurrent answer must equal
+    a serial replay of the committed-op schedule up to the reader's
+    finish point on an identically-imported twin store, the final
+    documents must match, and the run must report zero invariant
+    violations and leave the storage layer clean. Stores are built fresh
+    per case (writes would leak across the batch's shared store). *)
+
 val run_fused :
   ?seed:int ->
   ?cases:int ->

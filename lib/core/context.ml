@@ -70,6 +70,10 @@ type counters = {
   mutable cache_misses : int;
   mutable cache_evictions : int;
   mutable shared_demand : int;
+  mutable writer_commits : int;
+  mutable latch_waits : int;
+  mutable snapshot_retries : int;
+  mutable cluster_stales : int;
 }
 
 type t = {
@@ -118,6 +122,10 @@ let create ?(config = default_config) store =
         cache_misses = 0;
         cache_evictions = 0;
         shared_demand = 0;
+        writer_commits = 0;
+        latch_waits = 0;
+        snapshot_retries = 0;
+        cluster_stales = 0;
       };
   }
 

@@ -147,6 +147,22 @@ type counters = {
       (** Workload-only: jobs whose pending cluster demand was deduped
           into another client's identical in-flight scan instead of
           evaluating independently. Always 0 for stand-alone runs. *)
+  mutable writer_commits : int;
+      (** Workload-only: update operations this writer job committed
+          (inserts/deletes applied to the store). Always 0 for read
+          jobs and stand-alone runs. *)
+  mutable latch_waits : int;
+      (** Workload-only: scheduler turns a writer job spent waiting for
+          another writer's cluster latch. Always 0 for read jobs. *)
+  mutable snapshot_retries : int;
+      (** Workload-only: times a reader's in-flight stream was abandoned
+          and restarted because a writer committed into a cluster the
+          stream had already observed (the snapshot rule). Always 0 for
+          stand-alone runs. *)
+  mutable cluster_stales : int;
+      (** Workload-only: result-cache entries proactively dropped by
+          this writer's commits because their cluster footprint
+          intersected the write set. Always 0 for read jobs. *)
 }
 
 type t = {

@@ -43,6 +43,10 @@ type metrics = {
   cache_misses : int;
   cache_evictions : int;
   shared_demand : int;
+  writer_commits : int;
+  latch_waits : int;
+  snapshot_retries : int;
+  cluster_stales : int;
   fell_back : bool;
 }
 
@@ -100,8 +104,7 @@ let pipeline ctx store path plan contexts =
       (Xassembly.create ctx ~path_len ~xschedule:None ~dslash top, None, Some scan, None)
     | Plan.Io_index { resolve } ->
       let can_index =
-        Store.stats_fresh store
-        && Option.is_some (Store.partition store)
+        Xindex.usable store ~path ~resolve
         && match contexts with [ c ] -> Node_id.equal c (Store.root store) | _ -> false
       in
       if can_index then begin
@@ -198,11 +201,23 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
           cache_misses = 0;
           cache_evictions = 0;
           shared_demand = 0;
+          writer_commits = 0;
+          latch_waits = 0;
+          snapshot_retries = 0;
+          cluster_stales = 0;
           fell_back = false;
         };
     }
   | None ->
 
+  (* While a cacheable run executes, record the clusters it reads: the
+     footprint makes the installed entry survive writes to other
+     clusters (see {!Result_cache}). The log nests — the previous one
+     (a workload lane's, typically) is restored afterwards. *)
+  let touched =
+    match cache_key with Some _ -> Some (Hashtbl.create 32) | None -> None
+  in
+  let saved_log = match touched with Some _ -> Store.swap_touch_log store touched | None -> None in
   let next, xschedule, xscan, xindex = pipeline ctx store path plan contexts in
   let out = Vec.create () in
   let drain next =
@@ -233,6 +248,7 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
       drain (let p, _, _, _ = pipeline ctx store path Plan.simple contexts in p);
       true
   in
+  (match touched with Some _ -> ignore (Store.swap_touch_log store saved_log) | None -> ());
 
   let cpu_time = Sys.time () -. cpu_before in
   let io_time = Disk.elapsed disk -. io_before in
@@ -274,7 +290,22 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
       else
         List.sort (fun (a : Store.info) b -> Ordpath.compare a.ordpath b.ordpath) nodes
     in
-    c.Context.cache_evictions <- Result_cache.add store key ~count sorted);
+    (* Index-seeded runs derive their seeds from the partition, not from
+       page reads, so no touch-log footprint can cover a write that
+       would change them — install those entries footprint-less (staled
+       by any mutation, the conservative pre-footprint rule). *)
+    let clusters =
+      if c.Context.index_entries > 0 then None
+      else
+        Option.map
+          (fun tbl ->
+            let pids = Hashtbl.fold (fun pid () acc -> pid :: acc) tbl [] in
+            let a = Array.of_list pids in
+            Array.sort compare a;
+            a)
+          touched
+    in
+    c.Context.cache_evictions <- Result_cache.add ?clusters store key ~count sorted);
 
   if config.Context.validate then begin
     (* Result conservation only applies when XAssembly produced the
@@ -329,6 +360,10 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
         cache_misses = c.Context.cache_misses;
         cache_evictions = c.Context.cache_evictions;
         shared_demand = c.Context.shared_demand;
+        writer_commits = c.Context.writer_commits;
+        latch_waits = c.Context.latch_waits;
+        snapshot_retries = c.Context.snapshot_retries;
+        cluster_stales = c.Context.cluster_stales;
         fell_back = Context.fallback ctx;
       };
   }
@@ -401,6 +436,7 @@ let pp_metrics ppf m =
      index: entries %d clusters %d residuals %d@,\
      fused: transitions %d states %d@,\
      cache: hits %d misses %d evictions %d shared %d@,\
+     writers: commits %d latch-waits %d retries %d stales %d@,\
      swizzle: hits %d misses %d (%.0f%% hit rate)@,\
      clusters visited %d%s@]"
     m.total_time m.io_time m.cpu_time m.page_reads m.sequential_reads m.random_reads
@@ -409,7 +445,8 @@ let pp_metrics ppf m =
     m.crossings m.specs_created m.specs_stored m.specs_resolved m.s_peak m.q_peak
     m.q_enqueued m.q_served m.index_entries m.index_clusters m.index_residuals
     m.fused_transitions m.fused_states m.cache_hits m.cache_misses m.cache_evictions
-    m.shared_demand m.swizzle_hits
+    m.shared_demand m.writer_commits m.latch_waits m.snapshot_retries m.cluster_stales
+    m.swizzle_hits
     m.swizzle_misses
     (100. *. swizzle_hit_rate m)
     m.clusters_visited

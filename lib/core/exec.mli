@@ -55,6 +55,20 @@ type metrics = {
   shared_demand : int;
       (** Workload-only: 1 when this job was deduped into another
           client's identical in-flight scan. 0 for stand-alone runs. *)
+  writer_commits : int;
+      (** Workload-only: update operations a writer job committed. 0 for
+          read jobs and stand-alone runs. *)
+  latch_waits : int;
+      (** Workload-only: turns a writer spent blocked on another
+          writer's cluster latch. 0 for read jobs. *)
+  snapshot_retries : int;
+      (** Workload-only: reader stream restarts forced by a writer
+          committing into an already-observed cluster. 0 for
+          stand-alone runs. *)
+  cluster_stales : int;
+      (** Workload-only: result-cache entries a writer's commits
+          proactively dropped (footprint intersected the write set). 0
+          for read jobs. *)
   fell_back : bool;
 }
 

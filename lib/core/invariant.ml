@@ -75,6 +75,10 @@ let post_run ?xschedule ?xindex ?results ctx =
       ("cache_misses", c.Context.cache_misses);
       ("cache_evictions", c.Context.cache_evictions);
       ("shared_demand", c.Context.shared_demand);
+      ("writer_commits", c.Context.writer_commits);
+      ("latch_waits", c.Context.latch_waits);
+      ("snapshot_retries", c.Context.snapshot_retries);
+      ("cluster_stales", c.Context.cluster_stales);
     ]
   in
   List.iter (fun (name, v) -> if v < 0 then fail "counter %s is negative (%d)" name v) non_negative;
@@ -139,6 +143,16 @@ let post_run ?xschedule ?xindex ?results ctx =
   if c.Context.cache_hits > 0 && c.Context.clusters_visited + c.Context.instances > 0 then
     fail "cache: a hit (%d) coexists with executed work (%d clusters, %d instances)"
       c.Context.cache_hits c.Context.clusters_visited c.Context.instances;
+  (* Writer accounting: cluster-granular cache invalidation only happens
+     at a writer's commit, and a writer context never serves cached
+     reads (writer jobs bypass the front door entirely). latch_waits
+     with zero commits stays legal: a writer can wait and then skip
+     every op whose target a concurrent delete removed. *)
+  if c.Context.cluster_stales > 0 && c.Context.writer_commits = 0 then
+    fail "writers: %d cluster stales recorded without any commit" c.Context.cluster_stales;
+  if c.Context.writer_commits > 0 && c.Context.cache_hits + c.Context.cache_misses > 0 then
+    fail "writers: a writer context (%d commits) also served cached reads (%d hits, %d misses)"
+      c.Context.writer_commits c.Context.cache_hits c.Context.cache_misses;
 
   (* Result conservation (reordered plans): XAssembly's result set is
      duplicate-free, so the plan's final answer must have exactly

@@ -13,6 +13,12 @@ type entry = {
   mutable stamp : int;
   mutable nodes : Store.info list;  (* distinct, document order *)
   mutable count : int;
+  mutable clusters : int array option;
+      (* cluster footprint the answer was computed from: the entry stays
+         valid across mutations that touch none of these pids. [None] =
+         unknown footprint, staled by any mutation (the pre-footprint
+         behaviour, and the only sound choice for index-seeded runs
+         whose answers were not derived from page reads). *)
   mutable prev : entry;
   mutable next : entry;
 }
@@ -30,7 +36,15 @@ let evictions_ref = ref 0
 let stales_ref = ref 0
 
 let rec sentinel =
-  { key = (-1, ""); stamp = -1; nodes = []; count = 0; prev = sentinel; next = sentinel }
+  {
+    key = (-1, "");
+    stamp = -1;
+    nodes = [];
+    count = 0;
+    clusters = None;
+    prev = sentinel;
+    next = sentinel;
+  }
 
 let unlink e =
   e.prev.next <- e.next;
@@ -59,13 +73,28 @@ let rec trim evicted =
 let capacity () = !capacity_ref
 
 let set_capacity n =
-  if n < 0 then invalid_arg "Result_cache.set_capacity";
-  capacity_ref := n;
+  (* Clamp instead of raising: 0 (and anything below) means disabled. *)
+  capacity_ref := max 0 n;
   ignore (trim 0)
 
 let size () = !size_ref
 let nodes e = e.nodes
 let count e = e.count
+
+(* Whether the entry's answer still describes the store. With a cluster
+   footprint, only mutations that touched one of the footprint's pids
+   invalidate; without one, any mutation does. *)
+let still_valid store e =
+  let current = Store.mutation_stamp store in
+  e.stamp = current
+  ||
+  match e.clusters with
+  | None -> false
+  | Some pids ->
+    let ok = not (Array.exists (fun pid -> Store.page_stamp store pid > e.stamp) pids) in
+    (* Fast-forward so the cheap equality check covers later lookups. *)
+    if ok then e.stamp <- current;
+    ok
 
 let find store path =
   match Hashtbl.find_opt table (Store.uid store, path) with
@@ -73,9 +102,9 @@ let find store path =
     incr misses_ref;
     None
   | Some e ->
-    if e.stamp <> Store.mutation_stamp store then begin
-      (* The store mutated since this answer was computed; the entry can
-         never become valid again (stamps only grow), so drop it now. *)
+    if not (still_valid store e) then begin
+      (* A mutation touched the entry's footprint; the entry can never
+         become valid again (stamps only grow), so drop it now. *)
       drop e;
       incr stales_ref;
       incr misses_ref;
@@ -88,7 +117,7 @@ let find store path =
       Some e
     end
 
-let add store path ~count:n nodes =
+let add ?clusters store path ~count:n nodes =
   if !capacity_ref = 0 then 0
   else begin
     let key = (Store.uid store, path) in
@@ -98,15 +127,51 @@ let add store path ~count:n nodes =
       e.stamp <- stamp;
       e.nodes <- nodes;
       e.count <- n;
+      e.clusters <- clusters;
       unlink e;
       push_front e;
       0
     | None ->
-      let e = { key; stamp; nodes; count = n; prev = sentinel; next = sentinel } in
+      let e =
+        { key; stamp; nodes; count = n; clusters; prev = sentinel; next = sentinel }
+      in
       Hashtbl.replace table key e;
       incr size_ref;
       push_front e;
       trim 0
+  end
+
+(* Proactive cluster-granular invalidation: drop this store's entries
+   whose footprint intersects [touched] (entries without a footprint are
+   staled by any write). Writer jobs call this at commit so the
+   [cluster_stales] counter reports exactly how much cached state one
+   update killed — the lazy {!find}-time check would drop the same
+   entries eventually. *)
+let stale_clusters store touched =
+  if Array.length touched = 0 then 0
+  else begin
+    let uid = Store.uid store in
+    let victims = ref [] in
+    let cursor = ref sentinel.next in
+    while !cursor != sentinel do
+      let e = !cursor in
+      cursor := e.next;
+      if fst e.key = uid then begin
+        let hit =
+          match e.clusters with
+          | None -> true
+          | Some pids ->
+            Array.exists (fun pid -> Array.exists (fun t -> t = pid) touched) pids
+        in
+        if hit then victims := e :: !victims
+      end
+    done;
+    List.iter
+      (fun e ->
+        drop e;
+        incr stales_ref)
+      !victims;
+    List.length !victims
   end
 
 let clear () =

@@ -4,11 +4,18 @@
     paper's engine re-plans and re-navigates each one from scratch. This
     module memoizes the final answer of a root-context location-path
     run, keyed on the {e normalized path text} and validated against the
-    store's {!Xnav_store.Store.mutation_stamp} — the same freshness
-    discipline that stales the path partition, so an
-    {!Xnav_store.Update.insert} invisibly invalidates every affected
-    entry without any write-side bookkeeping beyond the existing
-    [note_mutation].
+    store's mutation stamps. Validation is {e cluster-granular}: entries
+    installed with a cluster footprint (the set of pids the run read —
+    see {!add}) survive writes to other clusters and are only staled
+    when a mutation touches a footprint pid
+    ({!Xnav_store.Store.page_stamp}); entries without a footprint fall
+    back to the store-global stamp and are staled by any mutation. This
+    is sound for navigation-derived answers because any structural
+    change that alters a query's answer writes at least one cluster the
+    run read (splices write the anchor's cluster, deletes write every
+    removed record's cluster); runs seeded from the path partition read
+    no pages for their seeds, so they must be installed {e without} a
+    footprint.
 
     The cache is process-wide and bounded: entries from different
     stores are disambiguated by {!Xnav_store.Store.uid}, least-recently
@@ -34,22 +41,41 @@ val count : entry -> int
 
 val find : Xnav_store.Store.t -> string -> entry option
 (** [find store path] looks up the answer for normalized [path] text.
-    A stale entry (computed under an older mutation stamp) is dropped
-    and reported as a miss — stamps only grow, so it could never become
-    valid again. A hit moves the entry to the MRU position. *)
+    A stale entry (a mutation touched its cluster footprint — or, for
+    footprint-less entries, any mutation) is dropped and reported as a
+    miss — stamps only grow, so it could never become valid again. A
+    valid hit moves the entry to the MRU position. *)
 
-val add : Xnav_store.Store.t -> string -> count:int -> Xnav_store.Store.info list -> int
-(** [add store path ~count nodes] installs (or refreshes) the answer
-    under the store's current mutation stamp and returns the number of
-    LRU evictions that made room (0 or 1 in steady state; a no-op
-    returning 0 when {!capacity} is 0). [nodes] must be distinct and in
-    document order. *)
+val add :
+  ?clusters:int array ->
+  Xnav_store.Store.t ->
+  string ->
+  count:int ->
+  Xnav_store.Store.info list ->
+  int
+(** [add ?clusters store path ~count nodes] installs (or refreshes) the
+    answer under the store's current mutation stamp and returns the
+    number of LRU evictions that made room (0 or 1 in steady state; a
+    no-op returning 0 when {!capacity} is 0). [nodes] must be distinct
+    and in document order. [clusters], when given, is the complete set
+    of pids the run read — the entry then survives writes to other
+    clusters. Omit it for answers not derived purely from page reads
+    (index-seeded runs). *)
+
+val stale_clusters : Xnav_store.Store.t -> int array -> int
+(** [stale_clusters store touched] proactively drops this store's
+    entries whose footprint intersects the [touched] pids (plus its
+    footprint-less entries), returning how many were dropped (each also
+    counted in [stats.stales]). Writer commits call this so
+    invalidation cost is observable per update; skipping it is safe —
+    {!find} performs the same check lazily. *)
 
 val capacity : unit -> int
 
 val set_capacity : int -> unit
 (** Bound the entry count (default 256), evicting LRU entries if the
-    cache currently exceeds it. [0] disables insertion entirely. *)
+    cache currently exceeds it. [0] disables insertion entirely;
+    negative values are clamped to [0]. *)
 
 val size : unit -> int
 

@@ -31,21 +31,43 @@ type t = {
   mutable restarted : bool;
 }
 
+(* Resolution depth and the partition classes matching the resolved
+   prefix — shared by {!create} and {!usable}. The summary resolves
+   self/child prefixes exactly; a descendant step ends exact resolution
+   (its matches sit at arbitrary depths), so cap any requested depth
+   there and leave the rest to the XStep tail. *)
+let plan_classes partition ~path ~resolve =
+  let exact = Path.indexable_prefix path in
+  let resolved = match resolve with None -> exact | Some k -> max 0 (min k exact) in
+  let prefix = Path.prefix path resolved in
+  (resolved, prefix, Path_partition.select partition ~matches:(Path.matches_sequence prefix))
+
+(* Whether the partition may seed this query: every class the resolved
+   prefix selects must still describe the store (no mutation touched its
+   entry clusters, no insert added a member), and no inserted node with
+   a tag sequence the import never saw may match the prefix (such nodes
+   belong to no class, so the entry lists cannot cover them). Fresh
+   stores are always usable; after updates, exactly the untouched query
+   shapes stay index-served. *)
+let usable store ~path ~resolve =
+  match Store.partition store with
+  | None -> false
+  | Some partition ->
+    Store.stats_fresh store
+    ||
+    let _, prefix, classes = plan_classes partition ~path ~resolve in
+    List.for_all (fun c -> Store.class_fresh store c) classes
+    && not (List.exists (Path.matches_sequence prefix) (Store.novel_sequences store))
+
 let create ctx ~path ~resolve ~contexts =
   let store = ctx.Context.store in
   let partition =
     match Store.partition store with
-    | Some p when Store.stats_fresh store -> p
+    | Some p when usable store ~path ~resolve -> p
     | Some _ | None -> invalid_arg "Xindex: store has no fresh path partition"
   in
   let path_len = Path.length path in
-  (* The summary resolves self/child prefixes exactly; a descendant step
-     ends exact resolution (its matches sit at arbitrary depths), so cap
-     any requested depth there and leave the rest to the XStep tail. *)
-  let exact = Path.indexable_prefix path in
-  let resolved = match resolve with None -> exact | Some k -> max 0 (min k exact) in
-  let prefix = Path.prefix path resolved in
-  let classes = Path_partition.select partition ~matches:(Path.matches_sequence prefix) in
+  let resolved, _prefix, classes = plan_classes partition ~path ~resolve in
   let covering, entries =
     if resolved = path_len then
       ( classes

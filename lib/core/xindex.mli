@@ -24,13 +24,24 @@
       cluster ride along with the seed visit, so no cluster is pinned
       twice on their account.
 
-    The operator requires a {e fresh} partition
-    ({!Xnav_store.Store.stats_fresh}); {!Exec} degrades an index plan to
-    the XSchedule shape when the partition is missing or stale. In
-    fallback mode it mirrors {!Xscan}: restart the contexts and act as
-    the identity while the border-transparent chain recomputes. *)
+    The operator requires the partition classes the query's prefix
+    selects to be {e fresh} (see {!usable}); {!Exec} degrades an index
+    plan to the XSchedule shape when the partition is missing or those
+    classes are stale. In fallback mode it mirrors {!Xscan}: restart the
+    contexts and act as the identity while the border-transparent chain
+    recomputes. *)
 
 type t
+
+val usable : Xnav_store.Store.t -> path:Xnav_xpath.Path.t -> resolve:int option -> bool
+(** Whether the partition may seed this query. Freshness is
+    class-granular: every class the resolved prefix selects must be
+    fresh ({!Xnav_store.Store.class_fresh} — no mutation touched its
+    entry clusters, no insert added a member), and no {e novel}
+    inserted tag sequence ({!Xnav_store.Store.novel_sequences}) may
+    match the prefix. Always true on an unmutated store with a
+    partition; after updates, query shapes untouched by the writes stay
+    index-served while touched ones degrade. *)
 
 val create :
   Context.t ->
@@ -43,7 +54,8 @@ val create :
     self/child chain). [contexts] is the replayable factory used only if
     fallback forces an identity restart.
 
-    @raise Invalid_argument if the store has no fresh partition. *)
+    @raise Invalid_argument if the store has no partition or the
+    selected classes are not fresh (i.e. {!usable} is false). *)
 
 val push :
   t ->

@@ -2,6 +2,8 @@ module Axis = Xnav_xml.Axis
 module Buffer_manager = Xnav_storage.Buffer_manager
 module Page = Xnav_storage.Page
 
+type access_log = (int, unit) Hashtbl.t
+
 type t = {
   uid : int;  (* process-unique attach stamp; cache keys across stores *)
   buffer : Buffer_manager.t;
@@ -19,6 +21,28 @@ type t = {
   stats_stamp : int;  (* [mutations] value the stats/partition describe *)
   mutable swizzle_hits : int;
   mutable swizzle_misses : int;
+  (* Cluster-granular mutation tracking: [page_stamps] maps a pid to the
+     global [mutations] value of its last mutation, [all_stamp] is the
+     stamp of the last store-wide (pid-less) mutation. A cached decode of
+     page [pid] taken at stamp [s] is valid iff [page_stamp t pid <= s]. *)
+  page_stamps : (int, int) Hashtbl.t;
+  mutable all_stamp : int;
+  (* Optional observer tables: when installed, every record access /
+     page mutation reports the cluster it touched. The execution layer
+     uses them to attach cluster footprints to cached results and to
+     scope a writer's invalidation to the clusters it wrote. *)
+  mutable touch_log : (int, unit) Hashtbl.t option;
+  mutable write_log : (int, unit) Hashtbl.t option;
+  (* Per-class partition staleness (lazily sized to the partition):
+     [class_pids.(c)] is the sorted unique cluster set of class [c]'s
+     entries, [class_stale.(c)] flips when a mutation touches one of
+     them (or an insert adds a node whose root tag sequence is the
+     class). [novel_paths] collects inserted tag sequences that match no
+     import-time class — the partition has no entry list for them, so
+     any query whose prefix could match one must not be index-seeded. *)
+  mutable class_pids : int array array option;
+  mutable class_stale : bool array;
+  mutable novel_paths : Xnav_xml.Tag.t array list;
 }
 
 let tag_table_of tag_counts =
@@ -50,6 +74,13 @@ let attach buffer (import : Import.result) =
     stats_stamp = 0;
     swizzle_hits = 0;
     swizzle_misses = 0;
+    page_stamps = Hashtbl.create 64;
+    all_stamp = 0;
+    touch_log = None;
+    write_log = None;
+    class_pids = None;
+    class_stale = [||];
+    novel_paths = [];
   }
 
 let attach_meta ?doc_stats ?partition buffer ~root ~first_page ~page_count ~node_count ~height
@@ -71,6 +102,13 @@ let attach_meta ?doc_stats ?partition buffer ~root ~first_page ~page_count ~node
     stats_stamp = 0;
     swizzle_hits = 0;
     swizzle_misses = 0;
+    page_stamps = Hashtbl.create 64;
+    all_stamp = 0;
+    touch_log = None;
+    write_log = None;
+    class_pids = None;
+    class_stale = [||];
+    novel_paths = [];
   }
 
 let buffer t = t.buffer
@@ -86,10 +124,112 @@ let stats_fresh t = t.mutations = t.stats_stamp
 let uid t = t.uid
 let mutation_stamp t = t.mutations
 
+(* --- Cluster-granular mutation tracking --------------------------------- *)
+
+let page_stamp t pid =
+  let s = match Hashtbl.find_opt t.page_stamps pid with Some s -> s | None -> 0 in
+  max s t.all_stamp
+
+let touch t pid =
+  match t.touch_log with Some tbl -> Hashtbl.replace tbl pid () | None -> ()
+
+let swap_touch_log t log =
+  let old = t.touch_log in
+  t.touch_log <- log;
+  old
+
+let swap_write_log t log =
+  let old = t.write_log in
+  t.write_log <- log;
+  old
+
+(* Per-class cluster sets, built lazily on the first mutation: the
+   partition is immutable after import, so the sets describe exactly the
+   clusters whose entry records belong to each class. *)
+let ensure_class_meta t =
+  match (t.partition, t.class_pids) with
+  | None, _ | _, Some _ -> ()
+  | Some p, None ->
+    let n = Path_partition.class_count p in
+    let pids =
+      Array.init n (fun c ->
+          let entries = Path_partition.class_entries p c in
+          (* Sorted by (pid, slot) already — collapse to unique pids. *)
+          let acc = ref [] in
+          Array.iter
+            (fun (id : Node_id.t) ->
+              match !acc with
+              | pid :: _ when pid = id.Node_id.pid -> ()
+              | _ -> acc := id.Node_id.pid :: !acc)
+            entries;
+          Array.of_list (List.rev !acc))
+    in
+    t.class_pids <- Some pids;
+    if Array.length t.class_stale <> n then t.class_stale <- Array.make n false
+
+let pid_member pids pid =
+  let lo = ref 0 and hi = ref (Array.length pids - 1) and found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = pids.(mid) in
+    if v = pid then found := true else if v < pid then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let stale_classes_at t pid =
+  match t.partition with
+  | None -> ()
+  | Some _ ->
+    ensure_class_meta t;
+    (match t.class_pids with
+    | None -> ()
+    | Some pids ->
+      for c = 0 to Array.length pids - 1 do
+        if (not t.class_stale.(c)) && pid_member pids.(c) pid then t.class_stale.(c) <- true
+      done)
+
+let class_fresh t c =
+  ensure_class_meta t;
+  t.all_stamp = 0 && (c < 0 || c >= Array.length t.class_stale || not t.class_stale.(c))
+
+let novel_sequences t = t.novel_paths
+
 (* Bookkeeping hooks for the update layer. *)
 let note_new_page t = t.page_count <- t.page_count + 1
 let note_nodes_delta t delta = t.node_count <- t.node_count + delta
-let note_mutation t = t.mutations <- t.mutations + 1
+
+let note_mutation t =
+  t.mutations <- t.mutations + 1;
+  (* Pid-less mutation: conservatively stales every cluster and class. *)
+  t.all_stamp <- t.mutations
+
+let note_mutation_at t pid =
+  t.mutations <- t.mutations + 1;
+  Hashtbl.replace t.page_stamps pid t.mutations;
+  (match t.write_log with Some tbl -> Hashtbl.replace tbl pid () | None -> ());
+  stale_classes_at t pid
+
+let note_inserted t ~tags =
+  match t.partition with
+  | None -> ()
+  | Some p -> begin
+    ensure_class_meta t;
+    match
+      Path_partition.select p ~matches:(fun seq ->
+          Array.length seq = Array.length tags && Array.for_all2 Xnav_xml.Tag.equal seq tags)
+    with
+    | c :: _ -> if not t.class_stale.(c) then t.class_stale.(c) <- true
+    | [] ->
+      (* A tag sequence the import never saw: no class has an entry list
+         for it, so queries matching this shape must not index-seed. *)
+      let known =
+        List.exists
+          (fun seq ->
+            Array.length seq = Array.length tags && Array.for_all2 Xnav_xml.Tag.equal seq tags)
+          t.novel_paths
+      in
+      if not known then t.novel_paths <- Array.copy tags :: t.novel_paths
+  end
 
 let set_swizzling t on = t.swizzle <- on
 let swizzling t = t.swizzle
@@ -121,6 +261,7 @@ type view = {
 }
 
 let make_view t frame =
+  touch t (Buffer_manager.frame_pid frame);
   let page = Buffer_manager.page frame in
   let slots = Page.slot_count page in
   let cache = if t.swizzle then Array.make slots None else [||] in
@@ -151,13 +292,17 @@ let check_live v =
   if not v.live then
     invalid_arg (Printf.sprintf "Store: swizzled view of page %d used after release" v.pid)
 
-(* The store changed under the pin: drop every cached decode (the page
-   bytes themselves are write-through, so a re-decode sees the updated
-   record). *)
+(* The store changed under the pin: drop the cached decodes — but only
+   when the mutation actually touched {e this} cluster (the page bytes
+   themselves are write-through, so a re-decode sees the updated
+   record). A write elsewhere fast-forwards the stamp and keeps the
+   swizzled decodes, which is what makes invalidation cluster-granular. *)
 let revalidate v t =
   if v.stamp <> t.mutations then begin
-    Array.fill v.cache 0 (Array.length v.cache) None;
-    Array.fill v.nav 0 (Array.length v.nav) 0;
+    if page_stamp t v.pid > v.stamp then begin
+      Array.fill v.cache 0 (Array.length v.cache) None;
+      Array.fill v.nav 0 (Array.length v.nav) 0
+    end;
     v.stamp <- t.mutations
   end
 
@@ -326,10 +471,18 @@ let rec next_emission cursor =
 type info = { id : Node_id.t; tag : Xnav_xml.Tag.t; ordpath : Xnav_xml.Ordpath.t }
 
 let read t (id : Node_id.t) =
+  touch t id.pid;
   let frame = Buffer_manager.fix t.buffer id.pid in
-  let record = Node_record.decode (Page.get (Buffer_manager.page frame) id.slot) in
-  Buffer_manager.unfix t.buffer frame;
-  record
+  (* Decode under the pin, but never leak it: a stale slot (removed by a
+     concurrent delete) makes [Page.get] raise, and callers probing for
+     exactly that condition must find the pool balanced afterwards. *)
+  match Node_record.decode (Page.get (Buffer_manager.page frame) id.slot) with
+  | record ->
+    Buffer_manager.unfix t.buffer frame;
+    record
+  | exception e ->
+    Buffer_manager.unfix t.buffer frame;
+    raise e
 
 let info t id =
   match read t id with

@@ -93,8 +93,64 @@ val note_nodes_delta : t -> int -> unit
 (** Adjusts the logical node count (update layer only). *)
 
 val note_mutation : t -> unit
-(** Registers a structural page mutation (update layer only): every
-    live view drops its swizzled decode cache before its next access. *)
+(** Registers a pid-less structural mutation (update layer only):
+    conservatively stales {e every} cluster — all live views drop their
+    swizzled decode caches and every partition class goes stale. Prefer
+    {!note_mutation_at} so invalidation stays cluster-granular. *)
+
+val note_mutation_at : t -> int -> unit
+(** Registers a structural mutation of cluster [pid] (update layer
+    only): bumps {!mutation_stamp}, records the per-cluster stamp
+    consulted by {!page_stamp}, reports [pid] to the installed write log
+    (if any) and stales exactly the partition classes with an entry in
+    [pid]. Views of other clusters keep their swizzled decodes. *)
+
+val note_inserted : t -> tags:Xnav_xml.Tag.t array -> unit
+(** Registers the root-first tag sequence of a freshly inserted node
+    (update layer only). If a partition class with exactly that sequence
+    exists it goes stale (its entry list now under-reports the class);
+    otherwise the sequence is remembered as a {e novel path} — see
+    {!novel_sequences}. *)
+
+val page_stamp : t -> int -> int
+(** [page_stamp t pid] is the {!mutation_stamp} value at cluster [pid]'s
+    last mutation (0 if never mutated; at least the stamp of the last
+    pid-less {!note_mutation}). A cached derivation that only read
+    clusters [P] under stamp [s] is still valid iff
+    [page_stamp t pid <= s] for every [pid] in [P]. *)
+
+val class_fresh : t -> int -> bool
+(** Whether partition class [c]'s entry list still describes the store:
+    no mutation has touched any of the class' entry clusters, no insert
+    added a node of the class, and no pid-less mutation occurred. Index
+    plans may seed from fresh classes even when {!stats_fresh} is false. *)
+
+val novel_sequences : t -> Xnav_xml.Tag.t array list
+(** Root-first tag sequences of inserted nodes that match {e no}
+    partition class (deduplicated). A query whose indexable prefix could
+    match one of these must not be answered from the partition — no
+    class carries entries for the new nodes. *)
+
+(** {2 Access / write observation}
+
+    Optional observer tables for the execution layers: when a touch log
+    is installed, every record access ({!read}, {!view},
+    {!view_of_frame}) records the cluster it touched; when a write log
+    is installed, {!note_mutation_at} records the cluster it mutated.
+    The result-cache front door derives cluster footprints for cached
+    entries from touch logs; writer jobs derive their invalidation set
+    from write logs. Logs nest: callers swap their table in and restore
+    the previous one when done. *)
+
+type access_log = (int, unit) Hashtbl.t
+
+val swap_touch_log : t -> access_log option -> access_log option
+(** Install (or remove, with [None]) the touch log, returning the
+    previously installed one. *)
+
+val swap_write_log : t -> access_log option -> access_log option
+(** Install (or remove, with [None]) the write log, returning the
+    previously installed one. *)
 
 (** {2 Swizzling} *)
 

@@ -14,13 +14,22 @@ let with_page store pid f =
   let buffer = Store.buffer store in
   let frame = Buffer_manager.fix buffer pid in
   let page = Buffer_manager.page frame in
-  let result = f page in
-  Disk.write (Buffer_manager.disk buffer) pid (Page.to_bytes page);
-  Buffer_manager.unfix buffer frame;
-  (* Live views must drop their swizzled decode caches: the page bytes
-     changed underneath them. *)
-  Store.note_mutation store;
-  result
+  match f page with
+  | result ->
+    Disk.write (Buffer_manager.disk buffer) pid (Page.to_bytes page);
+    Buffer_manager.unfix buffer frame;
+    (* Live views of {e this} cluster must drop their swizzled decode
+       caches: the page bytes changed underneath them. Views of other
+       clusters, cached results over them and partition classes without an
+       entry here all stay valid — invalidation is cluster-granular. *)
+    Store.note_mutation_at store pid;
+    result
+  | exception e ->
+    (* Nothing was flushed and nothing is considered mutated — but the
+       pin must not leak (writer jobs catch surgery failures and carry
+       on against the same pool). *)
+    Buffer_manager.unfix buffer frame;
+    raise e
 
 let get_record = Store.read
 
@@ -78,7 +87,16 @@ let set_last_child store id last =
 (* A page able to host [need] more bytes: the preferred page, else the
    store's last page, else a freshly appended one. *)
 let host_page store ~preferred ~need =
-  let free pid = with_page store pid (fun page -> Page.free_space page) in
+  (* Read-only probe: a candidate page that merely gets {e looked at} for
+     free space must not count as mutated (that would stale its cluster's
+     caches for nothing). *)
+  let free pid =
+    let buffer = Store.buffer store in
+    let frame = Buffer_manager.fix buffer pid in
+    let space = Page.free_space (Buffer_manager.page frame) in
+    Buffer_manager.unfix buffer frame;
+    space
+  in
   if free preferred >= need then preferred
   else begin
     let last = Store.first_page store + Store.page_count store - 1 in
@@ -230,6 +248,26 @@ let splice store loc (elem : Node_id.t) =
   | Some slot -> set_prev store (Node_id.make ~pid ~slot) (Some elem.Node_id.slot)
   | None -> set_last_child store loc.anchor (Some elem.Node_id.slot)
 
+(* Root-first tag sequence of the node [id] (root's tag first, [id]'s
+   tag last, [acc] appended) — the path-class key of a freshly inserted
+   node, reported to the store so exactly the matching partition class
+   goes stale. *)
+let rec tag_chain store (id : Node_id.t) acc =
+  match get_record store id with
+  | Node_record.Core c -> begin
+    let acc = c.Node_record.tag :: acc in
+    match c.Node_record.parent with
+    | None -> acc
+    | Some pslot -> begin
+      let anchor = Node_id.make ~pid:id.Node_id.pid ~slot:pslot in
+      match get_record store anchor with
+      | Node_record.Core _ -> tag_chain store anchor acc
+      | Node_record.Up u -> tag_chain store u.Node_record.owner acc
+      | Node_record.Down _ -> assert false
+    end
+  end
+  | Node_record.Down _ | Node_record.Up _ -> acc
+
 let insert_element store ~parent ?(position = Last) tag =
   let loc = locate store ~parent position in
   let home = loc.anchor.Node_id.pid in
@@ -309,6 +347,7 @@ let insert_element store ~parent ?(position = Last) tag =
       n_id
   in
   Store.note_nodes_delta store 1;
+  Store.note_inserted store ~tags:(Array.of_list (tag_chain store parent [ tag ]));
   node_id
 
 let rec insert_tree store ~parent ?position (tree : Tree.t) =

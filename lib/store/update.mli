@@ -19,7 +19,12 @@
       cascading if that empties further runs.
 
     Writes are write-through: every mutated page goes to the simulated
-    disk immediately, so buffer frames and disk never diverge.
+    disk immediately, so buffer frames and disk never diverge. Every
+    mutated cluster is reported via {!Store.note_mutation_at}, which is
+    what keeps swizzle/result-cache/partition invalidation
+    cluster-granular; inserts additionally report the new node's
+    root-first tag sequence ({!Store.note_inserted}) so exactly the
+    matching path class goes stale.
 
     Import-time statistics ({!Store.tag_counts}) are not maintained;
     {!Store.node_count} and {!Store.page_count} are. *)

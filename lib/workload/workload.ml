@@ -10,12 +10,19 @@ module Plan = Xnav_core.Plan
 module Exec = Xnav_core.Exec
 module Result_cache = Xnav_core.Result_cache
 module Vec = Xnav_core.Vec
+module Update = Xnav_store.Update
+module Node_record = Xnav_store.Node_record
+
+type update_op =
+  | Insert_child of { parent : Node_id.t; tag : Xnav_xml.Tag.t }
+  | Delete_subtree of Node_id.t
 
 type spec = {
   label : string;
   path : Xnav_xpath.Path.t;
   plan : Plan.t;
   timeout : float option;
+  ops : update_op list;
 }
 
 type status = Completed | Timed_out | Recovered
@@ -42,6 +49,10 @@ type job = {
   boosts : int;
   shared : bool;
   cache_hit : bool;
+  writer_commits : int;
+  latch_waits : int;
+  snapshot_retries : int;
+  finish_commit : int;
   fell_back : bool;
 }
 
@@ -60,6 +71,11 @@ type result = {
   shared_jobs : int;
   cache_hits : int;
   cache_misses : int;
+  writer_commits : int;
+  latch_waits : int;
+  snapshot_retries : int;
+  cluster_stales : int;
+  commit_log : update_op list;
   violations : string list;
 }
 
@@ -68,11 +84,11 @@ type lane = {
   client : int;
   submitted_at : float;
   started_at : float;
-  ctx : Context.t;  (* counter holder; the stream's context when one exists *)
-  stream : Exec.stream option;
-      (* [None] for jobs that never execute: answered from the result
-         cache at admission, or riding another client's identical
-         in-flight scan as a follower. *)
+  mutable ctx : Context.t;  (* counter holder; the stream's context when one exists *)
+  mutable stream : Exec.stream option;
+      (* [None] for jobs that never execute a stream: answered from the
+         result cache at admission, riding another client's identical
+         in-flight scan as a follower, or a writer job. *)
   mutable followers : lane list;
   seen : unit Node_id.Tbl.t;
   nodes : Store.info Vec.t;  (* arrival order *)
@@ -84,6 +100,25 @@ type lane = {
   mutable boosts : int;
   mutable status : status;
   mutable done_at : float;
+  (* Snapshot machinery (readers): [touched] is the live touch log of
+     the current stream — every cluster it has observed; [snapshot] the
+     mutation stamp the stream started under. A writer commit into an
+     observed cluster forces a restart ([retries]); served/starved
+     credits of abandoned streams are carried across restarts. *)
+  touched : (int, unit) Hashtbl.t;
+  mutable snapshot : int;
+  mutable retries : int;
+  mutable carry_served : int;
+  mutable carry_starved : int;
+  (* Writer machinery: the two-phase op queue — [armed] holds the op
+     latched last turn (plus the pids latched for it), committed next
+     turn. *)
+  mutable pending_ops : update_op list;
+  mutable armed : (update_op * int list) option;
+  (* Commit-schedule position: how many writer commits (engine-wide)
+     preceded this job's completion — the serial-replay point at which
+     this job's answer must be reproducible. *)
+  mutable finish_commit : int;
 }
 
 (* Worst-case steady pin demand per admitted query: one held frame
@@ -145,6 +180,16 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
   let max_concurrent = ref 0 in
   let turns = ref 0 in
 
+  (* Writer state, engine-wide. [latches] maps a cluster pid to the
+     client holding it exclusively; readers never consult it (they are
+     latch-free — snapshots protect them), writers acquire before
+     mutating and release at commit. [commit_count] stamps the serial
+     order of commits; [commit_log] records committed ops (newest first)
+     so a differential harness can replay the schedule serially. *)
+  let latches : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let commit_count = ref 0 in
+  let commit_log = ref [] in
+
   let make_lane ~client ~spec ~submitted_at ~stream =
     {
       spec;
@@ -164,6 +209,14 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
       boosts = 0;
       status = Completed;
       done_at = 0.0;
+      touched = Hashtbl.create 16;
+      snapshot = Store.mutation_stamp store;
+      retries = 0;
+      carry_served = 0;
+      carry_starved = 0;
+      pending_ops = spec.ops;
+      armed = None;
+      finish_commit = 0;
     }
   in
 
@@ -176,8 +229,21 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
       lane.sorted <- Some nodes;
       let c = lane.ctx.Context.counters in
       c.Context.cache_misses <- 1;
+      (* Cluster footprint for cluster-granular invalidation: every pid
+         the final stream observed. A partition-seeded run reads no
+         pages for its seeds, so its footprint understates its
+         dependencies — install those entries footprint-free (staled by
+         any mutation). *)
+      let clusters =
+        if c.Context.index_entries > 0 then None
+        else begin
+          let pids = Hashtbl.fold (fun pid () acc -> pid :: acc) lane.touched [] in
+          Some (Array.of_list (List.sort_uniq compare pids))
+        end
+      in
       c.Context.cache_evictions <-
-        Result_cache.add store (Path.to_string lane.spec.path) ~count:(List.length nodes) nodes
+        Result_cache.add ?clusters store (Path.to_string lane.spec.path)
+          ~count:(List.length nodes) nodes
     end
   in
 
@@ -185,6 +251,8 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
     active := List.filter (fun l -> l != lane) !active;
     lane.status <- status;
     lane.done_at <- now ();
+    lane.finish_commit <- !commit_count;
+    lane.ctx.Context.counters.Context.snapshot_retries <- lane.retries;
     finished := lane :: !finished;
     (match (status, lane.stream) with Completed, Some _ -> cache_fill lane | _ -> ());
     (* A completed shared scan answers every follower at the same
@@ -200,6 +268,7 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
              Vec.iter (Vec.push f.nodes) lane.nodes);
         f.status <- status;
         f.done_at <- now ();
+        f.finish_commit <- !commit_count;
         finished := f :: !finished;
         submit f.client)
       lane.followers;
@@ -226,6 +295,20 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
     let stop = ref false in
     while (not !stop) && not (Queue.is_empty waiting) do
       let client, spec, submitted_at = Queue.peek waiting in
+      if spec.ops <> [] then begin
+        (* Writer job: no front door (a writer produces no statement
+           answer to cache or share), a plain lane slot. Its transient
+           fix/unfix pattern fits the same two-frame demand bound. *)
+        let n = List.length !active in
+        if n = 0 || demand_frames * (n + 1) <= capacity then begin
+          ignore (Queue.pop waiting);
+          let lane = make_lane ~client ~spec ~submitted_at ~stream:None in
+          active := !active @ [ lane ];
+          if List.length !active > !max_concurrent then max_concurrent := List.length !active
+        end
+        else stop := true
+      end
+      else
       match find_leader spec with
       | Some leader ->
         ignore (Queue.pop waiting);
@@ -244,6 +327,7 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
           lane.ctx.Context.counters.Context.cache_hits <- 1;
           lane.sorted <- Some (Result_cache.nodes entry);
           lane.done_at <- now ();
+          lane.finish_commit <- !commit_count;
           finished := lane :: !finished;
           submit lane.client
         | None ->
@@ -296,8 +380,45 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
      rotation alive for queries that are momentarily free (every page
      resident advances no simulated time at all). *)
   let step_cap = 256 in
-  let serve lane =
-    match lane.stream with
+
+  (* Snapshot rule: a stream is valid while no writer has committed into
+     a cluster the stream has already observed ([touched]). Commits are
+     atomic within a writer's turn, so checking once at the top of each
+     reader turn suffices — the stream cannot observe a half-applied
+     op. On conflict the stream restarts from scratch under a fresh
+     stamp; fairness credits of the abandoned attempt are carried. *)
+  let restart lane stream =
+    Exec.stream_abandon stream;
+    let c = lane.ctx.Context.counters in
+    lane.carry_served <- lane.carry_served + c.Context.served_ticks;
+    lane.carry_starved <- lane.carry_starved + c.Context.starved_ticks;
+    Node_id.Tbl.reset lane.seen;
+    Vec.clear lane.nodes;
+    Hashtbl.reset lane.touched;
+    lane.retries <- lane.retries + 1;
+    let s = Exec.prepare ?config store lane.spec.path lane.spec.plan in
+    lane.stream <- Some s;
+    lane.ctx <- Exec.stream_ctx s;
+    lane.snapshot <- Store.mutation_stamp store
+  in
+
+  let serve_reader lane stream =
+    let saved = Store.swap_touch_log store (Some lane.touched) in
+    let conflicted =
+      Hashtbl.fold
+        (fun pid () acc -> acc || Store.page_stamp store pid > lane.snapshot)
+        lane.touched false
+    in
+    let stream =
+      if not conflicted then Some stream
+      else
+        match restart lane stream with
+        | () -> lane.stream
+        | exception Buffer_manager.Buffer_full ->
+          finish lane Recovered;
+          None
+    in
+    (match stream with
     | None -> ()
     | Some stream ->
       let start = now () in
@@ -327,7 +448,101 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
           Exec.stream_abandon stream;
           finish lane Recovered;
           running := false
-      done
+      done);
+    ignore (Store.swap_touch_log store saved)
+  in
+
+  (* Writers are two-phase, one phase per turn. Acquire turn: latch the
+     op's target cluster (exclusive against other writers; blocked →
+     count a latch wait, retry next turn) and validate the target still
+     exists — a concurrent delete may have removed it, in which case the
+     op is skipped. Commit turn: apply the op atomically (the whole
+     surgery inside one turn — readers between turns never see a partial
+     op), log it, and stale exactly the result-cache entries whose
+     footprint the write set intersects. Clusters an op escalates into
+     mid-commit (overflow pages, purged subtree clusters) are not
+     latched: the latch protocol orders writer-writer conflicts on the
+     declared target, while the commit's validation probe plus the
+     op-skip catch keep races through escalation safe — a skipped op is
+     excluded from the commit log, so serial replay agrees. *)
+  let latch_targets = function
+    | Insert_child { parent; _ } -> [ parent.Node_id.pid ]
+    | Delete_subtree victim -> [ victim.Node_id.pid ]
+  in
+  let op_valid op =
+    match op with
+    | Insert_child { parent; _ } -> (
+      match Store.read store parent with
+      | Node_record.Core _ -> true
+      | _ | (exception Failure _) | (exception Invalid_argument _) -> false)
+    | Delete_subtree victim -> (
+      match Store.read store victim with
+      | Node_record.Core c -> c.Node_record.parent <> None
+      | _ | (exception Failure _) | (exception Invalid_argument _) -> false)
+  in
+  let serve_writer lane =
+    let c = lane.ctx.Context.counters in
+    match lane.armed with
+    | Some (op, held) ->
+      let write_set = Hashtbl.create 8 in
+      let saved = Store.swap_write_log store (Some write_set) in
+      let committed =
+        try
+          (match op with
+          | Insert_child { parent; tag } -> ignore (Update.insert_element store ~parent tag)
+          | Delete_subtree victim -> ignore (Update.delete_subtree store victim));
+          true
+        with _ -> false
+      in
+      ignore (Store.swap_write_log store saved);
+      List.iter (fun pid -> Hashtbl.remove latches pid) held;
+      lane.armed <- None;
+      if committed then begin
+        c.Context.writer_commits <- c.Context.writer_commits + 1;
+        incr commit_count;
+        commit_log := op :: !commit_log;
+        if front_door then begin
+          let ws = Hashtbl.fold (fun pid () acc -> pid :: acc) write_set [] in
+          let staled = Result_cache.stale_clusters store (Array.of_list ws) in
+          c.Context.cluster_stales <- c.Context.cluster_stales + staled
+        end
+      end;
+      if lane.pending_ops = [] then finish lane Completed
+    | None -> (
+      match lane.pending_ops with
+      | [] -> finish lane Completed
+      | op :: rest -> (
+        let targets = latch_targets op in
+        let blocked =
+          List.exists
+            (fun pid ->
+              match Hashtbl.find_opt latches pid with
+              | Some owner -> owner <> lane.client
+              | None -> false)
+            targets
+        in
+        if blocked then c.Context.latch_waits <- c.Context.latch_waits + 1
+        else begin
+          List.iter (fun pid -> Hashtbl.replace latches pid lane.client) targets;
+          match op_valid op with
+          | true ->
+            lane.armed <- Some (op, targets);
+            lane.pending_ops <- rest
+          | false ->
+            List.iter (fun pid -> Hashtbl.remove latches pid) targets;
+            lane.pending_ops <- rest;
+            if rest = [] then finish lane Completed
+          | exception Buffer_manager.Buffer_full ->
+            (* Pool too tight even for the validation probe: release and
+               retry the same op next turn. *)
+            List.iter (fun pid -> Hashtbl.remove latches pid) targets;
+            lane.yields <- lane.yields + 1
+        end))
+  in
+
+  let serve lane =
+    if lane.spec.ops <> [] then serve_writer lane
+    else match lane.stream with None -> () | Some stream -> serve_reader lane stream
   in
 
   let rr = ref 0 in
@@ -390,6 +605,7 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
         let r = Exec.run ?config ~ordered:false store lane.spec.path Plan.simple in
         Vec.clear lane.nodes;
         List.iter (Vec.push lane.nodes) r.Exec.nodes;
+        lane.finish_commit <- !commit_count;
         lane.done_at <- lane.done_at +. (now () -. io0)
       end)
     (List.rev !finished);
@@ -406,6 +622,8 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
     (match Buffer_manager.consistency_error buffer with
     | None -> ()
     | Some msg -> fail "io-scheduler: %s" msg);
+    if Hashtbl.length latches <> 0 then
+      fail "writers: %d cluster latches still held after the workload" (Hashtbl.length latches);
     let validate =
       match config with Some c -> c.Context.validate | None -> Context.default_config.Context.validate
     in
@@ -448,12 +666,16 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
       finished = lane.done_at;
       latency = lane.done_at -. lane.submitted_at;
       pin_wait = lane.started_at -. lane.submitted_at;
-      served_ticks = c.Context.served_ticks;
-      starved_ticks = c.Context.starved_ticks;
+      served_ticks = lane.carry_served + c.Context.served_ticks;
+      starved_ticks = lane.carry_starved + c.Context.starved_ticks;
       yields = lane.yields;
       boosts = lane.boosts;
       shared = c.Context.shared_demand > 0;
       cache_hit = c.Context.cache_hits > 0;
+      writer_commits = c.Context.writer_commits;
+      latch_waits = c.Context.latch_waits;
+      snapshot_retries = lane.retries;
+      finish_commit = lane.finish_commit;
       fell_back = (match lane.stream with Some s -> Exec.stream_fell_back s | None -> false);
     }
   in
@@ -476,6 +698,17 @@ let run_clients ?config ?(quantum = 0.004) ?(ordered = true) ~cold store clients
       List.fold_left
         (fun a lane -> a + lane.ctx.Context.counters.Context.cache_misses)
         0 !finished;
+    writer_commits = !commit_count;
+    latch_waits =
+      List.fold_left
+        (fun a lane -> a + lane.ctx.Context.counters.Context.latch_waits)
+        0 !finished;
+    snapshot_retries = List.fold_left (fun a lane -> a + lane.retries) 0 !finished;
+    cluster_stales =
+      List.fold_left
+        (fun a lane -> a + lane.ctx.Context.counters.Context.cluster_stales)
+        0 !finished;
+    commit_log = List.rev !commit_log;
     violations;
   }
 

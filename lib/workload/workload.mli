@@ -60,12 +60,55 @@
     (the default) both levels are inert and the engine reproduces the
     historical execution byte for byte.
 
+    {2 Writers: online updates under concurrent reads}
+
+    A spec whose [ops] list is non-empty is a {e writer job}: instead of
+    evaluating a path it applies in-place updates
+    ({!Xnav_store.Update.insert_element} / [delete_subtree]) against the
+    same shared store, interleaved turn-by-turn with the readers. Three
+    rules keep the mix coherent:
+
+    - {e Cluster latches (writer–writer)}: each op declares its target
+      cluster; a writer latches it exclusively for the op's duration
+      (acquire one turn, commit the next — [latch_waits] counts blocked
+      turns). At acquire time the target is re-validated; an op whose
+      target a concurrent delete removed is skipped. Clusters an op
+      escalates into mid-commit (overflow allocation, purged subtree
+      pages) are not latched — the commit is atomic within the turn, so
+      nothing else observes the escalation.
+    - {e Snapshot reads (writer–reader)}: readers are latch-free. A
+      stream records every cluster it observes and the mutation stamp it
+      started under; a commit into an observed cluster
+      ({!Xnav_store.Store.page_stamp} exceeding the snapshot) forces the
+      stream to restart from scratch under a fresh stamp
+      ([snapshot_retries]). Commits it never observed are invisible to
+      it — a running query always sees a single consistent snapshot.
+    - {e Cluster-granular invalidation}: a commit stales only the
+      result-cache entries whose recorded cluster footprint intersects
+      its write set ({!Xnav_core.Result_cache.stale_clusters}, counted
+      as [cluster_stales]), the decoded views of the written clusters,
+      and the path-partition classes they cover — repeat statements over
+      untouched paths keep hitting the cache and the index across
+      writer traffic.
+
+    Each job's [finish_commit] records how many commits (engine-wide)
+    preceded its completion, and [result.commit_log] lists the committed
+    ops in serial order — together they make the concurrent schedule
+    replayable: evaluating each reader's statement on a twin store after
+    applying the first [finish_commit] ops must reproduce its answer.
+
     {2 Clocks}
 
     All latencies ([submitted]/[started]/[finished], and the derived
     [latency] and [pin_wait]) are measured on the simulated disk clock —
     deterministic, so percentiles are CI-stable. Process CPU time is
     reported separately at the engine level. *)
+
+type update_op =
+  | Insert_child of { parent : Xnav_store.Node_id.t; tag : Xnav_xml.Tag.t }
+      (** Append a new last child under [parent]. *)
+  | Delete_subtree of Xnav_store.Node_id.t
+      (** Remove the subtree rooted at this (non-root) node. *)
 
 type spec = {
   label : string;
@@ -76,6 +119,10 @@ type spec = {
           simulated seconds. The abort unwinds through
           {!Xnav_storage.Buffer_manager.abort_async}; a timeout of [0.0]
           aborts before the first scheduling turn. *)
+  ops : update_op list;
+      (** Non-empty makes this a writer job: [path]/[plan] are unused, the
+          ops are applied in order (two turns each), and the job reports
+          no nodes. [[]] is a plain read job. *)
 }
 
 type status =
@@ -109,6 +156,13 @@ type job = {
   cache_hit : bool;
       (** The job was answered from the result cache at admission
           (level 1) — it never held a lane slot. *)
+  writer_commits : int;  (** Ops this (writer) job committed. *)
+  latch_waits : int;  (** Turns this writer spent blocked on a latch. *)
+  snapshot_retries : int;
+      (** Stream restarts forced by commits into observed clusters. *)
+  finish_commit : int;
+      (** Engine-wide commit count at this job's completion — the serial
+          replay point at which its answer must be reproducible. *)
   fell_back : bool;
 }
 
@@ -129,6 +183,15 @@ type result = {
   cache_misses : int;
       (** Completed stream jobs that installed their answer into the
           cache (0 with the front door off). *)
+  writer_commits : int;  (** Total ops committed across all writers. *)
+  latch_waits : int;
+  snapshot_retries : int;
+  cluster_stales : int;
+      (** Result-cache entries proactively dropped because a commit's
+          write set intersected their cluster footprint. *)
+  commit_log : update_op list;
+      (** Every committed op, in commit order — replaying this serially
+          on a twin store reproduces the final document. *)
   violations : string list;
       (** Invariant violations found by the end-of-run sweep (always
           checked; a non-empty list here is an engine bug). With

@@ -344,6 +344,19 @@ let workload_differential_sample () =
   in
   check Alcotest.(list string) "concurrent and serial runs agree" [] reproducers
 
+(* The writers differential tier: every plan of each case runs
+   concurrently with one or two writer clients committing sampled
+   inserts and deletes — each reader's answer must equal a serial
+   replay of the commit schedule up to the reader's finish point on an
+   identically-imported twin, and the final documents must match. *)
+let writers_differential_sample () =
+  let r = Differential.run_writers ~seed:Gen.test_seed ~cases:200 () in
+  check Alcotest.int "cases run" 200 r.Differential.cases_run;
+  let reproducers =
+    List.map (fun f -> Differential.reproducer f.Differential.shrunk) r.Differential.failures
+  in
+  check Alcotest.(list string) "concurrent readers equal their serial replay" [] reproducers
+
 (* --- the structural index ------------------------------------------------- *)
 
 (* The index differential tier: reference evaluator, XSchedule and index
@@ -481,6 +494,35 @@ let cache_evicts_least_recently_used () =
   check Alcotest.bool "the touched entry survives" true (resident "/a");
   check Alcotest.bool "the least-recently-used entry was evicted" false (resident "/b");
   check Alcotest.bool "the new entry is resident" true (resident "/c");
+  Result_cache.set_capacity saved;
+  Result_cache.clear ();
+  Result_cache.reset_stats ()
+
+(* set_capacity must clamp rather than raise: zero (and anything below)
+   means disabled — adds store nothing, finds never serve. *)
+let cache_capacity_clamps_to_zero () =
+  let tree = doc () in
+  let store, _ =
+    build ~capacity:4 ~policy:Io_scheduler.Elevator ~replacement:Buffer_manager.Lru tree
+  in
+  let saved = Result_cache.capacity () in
+  Result_cache.clear ();
+  Result_cache.reset_stats ();
+  Result_cache.set_capacity (-3);
+  check Alcotest.int "negative capacity clamps to zero" 0 (Result_cache.capacity ());
+  check Alcotest.int "a disabled cache evicts nothing on add" 0
+    (Result_cache.add store "/a" ~count:0 []);
+  check Alcotest.int "a disabled cache stores nothing" 0 (Result_cache.size ());
+  check Alcotest.bool "and never serves" true
+    (match Result_cache.find store "/a" with None -> true | Some _ -> false);
+  Result_cache.set_capacity 0;
+  check Alcotest.int "zero is accepted as disabled" 0 (Result_cache.capacity ());
+  (* Shrinking a populated cache trims immediately. *)
+  Result_cache.set_capacity 2;
+  ignore (Result_cache.add store "/a" ~count:0 []);
+  ignore (Result_cache.add store "/b" ~count:0 []);
+  Result_cache.set_capacity 0;
+  check Alcotest.int "shrinking to zero empties the cache" 0 (Result_cache.size ());
   Result_cache.set_capacity saved;
   Result_cache.clear ();
   Result_cache.reset_stats ()
@@ -630,6 +672,11 @@ let suite =
         Alcotest.test_case "200 sampled cases: concurrent equals serial per query" `Slow
           workload_differential_sample;
       ] );
+    ( "writers differential",
+      [
+        Alcotest.test_case "200 sampled cases: readers equal their serial replay" `Slow
+          writers_differential_sample;
+      ] );
     ( "index differential",
       [
         Alcotest.test_case "200 sampled cases: index plans equal reference and xschedule" `Slow
@@ -645,6 +692,8 @@ let suite =
         Alcotest.test_case "an insert stales the cached result" `Quick insert_stales_cached_result;
         Alcotest.test_case "eviction is bounded and least-recently-used" `Quick
           cache_evicts_least_recently_used;
+        Alcotest.test_case "set_capacity clamps zero and below to disabled" `Quick
+          cache_capacity_clamps_to_zero;
       ] );
     ( "fused differential",
       [

@@ -13,6 +13,7 @@ module Update = Xnav_store.Update
 module Buffer_manager = Xnav_storage.Buffer_manager
 module Xpath_parser = Xnav_xpath.Xpath_parser
 module Eval_ref = Xnav_xpath.Eval_ref
+module Result_cache = Xnav_core.Result_cache
 module Plan = Xnav_core.Plan
 module Exec = Xnav_core.Exec
 
@@ -177,6 +178,94 @@ let unit_tests =
             let r = Exec.cold_run ~ordered:false store path plan in
             check int (Plan.name plan) (Eval_ref.count doc path) r.Exec.count)
           [ Plan.simple; Plan.xschedule (); Plan.xscan () ]);
+    Alcotest.test_case "inserts at a cluster boundary stamp exactly the written clusters" `Quick
+      (fun () ->
+        let doc, store, import = fresh_setup ~payload:150 () in
+        ignore (Tree.index doc);
+        let before_pages = Store.page_count store in
+        let log = Hashtbl.create 8 in
+        let saved = Store.swap_write_log store (Some log) in
+        (* Append until a fresh page opens: the insert that crosses the
+           cluster boundary escalates into a page its parent does not
+           live in. *)
+        let i = ref 0 in
+        while Store.page_count store = before_pages && !i < 200 do
+          incr i;
+          ignore
+            (Update.insert_element store ~parent:import.Import.node_ids.(0)
+               (Tag.of_string "edge"));
+          ignore (mirror_insert doc (Array.length doc.Tree.children) (Tag.of_string "edge"))
+        done;
+        ignore (Store.swap_write_log store saved);
+        check bool "a new page was opened" true (Store.page_count store > before_pages);
+        check bool "structure" true (store_matches store doc);
+        (* Cluster-granular staleness: every written cluster is stamped,
+           and no unwritten cluster is — the boundary crossing must not
+           fall back to a store-global stale. *)
+        check bool "the write set is non-trivial" true (Hashtbl.length log > 1);
+        Hashtbl.iter
+          (fun pid () ->
+            check bool (Printf.sprintf "written cluster %d stamped" pid) true
+              (Store.page_stamp store pid > 0))
+          log;
+        for pid = Store.first_page store to Store.first_page store + Store.page_count store - 1 do
+          if not (Hashtbl.mem log pid) then
+            check int (Printf.sprintf "unwritten cluster %d unstamped" pid) 0
+              (Store.page_stamp store pid)
+        done);
+    Alcotest.test_case "deleting a cluster's last record empties the page cleanly" `Quick
+      (fun () ->
+        let doc = Gen.sample_doc () in
+        ignore (Tree.index doc);
+        (* Isolate one leaf in its own cluster, so the delete removes the
+           cluster's final record. *)
+        let leaf = List.find (fun n -> Array.length n.Tree.children = 0) (Tree.nodes doc) in
+        let assignment =
+          Array.init (Tree.size doc) (fun pre -> if pre = leaf.Tree.preorder then 1 else 0)
+        in
+        let store, import = Gen.import_store ~strategy:(Import.Explicit assignment) doc in
+        let lid = import.Import.node_ids.(leaf.Tree.preorder) in
+        let pid = lid.Node_id.pid in
+        let stamp0 = Store.page_stamp store pid in
+        let removed = Update.delete_subtree store lid in
+        check int "one node" 1 removed;
+        mirror_delete leaf;
+        check bool "structure" true (store_matches store doc);
+        check bool "the emptied cluster is stamped" true (Store.page_stamp store pid > stamp0);
+        check int "the page is not reclaimed" 2 (Store.page_count store);
+        (* The emptied page still hosts fresh records. *)
+        ignore (Update.insert_element store ~parent:import.Import.node_ids.(0) (Tag.of_string "re"));
+        ignore (mirror_insert doc (Array.length doc.Tree.children) (Tag.of_string "re"));
+        check bool "structure after reuse" true (store_matches store doc));
+    Alcotest.test_case "interleaved insert/delete stale a cluster's entries exactly once" `Quick
+      (fun () ->
+        let doc, store, import = fresh_setup () in
+        ignore (Tree.index doc);
+        let root_id = import.Import.node_ids.(0) in
+        Result_cache.clear ();
+        Result_cache.reset_stats ();
+        let log = Hashtbl.create 8 in
+        let saved = Store.swap_write_log store (Some log) in
+        let ws () = Array.of_list (Hashtbl.fold (fun p () acc -> p :: acc) log []) in
+        let fresh = Update.insert_element store ~parent:root_id (Tag.of_string "tmp") in
+        let insert_set = ws () in
+        (* A cached statement whose footprint is the insert's own write
+           set: the interleaved delete hits the same cluster (both ops
+           write the fresh node's page). *)
+        ignore (Result_cache.add ~clusters:insert_set store "/probe" ~count:0 []);
+        Hashtbl.reset log;
+        ignore (Update.delete_subtree store fresh);
+        check bool "the delete wrote the insert's cluster" true
+          (Array.exists (fun p -> p = fresh.Node_id.pid) insert_set
+          && Hashtbl.mem log fresh.Node_id.pid);
+        check int "the delete stales the entry" 1 (Result_cache.stale_clusters store (ws ()));
+        check int "a second signal for the same cluster finds nothing" 0
+          (Result_cache.stale_clusters store (ws ()));
+        ignore (Store.swap_write_log store saved);
+        check int "staleness was signalled exactly once" 1 (Result_cache.stats ()).Result_cache.stales;
+        check bool "structure" true (store_matches store doc);
+        Result_cache.clear ();
+        Result_cache.reset_stats ());
     Alcotest.test_case "inserts stale the synopsis and re-plan away from the index" `Quick
       (fun () ->
         let doc, store, import = fresh_setup () in

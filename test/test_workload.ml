@@ -9,10 +9,14 @@ module Buffer_manager = Xnav_storage.Buffer_manager
 module Import = Xnav_store.Import
 module Store = Xnav_store.Store
 module Node_id = Xnav_store.Node_id
+module Update = Xnav_store.Update
+module Tree = Xnav_xml.Tree
+module Tag = Xnav_xml.Tag
 module Xpath_parser = Xnav_xpath.Xpath_parser
 module Plan = Xnav_core.Plan
 module Exec = Xnav_core.Exec
 module Context = Xnav_core.Context
+module Result_cache = Xnav_core.Result_cache
 module Workload = Xnav_workload.Workload
 
 let check = Alcotest.check
@@ -30,8 +34,8 @@ let build ~capacity tree =
 
 let validating = { Context.default_config with Context.validate = true }
 
-let spec ?timeout label path plan =
-  { Workload.label; path = Xpath_parser.parse path; plan; timeout }
+let spec ?timeout ?(ops = []) label path plan =
+  { Workload.label; path = Xpath_parser.parse path; plan; timeout; ops }
 
 let mix () =
   [
@@ -138,6 +142,136 @@ let closed_loop_clients_drain () =
     r.Workload.jobs;
   check Alcotest.(list string) "clean end" [] r.Workload.violations
 
+(* --- writers: online updates under concurrent reads ----------------------- *)
+
+let replay twin ops =
+  List.iter
+    (fun op ->
+      match op with
+      | Workload.Insert_child { parent; tag } -> ignore (Update.insert_element twin ~parent tag)
+      | Workload.Delete_subtree victim -> ignore (Update.delete_subtree twin victim))
+    ops
+
+(* A writer client committing inserts and deletes against the shared
+   store, interleaved with readers: every op commits exactly once, the
+   commit log replayed serially on an identically-imported twin
+   reproduces the final document, and the run ends clean. *)
+let writer_mix_commits_and_replays () =
+  let store, import = Gen.import_store ~payload:96 ~page_size:256 ~capacity:16 (doc ()) in
+  let twin, _ = Gen.import_store ~payload:96 ~page_size:256 ~capacity:16 (doc ()) in
+  let ids = import.Import.node_ids in
+  let ops =
+    [
+      Workload.Insert_child { parent = ids.(0); tag = Tag.of_string "w" };
+      Workload.Delete_subtree ids.(4);
+      Workload.Insert_child { parent = ids.(0); tag = Tag.of_string "w" };
+    ]
+  in
+  let writer = spec ~ops "w" "/child::*" Plan.simple in
+  let readers =
+    [
+      spec "q-x" "/child::*/child::x" (Plan.xschedule ());
+      spec "q-y" "/descendant::y" (Plan.xscan ());
+    ]
+  in
+  let r = Workload.run_clients ~config:validating ~cold:true store [| readers; [ writer ] |] in
+  check Alcotest.(list string) "no invariant violations" [] r.Workload.violations;
+  check Alcotest.int "every op committed" (List.length ops) r.Workload.writer_commits;
+  check Alcotest.int "the commit log records every commit" r.Workload.writer_commits
+    (List.length r.Workload.commit_log);
+  let wj = job_by_label r "w" in
+  check Alcotest.string "writer completed"
+    (Workload.status_to_string Workload.Completed)
+    (Workload.status_to_string wj.Workload.status);
+  check Alcotest.int "a writer reports no nodes" 0 wj.Workload.count;
+  check Alcotest.int "commits are attributed to the writer job" (List.length ops)
+    wj.Workload.writer_commits;
+  check Alcotest.bool "a writer is never a cache hit" false wj.Workload.cache_hit;
+  replay twin r.Workload.commit_log;
+  check Alcotest.bool "replaying the commit log reproduces the document" true
+    (Tree.equal (Gen.reconstruct store) (Gen.reconstruct twin));
+  check Alcotest.int "no pins leaked" 0 (Buffer_manager.pinned_count (Store.buffer store))
+
+(* A commit into a cluster a running reader has already observed must
+   force the reader to restart under a fresh snapshot: the reader
+   reports at least one retry and its final answer is the post-commit
+   serial answer (it sees the inserted node). *)
+let snapshot_conflict_restarts_reader () =
+  let store, import = Gen.import_store ~payload:96 ~page_size:256 ~capacity:16 (doc ()) in
+  (* Insert under the document's first child: the splice writes the
+     first cluster, which the descendant scan observes on its very first
+     turns — appending under the root would only write the last
+     sibling's cluster, at the far end the reader hasn't reached. *)
+  let first_child = import.Import.node_ids.(1) in
+  let writer =
+    spec ~ops:[ Workload.Insert_child { parent = first_child; tag = Tag.of_string "y" } ] "w"
+      "/child::*" Plan.simple
+  in
+  (* Simple navigation yields on every random I/O, so the reader stays in
+     flight across many turns while the writer commits. *)
+  let reader = spec "q-y" "/descendant::y" Plan.simple in
+  let r = Workload.run_clients ~config:validating ~cold:true store [| [ reader ]; [ writer ] |] in
+  check Alcotest.(list string) "no invariant violations" [] r.Workload.violations;
+  check Alcotest.int "writer committed" 1 r.Workload.writer_commits;
+  let rj = job_by_label r "q-y" in
+  check Alcotest.bool "the commit into an observed cluster forced a restart" true
+    (rj.Workload.snapshot_retries >= 1);
+  check Alcotest.int "the restarted reader finished after the commit" 1
+    rj.Workload.finish_commit;
+  let expected = serial_ids store validating reader in
+  check id_list "reader answer equals the post-commit serial answer" expected
+    (ids_of rj.Workload.nodes)
+
+(* Cluster-granular invalidation, end to end through the front door: a
+   commit whose write set is disjoint from a cached statement's
+   footprint leaves the entry serving hits; a commit into the footprint
+   drops exactly that entry and forces one recompute. *)
+let untouched_paths_keep_hitting_across_commits () =
+  (* The chain depth is modest: ordpaths grow with depth and each record
+     must still fit the per-cluster payload budget. *)
+  let rec chain k = if k = 0 then Tree.elt "c" [] else Tree.elt "b" [ chain (k - 1) ] in
+  let tree = Tree.elt "r" [ Tree.elt "a" [ Tree.elt "x" [] ]; chain 8 ] in
+  let store, _ = Gen.import_store ~payload:150 ~capacity:16 tree in
+  let caching = { validating with Context.result_cache = true } in
+  Result_cache.clear ();
+  Result_cache.reset_stats ();
+  let q = spec "q" "/child::a/child::x" Plan.simple in
+  let run_q () = Workload.run ~config:caching ~cold:true store [ q ] in
+  let node_at path =
+    (List.hd
+       (Exec.cold_run ~config:validating store (Xpath_parser.parse path) Plan.simple).Exec.nodes)
+      .Store.id
+  in
+  let writer label parent =
+    spec ~ops:[ Workload.Insert_child { parent; tag = Tag.of_string "z" } ] label "/child::a"
+      Plan.simple
+  in
+  let r1 = run_q () in
+  let j1 = job_by_label r1 "q" in
+  check Alcotest.bool "first run misses" false j1.Workload.cache_hit;
+  check Alcotest.int "first run installs its answer" 1 r1.Workload.cache_misses;
+  (* Commit into the deep tail of the b-chain — clusters the query never
+     touched. *)
+  let r2 = Workload.run ~config:caching ~cold:true store [ writer "w-far" (node_at "/descendant::c") ] in
+  check Alcotest.int "far writer committed" 1 r2.Workload.writer_commits;
+  check Alcotest.int "a disjoint write set stales nothing" 0 r2.Workload.cluster_stales;
+  let r3 = run_q () in
+  let j3 = job_by_label r3 "q" in
+  check Alcotest.bool "untouched-path repeat still hits the cache" true j3.Workload.cache_hit;
+  check id_list "the hit serves the original answer" (ids_of j1.Workload.nodes)
+    (ids_of j3.Workload.nodes);
+  (* Commit into the query's own footprint: insert under [a]. *)
+  let r4 = Workload.run ~config:caching ~cold:true store [ writer "w-near" (node_at "/child::a") ] in
+  check Alcotest.int "near writer committed" 1 r4.Workload.writer_commits;
+  check Alcotest.int "an intersecting write set stales the entry" 1 r4.Workload.cluster_stales;
+  let r5 = run_q () in
+  let j5 = job_by_label r5 "q" in
+  check Alcotest.bool "the staled entry forces a recompute" false j5.Workload.cache_hit;
+  check id_list "the recomputed answer is unchanged" (ids_of j1.Workload.nodes)
+    (ids_of j5.Workload.nodes);
+  Result_cache.clear ();
+  Result_cache.reset_stats ()
+
 let percentiles_are_nearest_rank () =
   let xs = [ 4.0; 1.0; 3.0; 2.0; 5.0 ] in
   check (Alcotest.float 1e-9) "p50" 3.0 (Workload.percentile xs 50.0);
@@ -158,6 +292,12 @@ let suite =
           fairness_counters_advance;
         Alcotest.test_case "closed-loop clients drain their job queues" `Quick
           closed_loop_clients_drain;
+        Alcotest.test_case "writer mix commits and replays serially" `Quick
+          writer_mix_commits_and_replays;
+        Alcotest.test_case "a conflicting commit restarts the reader's snapshot" `Quick
+          snapshot_conflict_restarts_reader;
+        Alcotest.test_case "untouched paths keep hitting the cache across commits" `Quick
+          untouched_paths_keep_hitting_across_commits;
         Alcotest.test_case "latency percentiles use nearest rank" `Quick
           percentiles_are_nearest_rank;
       ] );
