@@ -27,6 +27,7 @@ module Bench_schema = Xnav_core.Bench_schema
 module Xmark = Xnav_xmark.Gen
 module Queries = Xnav_xmark.Queries
 module Workload = Xnav_workload.Workload
+module Shard = Xnav_workload.Shard
 
 (* --- configuration --------------------------------------------------------- *)
 
@@ -129,6 +130,7 @@ let zero_metrics =
     latch_waits = 0;
     snapshot_retries = 0;
     cluster_stales = 0;
+    scan_resist_hits = 0;
     fell_back = false;
   }
 
@@ -175,6 +177,7 @@ let add_metrics (a : Exec.metrics) (b : Exec.metrics) =
     latch_waits = a.Exec.latch_waits + b.Exec.latch_waits;
     snapshot_retries = a.Exec.snapshot_retries + b.Exec.snapshot_retries;
     cluster_stales = a.Exec.cluster_stales + b.Exec.cluster_stales;
+    scan_resist_hits = a.Exec.scan_resist_hits + b.Exec.scan_resist_hits;
     fell_back = a.Exec.fell_back || b.Exec.fell_back;
   }
 
@@ -861,6 +864,7 @@ let metrics_fields count (m : Exec.metrics) =
     ("cache_misses", string_of_int m.Exec.cache_misses);
     ("cache_evictions", string_of_int m.Exec.cache_evictions);
     ("shared_demand", string_of_int m.Exec.shared_demand);
+    ("scan_resist_hits", string_of_int m.Exec.scan_resist_hits);
     ("fell_back", if m.Exec.fell_back then "true" else "false");
   ]
 
@@ -1505,6 +1509,213 @@ let workload_mode ~profile cfg ~clients ?(writers = 0) out_file =
   close_out oc;
   Printf.printf "wrote %d workload job rows to %s\n" total_jobs out_file
 
+(* --- sharded tenancy mode (--workload --shards) -------------------------------- *)
+
+(* Multi-document tenancy through the Shard engine: M XMark tenant
+   documents placed on K shards by the stable hash, closed-loop clients
+   each pinned to a home tenant, the q6'/q7/q15 mix plus one
+   deliberately antagonistic XScan sweep per client rotation — the
+   co-located sequential scan the 2Q policy must absorb. Three hard
+   gates: every submitted job must come back, no tenant's p99 may
+   collapse relative to the median tenant (the cross-tenant fairness
+   gate made observable), and the sharded wall-clock (the busiest
+   shard's simulated disk time) must not exceed the same workload forced
+   onto a single shard — sharding that loses to colocation is a routing
+   bug, not a topology choice. *)
+let shard_mode ~profile cfg ~clients ~shards ~tenants out_file =
+  section_header
+    (Printf.sprintf "sharded tenancy — %d clients, %d tenants on %d shards (q6'/q7/q15 + scan mix)"
+       clients tenants shards);
+  (* Many small documents model tenancy better than one big one: the
+     interesting costs are routing, per-shard contention and fairness,
+     not per-document depth. *)
+  let tenant_fidelity = Float.max 0.002 (cfg.fidelity *. 0.1) in
+  let tenant_name i = Printf.sprintf "tenant-%02d" i in
+  let tenant_docs =
+    List.init tenants (fun i ->
+        ( tenant_name i,
+          Xmark.generate
+            ~config:
+              { Xmark.scale = 1.0; fidelity = tenant_fidelity; seed = Xmark.default_config.Xmark.seed + i }
+            () ))
+  in
+  let config =
+    { Context.default_config with Context.validate = true; scan_resistant = true }
+  in
+  let mix =
+    workload_mix ()
+    @ [
+        (* The antagonist: a full sequential sweep of the tenant's pages.
+           With 2Q on, its one-shot pages stay probationary and recycle
+           against themselves instead of flushing the mix's hot set. *)
+        (match Queries.q7.Queries.paths with
+        | p :: _ ->
+          { Workload.label = "scan"; path = p; plan = Plan.xscan (); timeout = None; ops = [] }
+        | [] -> assert false);
+      ]
+  in
+  let rotate k xs =
+    let k = k mod List.length xs in
+    let rec go i acc = function
+      | rest when i = 0 -> rest @ List.rev acc
+      | x :: rest -> go (i - 1) (x :: acc) rest
+      | [] -> List.rev acc
+    in
+    go k [] xs
+  in
+  let rec take n = function x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> [] in
+  let per_client = if profile = "smoke" then 4 else 6 in
+  let queues =
+    Array.init clients (fun i ->
+        let tenant = tenant_name (i mod tenants) in
+        List.map (fun spec -> { Shard.tenant; spec }) (take per_client (rotate i mix)))
+  in
+  let expected_jobs = Array.fold_left (fun a q -> a + List.length q) 0 queues in
+  let run_topology k =
+    let t =
+      Shard.create ~capacity:cfg.buffer ~page_size:cfg.page_size ~shards:k tenant_docs
+    in
+    (t, Shard.run_clients ~config ~cold:true t queues)
+  in
+  let _t, r = run_topology shards in
+  let wall_of (res : Shard.result) =
+    List.fold_left (fun a (s : Shard.shard_stat) -> Float.max a s.Shard.io_time) 0.0
+      res.Shard.shard_stats
+  in
+  let wall = wall_of r in
+  (* The colocation reference: same tenants, same clients, one stack. *)
+  let _t1, r1 = run_topology 1 in
+  let single_wall = wall_of r1 in
+  if r.Shard.violations <> [] then begin
+    Printf.eprintf "bench --shards: invariant violations after the run:\n";
+    List.iter (fun v -> Printf.eprintf "  %s\n" v) r.Shard.violations;
+    exit 1
+  end;
+  let total_jobs = List.length r.Shard.jobs in
+  if total_jobs <> expected_jobs then begin
+    Printf.eprintf "bench --shards: %d of %d jobs reported\n" total_jobs expected_jobs;
+    exit 1
+  end;
+  let active_tenants =
+    List.filter (fun (ts : Shard.tenant_stat) -> ts.Shard.jobs > 0) r.Shard.tenant_stats
+  in
+  let p99s = List.map (fun (ts : Shard.tenant_stat) -> ts.Shard.p99) active_tenants in
+  let tenant_p99 = List.fold_left Float.max 0.0 p99s in
+  let tenant_p99_median = Workload.percentile p99s 50.0 in
+  (* The per-tenant tail gate: a collapsing tenant shows up as a p99 far
+     off the median. The absolute floor keeps tiny smoke runs (median
+     near zero) from tripping on scheduler quantisation. *)
+  let p99_bound = (10.0 *. tenant_p99_median) +. 1.0 in
+  if tenant_p99 > p99_bound then begin
+    Printf.eprintf
+      "bench --shards: tenant p99 %.4fs blew past the fairness bound %.4fs (median %.4fs)\n"
+      tenant_p99 p99_bound tenant_p99_median;
+    exit 1
+  end;
+  if wall > (single_wall *. 1.05) +. 1e-6 then begin
+    Printf.eprintf
+      "bench --shards: sharded wall-clock %.4fs exceeds the single-shard reference %.4fs\n" wall
+      single_wall;
+    exit 1
+  end;
+  let shard_reads = r.Shard.page_reads in
+  let scan_resist_hits =
+    List.fold_left (fun a (s : Shard.shard_stat) -> a + s.Shard.scan_resist_hits) 0
+      r.Shard.shard_stats
+  in
+  let throughput = if wall > 0.0 then float_of_int total_jobs /. wall else 0.0 in
+  let count_status st =
+    List.length
+      (List.filter (fun ((_, j) : string * Workload.job) -> j.Workload.status = st) r.Shard.jobs)
+  in
+  Printf.printf "%d jobs (%d completed, %d recovered, %d timed out), max %d concurrent, %d turns\n"
+    total_jobs (count_status Workload.Completed) (count_status Workload.Recovered)
+    (count_status Workload.Timed_out) r.Shard.max_concurrent r.Shard.turns;
+  Printf.printf
+    "wall %.4fs (single-shard %.4fs)   throughput %.1f jobs/s   tenant p99 max %.4fs / median %.4fs\n"
+    wall single_wall throughput tenant_p99 tenant_p99_median;
+  Printf.printf "%d page reads over %d shards; %d rebalance moves, %d 2q protected hits\n"
+    shard_reads shards r.Shard.rebalance_moves scan_resist_hits;
+  let shard_rows =
+    List.map
+      (fun (s : Shard.shard_stat) ->
+        jobj
+          [
+            ("shard", string_of_int s.Shard.shard);
+            ("tenants", string_of_int s.Shard.tenants);
+            ("page_reads", string_of_int s.Shard.page_reads);
+            ("io_time", jfloat s.Shard.io_time);
+            ("turns", string_of_int s.Shard.turns);
+            ("scan_resist_hits", string_of_int s.Shard.scan_resist_hits);
+          ])
+      r.Shard.shard_stats
+  in
+  let tenant_rows =
+    List.map
+      (fun (ts : Shard.tenant_stat) ->
+        jobj
+          [
+            ("tenant", jstring ts.Shard.tenant);
+            ("shard", string_of_int ts.Shard.shard);
+            ("jobs", string_of_int ts.Shard.jobs);
+            ("latency_p50", jfloat ts.Shard.p50);
+            ("latency_p99", jfloat ts.Shard.p99);
+            ("served_ticks", string_of_int ts.Shard.served_ticks);
+            ("starved_ticks", string_of_int ts.Shard.starved_ticks);
+            ("cache_hits", string_of_int ts.Shard.cache_hits);
+          ])
+      r.Shard.tenant_stats
+  in
+  let out =
+    jobj
+      [
+        ("schema", jstring Bench_schema.version);
+        ("mode", jstring "workload-shards");
+        ("profile", jstring profile);
+        ( "config",
+          jobj
+            [
+              ("fidelity", jfloat tenant_fidelity);
+              ("page_size", string_of_int cfg.page_size);
+              ("buffer", string_of_int cfg.buffer);
+              ("clients", string_of_int clients);
+              ("shards", string_of_int shards);
+              ("tenants", string_of_int tenants);
+              ("per_client", string_of_int per_client);
+            ] );
+        ( "shards_summary",
+          jobj
+            [
+              ("jobs", string_of_int total_jobs);
+              ("completed", string_of_int (count_status Workload.Completed));
+              ("recovered", string_of_int (count_status Workload.Recovered));
+              ("timed_out", string_of_int (count_status Workload.Timed_out));
+              ("shard_reads", string_of_int shard_reads);
+              ("tenant_p99", jfloat tenant_p99);
+              ("tenant_p99_median", jfloat tenant_p99_median);
+              ("rebalance_moves", string_of_int r.Shard.rebalance_moves);
+              ("scan_resist_hits", string_of_int scan_resist_hits);
+              ("throughput", jfloat throughput);
+              ("wall_simulated", jfloat wall);
+              ("single_shard_wall", jfloat single_wall);
+              ("turns", string_of_int r.Shard.turns);
+              ("max_concurrent", string_of_int r.Shard.max_concurrent);
+              ("cache_hits", string_of_int r.Shard.cache_hits);
+              ("cpu_time", jfloat r.Shard.cpu_time);
+              ("io_time", jfloat r.Shard.io_time);
+            ] );
+        ("shards", jarr shard_rows);
+        ("tenants", jarr tenant_rows);
+      ]
+  in
+  check_json_shape out;
+  let oc = open_out out_file in
+  output_string oc out;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %d shard rows and %d tenant rows to %s\n" (List.length shard_rows)
+    (List.length tenant_rows) out_file
+
 (* --- baseline comparison (--compare) ------------------------------------------ *)
 
 (* A minimal JSON reader, enough for the --json files this harness writes
@@ -1994,9 +2205,24 @@ let () =
             Printf.eprintf "bench --writers: not a non-negative integer: %s\n" v;
             exit 1)
       in
+      let pos_int flag default =
+        match find_value flag args with
+        | None -> default
+        | Some v -> (
+          match int_of_string_opt v with
+          | Some n when n > 0 -> n
+          | _ ->
+            Printf.eprintf "bench %s: not a positive integer: %s\n" flag v;
+            exit 1)
+      in
       let out_file = Option.value (find_value "--json" args) ~default:"bench-workload.json" in
       try
-        if List.mem "--skew" args then skew_mode ~profile ~smoke cfg ~clients out_file
+        if List.mem "--shards" args then begin
+          let shards = pos_int "--shards" 4 in
+          let tenants = pos_int "--tenants" (2 * shards) in
+          shard_mode ~profile cfg ~clients ~shards ~tenants out_file
+        end
+        else if List.mem "--skew" args then skew_mode ~profile ~smoke cfg ~clients out_file
         else workload_mode ~profile cfg ~clients ~writers out_file
       with Malformed msg ->
         Printf.eprintf "bench --workload: malformed output: %s\n" msg;

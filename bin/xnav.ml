@@ -417,7 +417,7 @@ let check_cmd =
       & info [ "tier" ] ~docv:"TIER"
           ~doc:
             "Differential tier to sample: base, swizzle, batching, workload, writers, fused, \
-             cache, index, or all. Only meaningful in sampling mode (without $(b,--path)).")
+             shards, cache, index, or all. Only meaningful in sampling mode (without $(b,--path)).")
   in
   let tiers_of = function
     | "base" -> Some [ ("base", D.run) ]
@@ -426,6 +426,7 @@ let check_cmd =
     | "workload" -> Some [ ("workload", D.run_workload) ]
     | "writers" -> Some [ ("writers", D.run_writers) ]
     | "fused" -> Some [ ("fused", D.run_fused) ]
+    | "shards" -> Some [ ("shards", D.run_shards) ]
     | "cache" -> Some [ ("cache", D.run_cache) ]
     | "index" -> Some [ ("index", D.run_index) ]
     | "all" ->
@@ -437,6 +438,7 @@ let check_cmd =
           ("workload", D.run_workload);
           ("writers", D.run_writers);
           ("fused", D.run_fused);
+          ("shards", D.run_shards);
           ("cache", D.run_cache);
           ("index", D.run_index);
         ]

@@ -14,6 +14,7 @@ module Exec = Xnav_core.Exec
 module Multi = Xnav_core.Multi
 module Interleave = Xnav_core.Interleave
 module Workload = Xnav_workload.Workload
+module Shard = Xnav_workload.Shard
 module Update = Xnav_store.Update
 module Context = Xnav_core.Context
 module Result_cache = Xnav_core.Result_cache
@@ -529,6 +530,102 @@ let check_writers_case case =
   let _, import = build_store ~doc case.physical in
   check_writers_built ~doc ~import case
 
+(* --- shards tier ----------------------------------------------------------- *)
+
+(* Sharded tenancy must be invisible in the answers: running every
+   (tenant, plan) pair at once through the two-level Shard scheduler —
+   stable placement, per-shard admission, the cross-tenant fairness
+   gate, scan-resistant (2Q) eviction in half the cases and the
+   result-cache front door in half — must give each job exactly the
+   node set a serial cold run of the same plan on the same tenant store
+   produces. Tenant documents and the shard count derive from the case
+   seed, so every topology is reproducible from the reproducer line. *)
+let check_shards_case case =
+  let tenant_count = 2 + (case.doc_seed mod 3) in
+  let shard_count = 1 + (case.doc_seed / 3 mod 3) in
+  let tenants =
+    List.init tenant_count (fun i ->
+        ( Printf.sprintf "tenant-%d" i,
+          cached_document ~doc_seed:(case.doc_seed + (7 * i)) ~fidelity:case.fidelity ))
+  in
+  let t =
+    Shard.create ~capacity:case.physical.capacity ~policy:case.physical.policy
+      ~replacement:case.physical.replacement ~strategy:case.physical.strategy
+      ~page_size:case.physical.page_size ~payload:case.physical.payload ~shards:shard_count
+      tenants
+  in
+  let config =
+    {
+      (context_config case) with
+      Context.scan_resistant = case.doc_seed land 1 = 1;
+      result_cache = case.doc_seed land 2 = 2;
+    }
+  in
+  (* The serial replays must recompute, not echo entries the concurrent
+     run installed. *)
+  let serial_config = { config with Context.result_cache = false } in
+  if config.Context.result_cache then Result_cache.clear ();
+  let mismatches = ref [] in
+  let record plan detail = mismatches := { plan; detail } :: !mismatches in
+  let plans = plans_for case in
+  let clients =
+    Array.of_list
+      (List.concat_map
+         (fun (name, _) ->
+           List.map
+             (fun (pname, plan) ->
+               [
+                 {
+                   Shard.tenant = name;
+                   spec =
+                     { Workload.label = pname; path = case.path; plan; timeout = None; ops = [] };
+                 };
+               ])
+             plans)
+         tenants)
+  in
+  (match Shard.run_clients ~config ~cold:true t clients with
+  | r ->
+    let serial =
+      List.concat_map
+        (fun (name, _) ->
+          let store = Shard.store t name in
+          List.map
+            (fun (pname, plan) ->
+              ( (name, pname),
+                ids_of (Exec.cold_run ~config:serial_config store case.path plan).Exec.nodes ))
+            plans)
+        tenants
+    in
+    List.iter
+      (fun (tenant, (job : Workload.job)) ->
+        let expected = List.assoc (tenant, job.Workload.job_label) serial in
+        let got = ids_of job.Workload.nodes in
+        if got <> expected then
+          record
+            (Printf.sprintf "%s/%s" tenant job.Workload.job_label)
+            (Format.asprintf "serial: %d nodes %a, sharded (%s): %d nodes %a"
+               (List.length expected) pp_ids expected
+               (Workload.status_to_string job.Workload.status)
+               (List.length got) pp_ids got))
+      r.Shard.jobs;
+    if List.length r.Shard.jobs <> Array.length clients then
+      record "shards"
+        (Printf.sprintf "%d jobs submitted but %d reported" (Array.length clients)
+           (List.length r.Shard.jobs));
+    List.iter (fun msg -> record "shards" msg) r.Shard.violations;
+    List.iter
+      (fun (name, _) ->
+        let expected = Shard.stable_shard ~shards:shard_count name in
+        let got = Shard.shard_of t name in
+        if got <> expected then
+          record "shards"
+            (Printf.sprintf "tenant %s placed on shard %d, expected %d" name got expected))
+      tenants
+  | exception e -> record "shards" (Printf.sprintf "raised %s" (Printexc.to_string e)));
+  if config.Context.result_cache then Result_cache.clear ();
+  List.rev !mismatches
+
 (* --- index tier ----------------------------------------------------------- *)
 
 (* The structural-index tier: index plans — covering when the path is a
@@ -948,6 +1045,12 @@ let run_writers ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(l
     ~check_one:(fun ~doc ~store:_ ~import case -> check_writers_built ~doc ~import case)
     ~runs_of:(fun case -> (2 * List.length (plans_for case)) + 2)
     ~shrink_check:check_writers_case ~seed ~cases ~paths_per_store ~log
+
+let run_shards ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(log = ignore) () =
+  run_tier
+    ~check_one:(fun ~doc:_ ~store:_ ~import:_ case -> check_shards_case case)
+    ~runs_of:(fun case -> 2 * (2 + (case.doc_seed mod 3)) * List.length (plans_for case))
+    ~shrink_check:check_shards_case ~seed ~cases ~paths_per_store ~log
 
 let run_fused ?(seed = default_seed) ?(cases = 200) ?(paths_per_store = 8) ?(log = ignore) () =
   run_tier

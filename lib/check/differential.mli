@@ -70,6 +70,19 @@ val check_workload_case : case -> mismatch list
     layer ends clean. Capacities sampled down to 1 exercise the
     serialising admission path. *)
 
+val check_shards_case : case -> mismatch list
+(** Differential check of the sharded tenancy engine: derive a small
+    multi-tenant topology from the case (2–4 XMark tenants over 1–3
+    shards, the case's physical configuration per shard), run every
+    (tenant, plan) pair at once through
+    {!Xnav_workload.Shard.run_clients} — per-shard admission, the
+    two-level cost-credit scheduler with its cross-tenant fairness gate,
+    scan-resistant (2Q) eviction and the result-cache front door each on
+    in half the cases — and assert each job's node set equals a serial
+    cold run of the same plan on the same tenant store, that placement
+    matches {!Xnav_workload.Shard.stable_shard}, and that every shard's
+    storage layer ends clean. *)
+
 val check_fused_case : case -> mismatch list
 (** Differential check of the fused chain automaton: build the case's
     store and run every fused-capable plan (XSchedule, XScan and its
@@ -180,6 +193,17 @@ val run_writers :
     documents must match, and the run must report zero invariant
     violations and leave the storage layer clean. Stores are built fresh
     per case (writes would leak across the batch's shared store). *)
+
+val run_shards :
+  ?seed:int ->
+  ?cases:int ->
+  ?paths_per_store:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  report
+(** Like {!run} but applying {!check_shards_case}'s sharded/serial
+    comparison to every sampled case (one sharded engine run plus one
+    serial execution per (tenant, plan) pair). *)
 
 val run_fused :
   ?seed:int ->

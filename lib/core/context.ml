@@ -18,6 +18,7 @@ type config = {
   scan_threshold : float;
   fused : bool;
   result_cache : bool;
+  scan_resistant : bool;
 }
 
 let default_config =
@@ -32,10 +33,12 @@ let default_config =
     scan_threshold = 0.5;
     fused = true;
     result_cache = false;
+    scan_resistant = false;
   }
 
 let set_fused fused config = { config with fused }
 let set_result_cache result_cache config = { config with result_cache }
+let set_scan_resistant scan_resistant config = { config with scan_resistant }
 
 type mode = Normal | Fallback
 
@@ -74,6 +77,7 @@ type counters = {
   mutable latch_waits : int;
   mutable snapshot_retries : int;
   mutable cluster_stales : int;
+  mutable scan_resist_hits : int;
 }
 
 type t = {
@@ -126,6 +130,7 @@ let create ?(config = default_config) store =
         latch_waits = 0;
         snapshot_retries = 0;
         cluster_stales = 0;
+        scan_resist_hits = 0;
       };
   }
 

@@ -64,12 +64,24 @@ type config = {
           shared-scan dedup. Off by default: library callers get the
           historical from-scratch execution (and I/O trace) byte for
           byte; the [xnav] front end and the bench harness enable it. *)
+  scan_resistant : bool;
+      (** Run the store's buffer pool under the 2Q scan-resistant
+          eviction policy
+          ({!Xnav_storage.Buffer_manager.set_scan_resistant}): freshly
+          read pages sit in a probationary queue and only a re-reference
+          promotes them to the protected main queue, so a co-tenant's
+          sequential scan cannot flush a hot working set. Off by
+          default: victim choices reproduce the historical exact LRU
+          byte for byte. Applied to the pool by {!Exec.run} /
+          {!Exec.prepare} (and through them the workload and shard
+          engines). *)
 }
 
 val default_config : config
 (** [k = 100], speculation on, a 1M-instance budget, intermediate
     duplicate elimination on; coalescing window 16, cost-sensitive serve,
-    scan threshold 0.5, fused chains on, result cache off. *)
+    scan threshold 0.5, fused chains on, result cache off, scan-resistant
+    eviction off. *)
 
 val set_fused : bool -> config -> config
 (** [set_fused false config] disables the fused automaton — reordered
@@ -79,6 +91,10 @@ val set_result_cache : bool -> config -> config
 (** [set_result_cache true config] enables the repeat-traffic front
     door: {!Result_cache} consultation in {!Exec.run} (and, through it,
     {!Query_exec}) plus shared-scan dedup in the workload engine. *)
+
+val set_scan_resistant : bool -> config -> config
+(** [set_scan_resistant true config] switches the buffer pool to the 2Q
+    scan-resistant eviction policy for runs under this config. *)
 
 type mode = Normal | Fallback
 
@@ -163,6 +179,11 @@ type counters = {
       (** Workload-only: result-cache entries proactively dropped by
           this writer's commits because their cluster footprint
           intersected the write set. Always 0 for read jobs. *)
+  mutable scan_resist_hits : int;
+      (** Buffer hits served from the 2Q main queue during this run
+          (filled from {!Xnav_storage.Buffer_manager.stats} deltas by
+          the driver, like the swizzle counters). Always 0 with
+          [config.scan_resistant] off. *)
 }
 
 type t = {

@@ -47,6 +47,7 @@ type metrics = {
   latch_waits : int;
   snapshot_retries : int;
   cluster_stales : int;
+  scan_resist_hits : int;
   fell_back : bool;
 }
 
@@ -135,6 +136,9 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
   let ctx = Context.create ~config store in
   ctx.Context.trace <- trace;
   let buffer = Store.buffer store in
+  (* The eviction-policy knob travels with the config: knob-off runs put
+     the pool back on the historical exact LRU before the first fix. *)
+  Buffer_manager.set_scan_resistant buffer config.Context.scan_resistant;
   let disk = Buffer_manager.disk buffer in
   let disk_before = Disk.stats disk in
   let io_before = Disk.elapsed disk in
@@ -205,6 +209,7 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
           latch_waits = 0;
           snapshot_retries = 0;
           cluster_stales = 0;
+          scan_resist_hits = 0;
           fell_back = false;
         };
     }
@@ -258,6 +263,8 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
   let c = ctx.Context.counters in
   c.Context.swizzle_hits <- swiz_hits_after - swiz_hits_before;
   c.Context.swizzle_misses <- swiz_misses_after - swiz_misses_before;
+  c.Context.scan_resist_hits <-
+    buf_after.Buffer_manager.scan_resist_hits - buf_before.Buffer_manager.scan_resist_hits;
   let pinned = Buffer_manager.pinned_count buffer in
   if pinned <> 0 then failwith (Printf.sprintf "Exec.run: %d pages left pinned" pinned);
 
@@ -364,6 +371,7 @@ let run ?config ?contexts ?trace ?(ordered = true) store path plan =
         latch_waits = c.Context.latch_waits;
         snapshot_retries = c.Context.snapshot_retries;
         cluster_stales = c.Context.cluster_stales;
+        scan_resist_hits = c.Context.scan_resist_hits;
         fell_back = Context.fallback ctx;
       };
   }
@@ -388,6 +396,7 @@ let prepare ?config ?contexts ?trace store path plan =
   in
   let ctx = Context.create ~config store in
   ctx.Context.trace <- trace;
+  Buffer_manager.set_scan_resistant (Store.buffer store) config.Context.scan_resistant;
   let next, xschedule, xscan, xindex = pipeline ctx store path plan contexts in
   {
     next;
@@ -437,6 +446,7 @@ let pp_metrics ppf m =
      fused: transitions %d states %d@,\
      cache: hits %d misses %d evictions %d shared %d@,\
      writers: commits %d latch-waits %d retries %d stales %d@,\
+     2q: protected hits %d@,\
      swizzle: hits %d misses %d (%.0f%% hit rate)@,\
      clusters visited %d%s@]"
     m.total_time m.io_time m.cpu_time m.page_reads m.sequential_reads m.random_reads
@@ -446,6 +456,7 @@ let pp_metrics ppf m =
     m.q_enqueued m.q_served m.index_entries m.index_clusters m.index_residuals
     m.fused_transitions m.fused_states m.cache_hits m.cache_misses m.cache_evictions
     m.shared_demand m.writer_commits m.latch_waits m.snapshot_retries m.cluster_stales
+    m.scan_resist_hits
     m.swizzle_hits
     m.swizzle_misses
     (100. *. swizzle_hit_rate m)

@@ -69,6 +69,9 @@ type metrics = {
       (** Workload-only: result-cache entries a writer's commits
           proactively dropped (footprint intersected the write set). 0
           for read jobs. *)
+  scan_resist_hits : int;
+      (** Buffer hits served from the 2Q-protected main queue during the
+          run. 0 with [config.scan_resistant] off. *)
   fell_back : bool;
 }
 

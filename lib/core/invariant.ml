@@ -79,6 +79,7 @@ let post_run ?xschedule ?xindex ?results ctx =
       ("latch_waits", c.Context.latch_waits);
       ("snapshot_retries", c.Context.snapshot_retries);
       ("cluster_stales", c.Context.cluster_stales);
+      ("scan_resist_hits", c.Context.scan_resist_hits);
     ]
   in
   List.iter (fun (name, v) -> if v < 0 then fail "counter %s is negative (%d)" name v) non_negative;
@@ -122,6 +123,12 @@ let post_run ?xschedule ?xindex ?results ctx =
   then
     fail "fused: %d transitions / %d states recorded while fused evaluation is off"
       c.Context.fused_transitions c.Context.fused_states;
+  (* 2Q accounting: protected-queue hits only exist under the
+     scan-resistant policy — knob-off runs must report 0 (that is what
+     makes the knob-off victim trace the historical LRU regime). *)
+  if (not ctx.Context.config.Context.scan_resistant) && c.Context.scan_resist_hits > 0 then
+    fail "2q: %d protected hits recorded while scan-resistant eviction is off"
+      c.Context.scan_resist_hits;
   (* Result-cache accounting: with the front door off no run may touch
      the cache (that is what makes cache-off the historical regime), a
      single run is a hit or a miss but never both, and a hit answers

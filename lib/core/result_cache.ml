@@ -4,12 +4,16 @@ module Store = Xnav_store.Store
    circular doubly-linked LRU list threaded through a sentinel: a hit is
    pure pointer surgery (unlink + relink at the MRU end), so serving
    repeat traffic allocates nothing beyond the [Some] cell the lookup
-   returns. The hash table is keyed by (store uid, normalized path); the
+   returns. The hash table is keyed by (store uid, document identity,
+   normalized path): uids disambiguate live stores, but they are a
+   per-process counter — a uid reused after a counter reset (a fresh
+   process over a warm cache) could alias two different documents, so
+   the content digest [Store.identity] rides in the key as well. The
    mutation stamp is validated on every hit rather than folded into the
    key, so a store update lazily drops exactly the entries it staled. *)
 
 type entry = {
-  key : int * string;
+  key : int * int * string;
   mutable stamp : int;
   mutable nodes : Store.info list;  (* distinct, document order *)
   mutable count : int;
@@ -27,7 +31,7 @@ type stats = { hits : int; misses : int; evictions : int; stales : int }
 
 let default_capacity = 256
 
-let table : (int * string, entry) Hashtbl.t = Hashtbl.create 512
+let table : (int * int * string, entry) Hashtbl.t = Hashtbl.create 512
 let capacity_ref = ref default_capacity
 let size_ref = ref 0
 let hits_ref = ref 0
@@ -37,7 +41,7 @@ let stales_ref = ref 0
 
 let rec sentinel =
   {
-    key = (-1, "");
+    key = (-1, 0, "");
     stamp = -1;
     nodes = [];
     count = 0;
@@ -97,7 +101,7 @@ let still_valid store e =
     ok
 
 let find store path =
-  match Hashtbl.find_opt table (Store.uid store, path) with
+  match Hashtbl.find_opt table (Store.uid store, Store.identity store, path) with
   | None ->
     incr misses_ref;
     None
@@ -120,7 +124,7 @@ let find store path =
 let add ?clusters store path ~count:n nodes =
   if !capacity_ref = 0 then 0
   else begin
-    let key = (Store.uid store, path) in
+    let key = (Store.uid store, Store.identity store, path) in
     let stamp = Store.mutation_stamp store in
     match Hashtbl.find_opt table key with
     | Some e ->
@@ -156,7 +160,8 @@ let stale_clusters store touched =
     while !cursor != sentinel do
       let e = !cursor in
       cursor := e.next;
-      if fst e.key = uid then begin
+      let euid, _, _ = e.key in
+      if euid = uid then begin
         let hit =
           match e.clusters with
           | None -> true

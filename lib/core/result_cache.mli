@@ -18,10 +18,14 @@
     footprint.
 
     The cache is process-wide and bounded: entries from different
-    stores are disambiguated by {!Xnav_store.Store.uid}, least-recently
-    used entries are evicted once {!capacity} is exceeded, and a hit is
-    allocation-free (intrusive LRU relink; the cached node list is
-    returned without copying).
+    stores are disambiguated by {!Xnav_store.Store.uid} {e and} the
+    document's content digest {!Xnav_store.Store.identity} — uids are a
+    per-process counter, so a uid alone could alias two different
+    documents across a uid-counter reset (a fresh process over a warm
+    cache); the digest makes such a reuse a clean miss instead of a
+    wrong answer. Least-recently used entries are evicted once
+    {!capacity} is exceeded, and a hit is allocation-free (intrusive LRU
+    relink; the cached node list is returned without copying).
 
     Consultation is governed by {!Context.config.result_cache} — off by
     default in the library so every historical execution path is

@@ -20,6 +20,11 @@ type stats = {
   misses : int;  (** Synchronous reads caused by {!fix}. *)
   async_reads : int;  (** Pages installed via {!await_one}. *)
   evictions : int;
+  scan_resist_hits : int;
+      (** Synchronous {!fix} hits served from the protected main (Am)
+          queue while the 2Q policy is active — the accesses whose pages
+          a plain LRU would have let a concurrent sequential scan flush.
+          Always 0 with {!scan_resistant} off. *)
 }
 
 type replacement = Lru | Mru | Fifo | Clock
@@ -40,11 +45,37 @@ exception Buffer_full
 (** Raised when a page must be brought in but every frame is pinned. *)
 
 val create :
-  ?capacity:int -> ?policy:Io_scheduler.policy -> ?replacement:replacement -> Disk.t -> t
+  ?capacity:int ->
+  ?policy:Io_scheduler.policy ->
+  ?replacement:replacement ->
+  ?scan_resistant:bool ->
+  Disk.t ->
+  t
 (** [create disk] makes a buffer of [capacity] frames (default 1000, the
     paper's configuration) over [disk], with an internal scheduler using
     [policy] (default [Elevator]) and [replacement] victim selection
-    (default [Lru]). *)
+    (default [Lru]). [scan_resistant] (default [false]) starts the pool
+    with the 2Q policy on — see {!set_scan_resistant}. *)
+
+val scan_resistant : t -> bool
+
+val set_scan_resistant : t -> bool -> unit
+(** Toggle the 2Q scan-resistant eviction policy (LRU pools only; the
+    other replacement policies ignore it). When on, freshly installed
+    pages enter a {e probationary} (A1) queue and are only {e promoted}
+    to the main (Am) queue on a re-reference; while the probationary
+    queue holds more than a quarter of the pool (the classic 2Q Kin
+    share) victims are taken from it, so a single sequential sweep
+    recycles its own one-shot pages instead of flushing the hot working
+    set. Both queues reuse the allocation-free lazy exact-LRU snapshot
+    rows. With the knob off (the default) every install goes straight to
+    the main queue and the pool reproduces the historical exact-LRU
+    victim choices byte for byte. *)
+
+val set_evict_observer : t -> (int -> unit) option -> unit
+(** Install (or remove) a callback invoked with the page id of every
+    frame the replacement policy evicts — victim-trace recording for the
+    2Q differential tests. [None] (the default) costs nothing. *)
 
 val capacity : t -> int
 val disk : t -> Disk.t

@@ -6,6 +6,7 @@ type access_log = (int, unit) Hashtbl.t
 
 type t = {
   uid : int;  (* process-unique attach stamp; cache keys across stores *)
+  identity : int;  (* content digest (tag census + record count); see [identity] *)
   buffer : Buffer_manager.t;
   root : Node_id.t;
   first_page : int;
@@ -56,9 +57,24 @@ let fresh_uid () =
   incr next_uid;
   !next_uid
 
+let reset_uids () = next_uid := 0
+
+(* Deterministic content digest over what attach knows without reading a
+   page: the record count and the full tag census (which covers the root
+   element's tag). Two attaches of the same document agree; documents
+   differing in any tag population disagree (modulo hash collisions,
+   which only cost a spurious cache miss — uids still disambiguate live
+   stores). *)
+let identity_of ~node_count ~tag_counts =
+  let mix h x = (h * 1_000_003) lxor (x land max_int) in
+  List.fold_left
+    (fun h (tag, n) -> mix (mix h (Xnav_xml.Tag.hash tag)) n)
+    (mix 0x9e3779b9 node_count) tag_counts
+
 let attach buffer (import : Import.result) =
   {
     uid = fresh_uid ();
+    identity = identity_of ~node_count:import.Import.node_count ~tag_counts:import.Import.tag_counts;
     buffer;
     root = import.root;
     first_page = import.first_page;
@@ -87,6 +103,7 @@ let attach_meta ?doc_stats ?partition buffer ~root ~first_page ~page_count ~node
     ~tag_counts =
   {
     uid = fresh_uid ();
+    identity = identity_of ~node_count ~tag_counts;
     buffer;
     root;
     first_page;
@@ -122,6 +139,7 @@ let doc_stats t = t.doc_stats
 let partition t = t.partition
 let stats_fresh t = t.mutations = t.stats_stamp
 let uid t = t.uid
+let identity t = t.identity
 let mutation_stamp t = t.mutations
 
 (* --- Cluster-granular mutation tracking --------------------------------- *)

@@ -70,7 +70,26 @@ val uid : t -> int
 (** Process-unique identity assigned at attach time. Caches layered
     above the store (e.g. {!Xnav_core}'s result cache) key on it so
     entries from different stores — including a reload of the same
-    image — can never alias. *)
+    image — can never alias. Because uids are a per-process counter,
+    they are only unique {e within} one process lifetime: external
+    caches must additionally fold {!identity} into their keys (see
+    {!Xnav_core.Result_cache}). *)
+
+val identity : t -> int
+(** Deterministic content digest of the attached document — the record
+    count and the full tag census (which covers the root element's tag),
+    mixed at attach time without reading any page. Two attaches of the
+    same document agree across processes and attach orders; documents
+    with different tag populations disagree. Caches fold this next to
+    {!uid} so a uid reused after a counter reset (a fresh process with a
+    warm external cache, or {!reset_uids} in tests) cannot serve another
+    document's answer. *)
+
+val reset_uids : unit -> unit
+(** Reset the process-wide uid counter — the next attach gets uid 1
+    again. {b Test-only}: simulates a fresh process against surviving
+    cache state so uid-aliasing regressions stay reproducible. Never
+    call it while stores are live in caches you care about. *)
 
 val mutation_stamp : t -> int
 (** Monotonic count of structural mutations ({!note_mutation}) since

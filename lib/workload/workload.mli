@@ -232,3 +232,8 @@ val run :
 val percentile : float list -> float -> float
 (** [percentile xs p] with [p] in [0..100]: the nearest-rank percentile
     of [xs] (0 on an empty list). *)
+
+val demand_frames : int
+(** Worst-case steady pin demand per admitted query (one held frame plus
+    one frame of headroom — see {e Admission} above). Exposed so the
+    {!Shard} engine's per-shard admission applies the identical bound. *)

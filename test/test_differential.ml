@@ -357,6 +357,20 @@ let writers_differential_sample () =
   in
   check Alcotest.(list string) "concurrent readers equal their serial replay" [] reproducers
 
+(* The sharded tenancy tier: a small multi-tenant topology derived from
+   each case (2-4 tenants over 1-3 shards), every (tenant, plan) pair
+   run at once through the two-level scheduler — with the fairness
+   gate, 2Q eviction and the result-cache front door each on in half
+   the cases — and each job's answer compared against a serial cold run
+   on the same tenant store. *)
+let shards_differential_sample () =
+  let r = Differential.run_shards ~seed:Gen.test_seed ~cases:200 () in
+  check Alcotest.int "cases run" 200 r.Differential.cases_run;
+  let reproducers =
+    List.map (fun f -> Differential.reproducer f.Differential.shrunk) r.Differential.failures
+  in
+  check Alcotest.(list string) "sharded and per-tenant serial runs agree" [] reproducers
+
 (* --- the structural index ------------------------------------------------- *)
 
 (* The index differential tier: reference evaluator, XSchedule and index
@@ -527,6 +541,42 @@ let cache_capacity_clamps_to_zero () =
   Result_cache.clear ();
   Result_cache.reset_stats ()
 
+(* Uid aliasing: uids are a bare per-process counter, so after a counter
+   reset (a fresh process over a warm external cache — simulated here
+   with [Store.reset_uids]) a new store can receive a uid some live
+   entry was installed under. The content digest folded into the key
+   must turn the reuse into a clean miss — never another document's
+   answer. *)
+let cache_misses_on_uid_reuse () =
+  Result_cache.clear ();
+  Result_cache.reset_stats ();
+  Store.reset_uids ();
+  let tree_a = doc () in
+  let store_a, import_a =
+    build ~capacity:8 ~policy:Io_scheduler.Elevator ~replacement:Buffer_manager.Lru tree_a
+  in
+  let path = Xpath_parser.parse "/child::*/child::x" in
+  let ra = Exec.cold_run ~config:caching store_a path (Plan.xschedule ()) in
+  check id_list "store A's answer matches the reference" (expected_ids tree_a import_a path)
+    (got_ids ra);
+  check Alcotest.int "store A's answer is installed" 1 (Result_cache.size ());
+  Store.reset_uids ();
+  let tree_b = Gen.deep_tree ~depth:6 () in
+  let store_b, import_b =
+    build ~capacity:8 ~policy:Io_scheduler.Elevator ~replacement:Buffer_manager.Lru tree_b
+  in
+  check Alcotest.int "store B reuses store A's uid" (Store.uid store_a) (Store.uid store_b);
+  check Alcotest.bool "their content digests differ" true
+    (Store.identity store_a <> Store.identity store_b);
+  check Alcotest.bool "the aliased lookup is a clean miss" true
+    (match Result_cache.find store_b (Path.to_string path) with None -> true | Some _ -> false);
+  let rb = Exec.cold_run ~config:caching store_b path (Plan.xschedule ()) in
+  check Alcotest.int "the aliased run is never served A's answer" 0
+    rb.Exec.metrics.Exec.cache_hits;
+  check id_list "store B computes its own answer" (expected_ids tree_b import_b path) (got_ids rb);
+  Result_cache.clear ();
+  Result_cache.reset_stats ()
+
 (* --- the fused chain automaton -------------------------------------------- *)
 
 (* The fused differential tier: every fused-capable plan with the
@@ -677,6 +727,11 @@ let suite =
         Alcotest.test_case "200 sampled cases: readers equal their serial replay" `Slow
           writers_differential_sample;
       ] );
+    ( "shards differential",
+      [
+        Alcotest.test_case "200 sampled cases: sharded tenants equal their serial runs" `Slow
+          shards_differential_sample;
+      ] );
     ( "index differential",
       [
         Alcotest.test_case "200 sampled cases: index plans equal reference and xschedule" `Slow
@@ -694,6 +749,8 @@ let suite =
           cache_evicts_least_recently_used;
         Alcotest.test_case "set_capacity clamps zero and below to disabled" `Quick
           cache_capacity_clamps_to_zero;
+        Alcotest.test_case "a reused uid can never serve another document's answer" `Quick
+          cache_misses_on_uid_reuse;
       ] );
     ( "fused differential",
       [

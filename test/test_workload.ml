@@ -272,6 +272,134 @@ let untouched_paths_keep_hitting_across_commits () =
   Result_cache.clear ();
   Result_cache.reset_stats ()
 
+(* --- sharded tenancy ------------------------------------------------------- *)
+
+module Shard = Xnav_workload.Shard
+
+let tenant_docs () =
+  [ ("alpha", doc ()); ("beta", Gen.deep_tree ~depth:4 ()); ("gamma", Gen.sample_doc ()) ]
+
+let topology ?(shards = 2) () =
+  Shard.create ~capacity:16 ~page_size:256 ~payload:96 ~shards (tenant_docs ())
+
+(* Placement is a pure function of the tenant name: stable across calls,
+   in range, and what the topology actually used. *)
+let stable_placement_is_deterministic () =
+  let t = topology () in
+  List.iter
+    (fun (name, _) ->
+      let s = Shard.stable_shard ~shards:2 name in
+      check Alcotest.bool (name ^ " in range") true (s >= 0 && s < 2);
+      check Alcotest.int (name ^ " is stable") s (Shard.stable_shard ~shards:2 name);
+      check Alcotest.int (name ^ " topology agrees") s (Shard.shard_of t name))
+    (tenant_docs ());
+  check Alcotest.int "one shard maps everyone to it" 0 (Shard.stable_shard ~shards:1 "anything");
+  (match Shard.stable_shard ~shards:0 "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument")
+
+(* The sharded engine is read-only and knows its tenants: writer specs
+   and unknown tenants are rejected up front, before any state moves. *)
+let shard_rejects_writers_and_strangers () =
+  let t = topology () in
+  let root =
+    (List.hd
+       (Exec.cold_run ~config:validating (Shard.store t "alpha")
+          (Xpath_parser.parse "/child::*") Plan.simple)
+       .Exec.nodes)
+      .Store.id
+  in
+  let writer =
+    spec ~ops:[ Workload.Insert_child { parent = root; tag = Tag.of_string "w" } ] "w"
+      "/child::*" Plan.simple
+  in
+  (match Shard.run_clients ~cold:true t [| [ { Shard.tenant = "alpha"; spec = writer } ] |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for a writer spec");
+  let q = spec "q" "/child::*" Plan.simple in
+  (match Shard.run_clients ~cold:true t [| [ { Shard.tenant = "nobody"; spec = q } ] |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for an unknown tenant");
+  match Shard.run_clients ~cold:true t [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for an empty client array"
+
+(* End to end: every (tenant, query) job run through the two-level
+   scheduler must equal its serial cold run on the same tenant store,
+   stats must cover every tenant and shard, and the run must end clean. *)
+let sharded_mix_equals_serial () =
+  let t = topology () in
+  let names = List.map fst (tenant_docs ()) in
+  let clients =
+    Array.of_list
+      (List.concat_map
+         (fun name -> List.map (fun s -> [ { Shard.tenant = name; spec = s } ]) (mix ()))
+         names)
+  in
+  let expected =
+    List.concat_map
+      (fun name ->
+        List.map
+          (fun s ->
+            ( (name, s.Workload.label),
+              ids_of
+                (Exec.cold_run ~config:validating (Shard.store t name) s.Workload.path
+                   s.Workload.plan)
+                  .Exec.nodes ))
+          (mix ()))
+      names
+  in
+  let r = Shard.run_clients ~config:validating ~cold:true t clients in
+  check Alcotest.(list string) "no invariant violations" [] r.Shard.violations;
+  check Alcotest.int "every job ran" (Array.length clients) (List.length r.Shard.jobs);
+  List.iter
+    (fun (tenant, (j : Workload.job)) ->
+      let want = List.assoc (tenant, j.Workload.job_label) expected in
+      check Alcotest.string
+        (tenant ^ "/" ^ j.Workload.job_label ^ " completed")
+        (Workload.status_to_string Workload.Completed)
+        (Workload.status_to_string j.Workload.status);
+      check id_list (tenant ^ "/" ^ j.Workload.job_label) want (ids_of j.Workload.nodes))
+    r.Shard.jobs;
+  check Alcotest.int "one stat row per tenant" (List.length names)
+    (List.length r.Shard.tenant_stats);
+  check Alcotest.int "one stat row per shard" 2 (List.length r.Shard.shard_stats);
+  List.iter
+    (fun (ts : Shard.tenant_stat) ->
+      check Alcotest.int (ts.Shard.tenant ^ " job count") 4 ts.Shard.jobs;
+      check Alcotest.bool (ts.Shard.tenant ^ " was served") true (ts.Shard.served_ticks > 0);
+      check Alcotest.bool (ts.Shard.tenant ^ " p99 dominates p50") true
+        (ts.Shard.p99 >= ts.Shard.p50))
+    r.Shard.tenant_stats;
+  check Alcotest.bool "ran concurrently" true (r.Shard.max_concurrent > 1);
+  check Alcotest.bool "balancer turns advanced" true (r.Shard.turns > 0);
+  let shard_reads =
+    List.fold_left (fun a (s : Shard.shard_stat) -> a + s.Shard.page_reads) 0 r.Shard.shard_stats
+  in
+  check Alcotest.int "shard rows aggregate to the engine total" r.Shard.page_reads shard_reads
+
+(* The per-tenant front door: a repeated statement from the same tenant
+   is answered from the result cache at admission, while the identical
+   statement from a co-located tenant recomputes — entries key on the
+   tenant store's uid and content digest. *)
+let shard_front_door_is_per_tenant () =
+  let t = topology () in
+  let caching = { validating with Context.result_cache = true } in
+  Result_cache.clear ();
+  Result_cache.reset_stats ();
+  let q = spec "q" "/child::*/child::x" (Plan.xschedule ()) in
+  let repeat = [| [ { Shard.tenant = "alpha"; spec = q }; { Shard.tenant = "alpha"; spec = q } ] |] in
+  let r = Shard.run_clients ~config:caching ~cold:true t repeat in
+  check Alcotest.(list string) "clean end" [] r.Shard.violations;
+  check Alcotest.int "the repeat is a front-door hit" 1 r.Shard.cache_hits;
+  let r2 =
+    Shard.run_clients ~config:caching ~cold:false t
+      [| [ { Shard.tenant = "beta"; spec = q } ] |]
+  in
+  check Alcotest.int "a neighbour never borrows the answer" 0 r2.Shard.cache_hits;
+  Result_cache.clear ();
+  Result_cache.reset_stats ()
+
 let percentiles_are_nearest_rank () =
   let xs = [ 4.0; 1.0; 3.0; 2.0; 5.0 ] in
   check (Alcotest.float 1e-9) "p50" 3.0 (Workload.percentile xs 50.0);
@@ -300,5 +428,15 @@ let suite =
           untouched_paths_keep_hitting_across_commits;
         Alcotest.test_case "latency percentiles use nearest rank" `Quick
           percentiles_are_nearest_rank;
+      ] );
+    ( "workload.shards",
+      [
+        Alcotest.test_case "tenant placement is a stable hash" `Quick
+          stable_placement_is_deterministic;
+        Alcotest.test_case "writer specs and unknown tenants are rejected" `Quick
+          shard_rejects_writers_and_strangers;
+        Alcotest.test_case "sharded mix equals serial per tenant and query" `Quick
+          sharded_mix_equals_serial;
+        Alcotest.test_case "the front door is per-tenant" `Quick shard_front_door_is_per_tenant;
       ] );
   ]
